@@ -1,0 +1,67 @@
+//===- bench/bench_construction.cpp - E3: Algorithm 1 cost -----------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures instance construction (Algorithm 1) alone across configuration
+// sizes: the paper's approach regenerates the NSA instance for every
+// candidate configuration a scheduling tool proposes, so construction must
+// scale linearly with configuration size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InstanceBuilder.h"
+#include "gen/Workload.h"
+#include "models/ModelLibrary.h"
+#include "sa/NetworkBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swa;
+
+static void BM_BuildModel(benchmark::State &State) {
+  int64_t TargetJobs = State.range(0);
+  cfg::Config Config = gen::industrialConfigWithJobs(TargetJobs, /*Seed=*/1);
+  size_t Automata = 0;
+  for (auto _ : State) {
+    Result<core::BuiltModel> Model = core::buildModel(Config);
+    if (!Model.ok()) {
+      State.SkipWithError(Model.error().message().c_str());
+      return;
+    }
+    Automata = Model->Net->Automata.size();
+    benchmark::DoNotOptimize(Model->Net);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+  State.counters["automata"] = static_cast<double>(Automata);
+}
+BENCHMARK(BM_BuildModel)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Arg(12500)
+    ->Unit(benchmark::kMillisecond);
+
+// The front-end alone: parsing + type checking the component library
+// against a configuration-sized set of global declarations.
+static void BM_CompileComponentLibrary(benchmark::State &State) {
+  for (auto _ : State) {
+    sa::NetworkBuilder NB;
+    if (Error E = NB.addGlobals(models::globalDeclsSource(256, 32, 64))) {
+      State.SkipWithError(E.message().c_str());
+      return;
+    }
+    auto Lib = models::ModelLibrary::create(NB.globalDecls());
+    if (!Lib.ok()) {
+      State.SkipWithError(Lib.error().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Lib);
+  }
+}
+BENCHMARK(BM_CompileComponentLibrary)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+//===- bench/bench_determinism.cpp - E5: trace-equivalence check -----------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The §3 determinism theorem is what licenses replacing model checking by
+// a single simulated run. This bench (a) empirically confirms it by
+// running randomized interleaving orders and asserting job-trace
+// equivalence, and (b) measures the cost of the randomized engine versus
+// the deterministic one (the price one would pay without the theorem is
+// exploring many runs; even one randomized run is slower than the
+// deterministic order).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "gen/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swa;
+
+namespace {
+
+cfg::Config benchConfig() {
+  gen::IndustrialParams P;
+  P.Modules = 2;
+  P.CoresPerModule = 2;
+  P.PartitionsPerCore = 2;
+  P.Seed = 5;
+  return gen::industrialConfig(P);
+}
+
+} // namespace
+
+static void BM_DeterministicRun(benchmark::State &State) {
+  cfg::Config Config = benchConfig();
+  for (auto _ : State) {
+    Result<analysis::AnalyzeOutcome> Out =
+        analysis::analyzeConfiguration(Config);
+    if (!Out.ok()) {
+      State.SkipWithError(Out.error().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Out->Analysis.TotalJobs);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+}
+BENCHMARK(BM_DeterministicRun)->Unit(benchmark::kMillisecond);
+
+static void BM_RandomizedRunAndEquivalence(benchmark::State &State) {
+  cfg::Config Config = benchConfig();
+  Result<analysis::AnalyzeOutcome> Ref =
+      analysis::analyzeConfiguration(Config);
+  if (!Ref.ok()) {
+    State.SkipWithError(Ref.error().message().c_str());
+    return;
+  }
+  uint64_t Seed = 1;
+  uint64_t EquivalentRuns = 0;
+  for (auto _ : State) {
+    Rng R(Seed++);
+    nsa::SimOptions Opts;
+    Opts.RandomOrder = &R;
+    Result<analysis::AnalyzeOutcome> Out =
+        analysis::analyzeConfiguration(Config, Opts);
+    if (!Out.ok()) {
+      State.SkipWithError(Out.error().message().c_str());
+      return;
+    }
+    if (!analysis::jobTracesEquivalent(Ref->Analysis, Out->Analysis)) {
+      State.SkipWithError("trace equivalence violated!");
+      return;
+    }
+    ++EquivalentRuns;
+  }
+  State.counters["equivalent_runs"] = static_cast<double>(EquivalentRuns);
+}
+BENCHMARK(BM_RandomizedRunAndEquivalence)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,258 @@
+//===- bench/bench_engine.cpp - Engine micro-benchmarks (ablations) --------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation-style micro-benchmarks for the design choices DESIGN.md calls
+// out: the event-driven simulator's dirty tracking (read hints vs
+// conservative whole-array read sets) and the USL interpreter's raw
+// expression/function evaluation throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "gen/Workload.h"
+#include "models/ModelLibrary.h"
+#include "sa/NetworkBuilder.h"
+#include "usl/Binder.h"
+#include "usl/Compiler.h"
+#include "usl/Interp.h"
+#include "usl/Parser.h"
+#include "usl/Vm.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swa;
+
+// Interpreter throughput: a scheduler-shaped selection function over a
+// 64-task table.
+static void BM_InterpPickFunction(benchmark::State &State) {
+  usl::Declarations D;
+  Error E = usl::parseDeclarations(
+      "int is_ready[64]; int prio[64];"
+      "int pick() {"
+      "  int best = -1; int bp = 0;"
+      "  for (int i = 0; i < 64; i++) {"
+      "    if (is_ready[i] == 1) {"
+      "      if (best == -1 || prio[i] > bp) { best = i; bp = prio[i]; }"
+      "    }"
+      "  }"
+      "  return best;"
+      "}",
+      D, false);
+  if (E) {
+    State.SkipWithError(E.message().c_str());
+    return;
+  }
+  usl::BindTarget Target;
+  usl::Binder B(Target);
+  std::vector<int64_t> Store(128, 0);
+  for (size_t I = 0; I < 64; I += 3)
+    Store[I] = 1; // is_ready pattern.
+  for (size_t I = 64; I < 128; ++I)
+    Store[I] = static_cast<int64_t>(I * 37 % 97); // priorities.
+  B.mapStore(D.lookup("is_ready"), 0);
+  B.mapStore(D.lookup("prio"), 64);
+  auto Expr = usl::parseIntExpr("pick()", D);
+  if (!Expr.ok()) {
+    State.SkipWithError(Expr.error().message().c_str());
+    return;
+  }
+  auto Bound = B.bindExpr(**Expr);
+  if (!Bound.ok()) {
+    State.SkipWithError(Bound.error().message().c_str());
+    return;
+  }
+  usl::EvalContext Ctx;
+  Ctx.Store = &Store;
+  Ctx.ConstArrays = &Target.ConstArrays;
+  Ctx.FuncTable = &Target.FuncTable;
+  for (auto _ : State) {
+    Ctx.StepBudget = usl::DefaultStepBudget;
+    Ctx.FrameStack.clear();
+    benchmark::DoNotOptimize(usl::evalExpr(**Bound, Ctx, 0));
+  }
+}
+BENCHMARK(BM_InterpPickFunction);
+
+// The same pick() through the bytecode VM.
+static void BM_VmPickFunction(benchmark::State &State) {
+  usl::Declarations D;
+  Error E = usl::parseDeclarations(
+      "int is_ready[64]; int prio[64];"
+      "int pick() {"
+      "  int best = -1; int bp = 0;"
+      "  for (int i = 0; i < 64; i++) {"
+      "    if (is_ready[i] == 1) {"
+      "      if (best == -1 || prio[i] > bp) { best = i; bp = prio[i]; }"
+      "    }"
+      "  }"
+      "  return best;"
+      "}",
+      D, false);
+  if (E) {
+    State.SkipWithError(E.message().c_str());
+    return;
+  }
+  usl::BindTarget Target;
+  usl::Binder B(Target);
+  std::vector<int64_t> Store(128, 0);
+  for (size_t I = 0; I < 64; I += 3)
+    Store[I] = 1;
+  for (size_t I = 64; I < 128; ++I)
+    Store[I] = static_cast<int64_t>(I * 37 % 97);
+  B.mapStore(D.lookup("is_ready"), 0);
+  B.mapStore(D.lookup("prio"), 64);
+  auto Expr = usl::parseIntExpr("pick()", D);
+  auto Bound = B.bindExpr(**Expr);
+  if (!Bound.ok()) {
+    State.SkipWithError(Bound.error().message().c_str());
+    return;
+  }
+  std::vector<usl::Code> FuncCode;
+  for (const usl::FuncDecl *F : Target.FuncTable) {
+    auto C = usl::compileFunction(*F);
+    if (!C.ok()) {
+      State.SkipWithError(C.error().message().c_str());
+      return;
+    }
+    FuncCode.push_back(C.takeValue());
+  }
+  auto Compiled = usl::compileExpr(**Bound);
+  if (!Compiled.ok()) {
+    State.SkipWithError(Compiled.error().message().c_str());
+    return;
+  }
+  usl::EvalContext Ctx;
+  Ctx.Store = &Store;
+  Ctx.ConstArrays = &Target.ConstArrays;
+  Ctx.FuncTable = &Target.FuncTable;
+  for (auto _ : State) {
+    Ctx.StepBudget = usl::DefaultStepBudget;
+    Ctx.FrameStack.clear();
+    benchmark::DoNotOptimize(usl::runCode(*Compiled, FuncCode, Ctx, 0));
+  }
+}
+BENCHMARK(BM_VmPickFunction);
+
+namespace {
+
+/// Strips all bytecode from a network so the engines fall back to the
+/// tree-walking interpreter (the ablation baseline).
+void stripBytecode(sa::Network &Net) {
+  Net.FuncCode.clear();
+  for (auto &A : Net.Automata) {
+    for (auto &L : A->Locations) {
+      L.DataInvariantCode.clear();
+      for (auto &U : L.Uppers)
+        U.BoundCode.clear();
+      for (auto &R : L.Rates)
+        R.RateCode.clear();
+    }
+    for (auto &Ed : A->Edges) {
+      Ed.DataGuardCode.clear();
+      Ed.UpdateCode.clear();
+      for (auto &CG : Ed.ClockGuards)
+        CG.BoundCode.clear();
+      if (Ed.Sync)
+        Ed.Sync->IndexCode.clear();
+    }
+  }
+}
+
+} // namespace
+
+// Whole-simulation interpreter-vs-VM ablation.
+static void BM_SimTreeInterpreter(benchmark::State &State) {
+  cfg::Config Config = gen::industrialConfigWithJobs(State.range(0), 1);
+  auto Model = core::buildModel(Config);
+  if (!Model.ok()) {
+    State.SkipWithError(Model.error().message().c_str());
+    return;
+  }
+  stripBytecode(*Model->Net);
+  for (auto _ : State) {
+    nsa::Simulator Sim(*Model->Net);
+    nsa::SimResult R = Sim.run();
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(R.ActionCount);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+}
+BENCHMARK(BM_SimTreeInterpreter)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Dirty-tracking ablation: the same configuration simulated with the
+// library's read hints versus with hints stripped (conservative
+// whole-array watch sets wake every scheduler on every task event).
+static void BM_SimWithReadHints(benchmark::State &State) {
+  cfg::Config Config = gen::industrialConfigWithJobs(State.range(0), 1);
+  auto Model = core::buildModel(Config);
+  if (!Model.ok()) {
+    State.SkipWithError(Model.error().message().c_str());
+    return;
+  }
+  for (auto _ : State) {
+    nsa::Simulator Sim(*Model->Net);
+    nsa::SimResult R = Sim.run();
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(R.ActionCount);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+}
+BENCHMARK(BM_SimWithReadHints)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_SimConservativeReads(benchmark::State &State) {
+  cfg::Config Config = gen::industrialConfigWithJobs(State.range(0), 1);
+  auto Model = core::buildModel(Config);
+  if (!Model.ok()) {
+    State.SkipWithError(Model.error().message().c_str());
+    return;
+  }
+  // Strip the hints: make every automaton watch every slot its template
+  // could conservatively read (the whole shared arrays).
+  int NT = Config.numTasks();
+  int IsReady = Model->Net->slotOf("is_ready");
+  int Prio = Model->Net->slotOf("prio");
+  int DeadlineAbs = Model->Net->slotOf("deadline_abs");
+  for (auto &A : Model->Net->Automata) {
+    if (A->TemplateName.find("Scheduler") == std::string::npos)
+      continue;
+    for (int I = 0; I < NT; ++I) {
+      A->StaticReads.push_back(IsReady + I);
+      A->StaticReads.push_back(Prio + I);
+      A->StaticReads.push_back(DeadlineAbs + I);
+    }
+  }
+  for (auto _ : State) {
+    nsa::Simulator Sim(*Model->Net);
+    nsa::SimResult R = Sim.run();
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(R.ActionCount);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+}
+BENCHMARK(BM_SimConservativeReads)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+//===- bench/bench_observers.cpp - E4: observer verification cost ----------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the §3 observer verifications: exhaustive exploration of each
+// component automaton against its nondeterministic driver environment.
+// The series over the harness horizon shows the (expected) exponential
+// growth of the verification state space — and why verification is done
+// once per component, while per-configuration analysis uses simulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Observers.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swa;
+
+static void BM_VerifyTsSingleExecution(benchmark::State &State) {
+  int Ticks = static_cast<int>(State.range(0));
+  uint64_t States = 0;
+  bool Holds = false;
+  for (auto _ : State) {
+    auto Run =
+        verify::verifyTsSingleExecution(cfg::SchedulerKind::FPPS, Ticks);
+    if (!Run.ok()) {
+      State.SkipWithError(Run.error().message().c_str());
+      return;
+    }
+    States = Run->Mc.StatesExplored;
+    Holds = Run->Holds;
+  }
+  State.counters["states"] = static_cast<double>(States);
+  State.counters["holds"] = Holds ? 1 : 0;
+}
+BENCHMARK(BM_VerifyTsSingleExecution)
+    ->DenseRange(3, 7, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_VerifyTaskWcet(benchmark::State &State) {
+  int Ticks = static_cast<int>(State.range(0));
+  uint64_t States = 0;
+  for (auto _ : State) {
+    auto Run = verify::verifyTaskWcet(2, Ticks - 2, Ticks);
+    if (!Run.ok()) {
+      State.SkipWithError(Run.error().message().c_str());
+      return;
+    }
+    States = Run->Mc.StatesExplored;
+    if (!Run->Holds) {
+      State.SkipWithError("R2 violated!");
+      return;
+    }
+  }
+  State.counters["states"] = static_cast<double>(States);
+}
+BENCHMARK(BM_VerifyTaskWcet)
+    ->DenseRange(5, 10, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_VerifyFullSuite(benchmark::State &State) {
+  size_t Requirements = 0;
+  for (auto _ : State) {
+    auto Suite = verify::verifyComponentLibrary(/*Ticks=*/4);
+    if (!Suite.ok()) {
+      State.SkipWithError(Suite.error().message().c_str());
+      return;
+    }
+    Requirements = Suite->size();
+    for (const verify::VerificationOutcome &O : *Suite)
+      if (!O.Holds) {
+        State.SkipWithError(("violated: " + O.Id).c_str());
+        return;
+      }
+  }
+  State.counters["requirements"] = static_cast<double>(Requirements);
+}
+BENCHMARK(BM_VerifyFullSuite)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+//===- bench/bench_scale.cpp - E2: industrial-scale configurations ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the §4 scalability claim: "a model instance construction and
+// interpretation take about several seconds for configurations of the same
+// complexity as industrial avionics systems (about 11 seconds for a
+// configuration with 12500 jobs)". The series sweeps the job count up to
+// that scale and times the full pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "gen/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swa;
+
+static void BM_FullAnalysis(benchmark::State &State) {
+  int64_t TargetJobs = State.range(0);
+  cfg::Config Config = gen::industrialConfigWithJobs(TargetJobs, /*Seed=*/1);
+  int64_t Jobs = Config.jobCount();
+  int64_t Missed = 0;
+  for (auto _ : State) {
+    Result<analysis::AnalyzeOutcome> Out =
+        analysis::analyzeConfiguration(Config);
+    if (!Out.ok()) {
+      State.SkipWithError(Out.error().message().c_str());
+      return;
+    }
+    Missed = Out->Analysis.MissedJobs;
+    benchmark::DoNotOptimize(Out->Analysis.TotalJobs);
+  }
+  State.counters["jobs"] = static_cast<double>(Jobs);
+  State.counters["tasks"] = Config.numTasks();
+  State.counters["missed"] = static_cast<double>(Missed);
+}
+BENCHMARK(BM_FullAnalysis)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Arg(12500)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Simulation only (construction cost excluded), to separate the two
+// pipeline phases the paper mentions.
+static void BM_SimulationOnly(benchmark::State &State) {
+  int64_t TargetJobs = State.range(0);
+  cfg::Config Config = gen::industrialConfigWithJobs(TargetJobs, /*Seed=*/1);
+  auto Model = core::buildModel(Config);
+  if (!Model.ok()) {
+    State.SkipWithError(Model.error().message().c_str());
+    return;
+  }
+  uint64_t Actions = 0;
+  for (auto _ : State) {
+    nsa::Simulator Sim(*Model->Net);
+    nsa::SimResult R = Sim.run();
+    if (!R.ok()) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    Actions = R.ActionCount;
+    benchmark::DoNotOptimize(R.ActionCount);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+  State.counters["actions"] = static_cast<double>(Actions);
+}
+BENCHMARK(BM_SimulationOnly)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(12500)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

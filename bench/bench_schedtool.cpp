@@ -1,0 +1,64 @@
+//===- bench/bench_schedtool.cpp - E6: scheduling-tool integration ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The §4 integration experiment: the configuration search evaluates
+// candidates through the model. Measures candidate-evaluation throughput
+// and the search success rate as the target core utilization rises (the
+// knee where schedulable layouts stop existing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Workload.h"
+#include "schedtool/ConfigSearch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace swa;
+
+static void BM_SearchAtUtilization(benchmark::State &State) {
+  double Utilization = static_cast<double>(State.range(0)) / 100.0;
+  gen::IndustrialParams Params;
+  Params.Modules = 2;
+  Params.CoresPerModule = 2;
+  Params.PartitionsPerCore = 2;
+  Params.CoreUtilization = Utilization;
+  Params.Seed = 3;
+  cfg::Config Base = gen::industrialConfig(Params);
+  for (cfg::Partition &P : Base.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+
+  int Evaluated = 0;
+  int Found = 0;
+  for (auto _ : State) {
+    schedtool::SearchProblem Problem;
+    Problem.Base = Base;
+    Problem.Seed = 11;
+    Problem.MaxIterations = 25;
+    Result<schedtool::SearchResult> Res =
+        schedtool::searchConfiguration(Problem);
+    if (!Res.ok()) {
+      State.SkipWithError(Res.error().message().c_str());
+      return;
+    }
+    Evaluated = Res->ConfigurationsEvaluated;
+    Found += Res->Found ? 1 : 0;
+  }
+  State.counters["evaluated"] = Evaluated;
+  State.counters["found"] = Found;
+  State.counters["utilization"] = Utilization;
+}
+BENCHMARK(BM_SearchAtUtilization)
+    ->Arg(30)
+    ->Arg(45)
+    ->Arg(60)
+    ->Arg(75)
+    ->Arg(90)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

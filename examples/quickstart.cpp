@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - Minimal end-to-end walkthrough ------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Builds a two-task IMA configuration in code, runs the stopwatch-automata
+// model over one hyperperiod, and prints the verdict, the per-job
+// execution intervals and an ASCII Gantt chart.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "analysis/Report.h"
+
+#include <cstdio>
+
+using namespace swa;
+
+int main() {
+  // One module, one core, one FPPS partition with two periodic tasks.
+  cfg::Config Config;
+  Config.Name = "quickstart";
+  Config.NumCoreTypes = 1;
+  Config.Cores.push_back({"m0c0", /*Module=*/0, /*CoreType=*/0});
+
+  cfg::Partition P;
+  P.Name = "p0";
+  P.Scheduler = cfg::SchedulerKind::FPPS;
+  P.Core = 0;
+  P.Windows.push_back({0, 20}); // Full-hyperperiod window.
+  P.Tasks.push_back({"control", /*Priority=*/2, /*Wcet=*/{3},
+                     /*Period=*/10, /*Deadline=*/10});
+  P.Tasks.push_back({"logging", /*Priority=*/1, /*Wcet=*/{5},
+                     /*Period=*/20, /*Deadline=*/20});
+  Config.Partitions.push_back(std::move(P));
+
+  // Algorithm 1 + one simulated run + the schedulability criterion.
+  Result<analysis::AnalyzeOutcome> Out =
+      analysis::analyzeConfiguration(Config);
+  if (!Out.ok()) {
+    std::fprintf(stderr, "error: %s\n", Out.error().message().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", analysis::renderReport(Config, Out->Analysis).c_str());
+  std::printf("gantt (one column per tick):\n%s\n",
+              analysis::renderGantt(Config, Out->Analysis).c_str());
+
+  std::printf("job execution intervals:\n");
+  for (const analysis::JobStats &J : Out->Analysis.Jobs) {
+    const cfg::Task &T = Config.taskOf(Config.taskRefOf(J.TaskGid));
+    std::printf("  %-8s job %d: ", T.Name.c_str(), J.JobIndex);
+    for (const analysis::ExecInterval &I : J.Intervals)
+      std::printf("[%lld,%lld) ", static_cast<long long>(I.Start),
+                  static_cast<long long>(I.End));
+    std::printf("response=%lld\n",
+                static_cast<long long>(J.responseTime()));
+  }
+
+  std::printf("\nNSA run: %llu action transitions, %llu delays, %zu "
+              "synchronization events\n",
+              static_cast<unsigned long long>(Out->Sim.ActionCount),
+              static_cast<unsigned long long>(Out->Sim.DelayCount),
+              Out->Sim.Events.size());
+  return Out->Analysis.Schedulable ? 0 : 2;
+}

@@ -1,0 +1,44 @@
+//===- analysis/Analyzer.cpp - One-call schedulability analysis ------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+using namespace swa;
+using namespace swa::analysis;
+
+bool AnalyzeOutcome::failureFlagsConsistent() const {
+  if (Model.IsFailedSlot < 0)
+    return true;
+  int NT = static_cast<int>(Model.TaskAutomaton.size());
+  bool AnyFailed = false;
+  for (int G = 0; G < NT; ++G)
+    if (Sim.Final.Store[static_cast<size_t>(Model.IsFailedSlot + G)] != 0)
+      AnyFailed = true;
+  // A job can also miss by never completing without tripping is_failed
+  // only if the horizon cut it off; within a full hyperperiod the deadline
+  // edges guarantee agreement.
+  return AnyFailed == !Analysis.Schedulable;
+}
+
+Result<AnalyzeOutcome>
+swa::analysis::analyzeConfiguration(const cfg::Config &Config,
+                                    const nsa::SimOptions &SimOptions) {
+  Result<core::BuiltModel> Model = core::buildModel(Config);
+  if (!Model.ok())
+    return Model.takeError();
+
+  AnalyzeOutcome Out;
+  Out.Model = std::move(*Model);
+
+  nsa::Simulator Sim(*Out.Model.Net);
+  Out.Sim = Sim.run(SimOptions);
+  if (!Out.Sim.ok())
+    return Error::failure("simulation failed: " + Out.Sim.Error);
+
+  Out.Trace = core::mapTrace(Out.Model, Out.Sim.Events);
+  Out.Analysis = analyzeTrace(Config, Out.Trace);
+  return Out;
+}

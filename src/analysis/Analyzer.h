@@ -1,0 +1,45 @@
+//===- analysis/Analyzer.h - One-call schedulability analysis ---*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the pipeline the paper describes in §4: configuration in,
+/// verdict out. Runs Algorithm 1 (core::buildModel), simulates one run of
+/// the NSA over a hyperperiod, maps the NSA trace to the system trace, and
+/// checks the schedulability criterion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_ANALYSIS_ANALYZER_H
+#define SWA_ANALYSIS_ANALYZER_H
+
+#include "analysis/Schedulability.h"
+#include "core/InstanceBuilder.h"
+#include "nsa/Simulator.h"
+
+namespace swa {
+namespace analysis {
+
+struct AnalyzeOutcome {
+  core::BuiltModel Model;
+  nsa::SimResult Sim;
+  core::SystemTrace Trace;
+  AnalysisResult Analysis;
+
+  /// Cross-check: the criterion verdict must agree with the model's
+  /// is_failed flags in the final state (a disagreement indicates an
+  /// engine or model bug).
+  bool failureFlagsConsistent() const;
+};
+
+/// Builds, simulates and analyzes \p Config over one hyperperiod.
+Result<AnalyzeOutcome>
+analyzeConfiguration(const cfg::Config &Config,
+                     const nsa::SimOptions &SimOptions = {});
+
+} // namespace analysis
+} // namespace swa
+
+#endif // SWA_ANALYSIS_ANALYZER_H

@@ -1,0 +1,96 @@
+//===- analysis/Report.cpp - Text reports and Gantt rendering ---------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Report.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace swa;
+using namespace swa::analysis;
+
+std::string swa::analysis::renderReport(const cfg::Config &Config,
+                                        const AnalysisResult &Result) {
+  std::string Out;
+  Out += formatString("configuration: %s\n", Config.Name.c_str());
+  Out += formatString("hyperperiod:   %lld ticks\n",
+                      static_cast<long long>(Config.hyperperiod()));
+  Out += formatString("verdict:       %s\n",
+                      Result.Schedulable ? "SCHEDULABLE" : "UNSCHEDULABLE");
+  Out += formatString("jobs:          %lld total, %lld missed\n",
+                      static_cast<long long>(Result.TotalJobs),
+                      static_cast<long long>(Result.MissedJobs));
+  if (!Result.Schedulable)
+    Out += formatString("first miss:    %s\n",
+                        Result.FirstViolation.c_str());
+
+  Out += "tasks:\n";
+  int NT = Config.numTasks();
+  for (int G = 0; G < NT; ++G) {
+    cfg::TaskRef Ref = Config.taskRefOf(G);
+    const cfg::Task &T = Config.taskOf(Ref);
+    const cfg::Partition &P =
+        Config.Partitions[static_cast<size_t>(Ref.Partition)];
+    int64_t WR = Result.WorstResponse[static_cast<size_t>(G)];
+    Out += formatString(
+        "  %-20s part=%-12s P=%-6lld D=%-6lld C=%-5lld worst-resp=%s\n",
+        T.Name.c_str(), P.Name.c_str(),
+        static_cast<long long>(T.Period),
+        static_cast<long long>(T.Deadline),
+        static_cast<long long>(Config.boundWcet(Ref)),
+        WR < 0 ? "MISS" : formatString("%lld",
+                                       static_cast<long long>(WR))
+                              .c_str());
+  }
+  return Out;
+}
+
+std::string swa::analysis::renderGantt(const cfg::Config &Config,
+                                       const AnalysisResult &Result,
+                                       int64_t TicksPerColumn) {
+  if (TicksPerColumn < 1)
+    TicksPerColumn = 1;
+  cfg::TimeValue L = Config.hyperperiod();
+  int64_t Columns = (L + TicksPerColumn - 1) / TicksPerColumn;
+  int NT = Config.numTasks();
+
+  std::vector<std::string> Rows(static_cast<size_t>(NT),
+                                std::string(static_cast<size_t>(Columns),
+                                            '.'));
+  for (const JobStats &J : Result.Jobs) {
+    std::string &Row = Rows[static_cast<size_t>(J.TaskGid)];
+    for (const ExecInterval &I : J.Intervals) {
+      for (int64_t T = I.Start; T < I.End; ++T) {
+        int64_t Col = T / TicksPerColumn;
+        if (Col >= 0 && Col < Columns)
+          Row[static_cast<size_t>(Col)] = '#';
+      }
+    }
+    if (!J.Completed) {
+      const cfg::Task &T = Config.taskOf(Config.taskRefOf(J.TaskGid));
+      int64_t Col = (J.ReleaseTime + T.Deadline - 1) / TicksPerColumn;
+      if (Col >= 0 && Col < Columns)
+        Row[static_cast<size_t>(Col)] = '!';
+    }
+  }
+
+  std::string Out;
+  size_t NameWidth = 4;
+  for (int G = 0; G < NT; ++G)
+    NameWidth = std::max(NameWidth,
+                         Config.taskOf(Config.taskRefOf(G)).Name.size());
+  for (int G = 0; G < NT; ++G) {
+    const cfg::Task &T = Config.taskOf(Config.taskRefOf(G));
+    Out += formatString("%-*s |%s|\n", static_cast<int>(NameWidth),
+                        T.Name.c_str(),
+                        Rows[static_cast<size_t>(G)].c_str());
+  }
+  Out += formatString("%-*s  0%*lld\n", static_cast<int>(NameWidth), "t=",
+                      static_cast<int>(Columns),
+                      static_cast<long long>(L));
+  return Out;
+}

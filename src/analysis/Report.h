@@ -1,0 +1,38 @@
+//===- analysis/Report.h - Text reports and Gantt rendering -----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable rendering of analysis results: a summary report
+/// (verdict, per-task worst response times, utilization) and an ASCII
+/// Gantt chart of the execution intervals over the hyperperiod.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_ANALYSIS_REPORT_H
+#define SWA_ANALYSIS_REPORT_H
+
+#include "analysis/Schedulability.h"
+
+#include <string>
+
+namespace swa {
+namespace analysis {
+
+/// Multi-line summary: verdict, job counts, per-task worst response.
+std::string renderReport(const cfg::Config &Config,
+                         const AnalysisResult &Result);
+
+/// ASCII Gantt chart: one row per task, one column per \p TicksPerColumn
+/// ticks ('#' executing, '.' idle, '!' deadline miss at that job's
+/// deadline column).
+std::string renderGantt(const cfg::Config &Config,
+                        const AnalysisResult &Result,
+                        int64_t TicksPerColumn = 1);
+
+} // namespace analysis
+} // namespace swa
+
+#endif // SWA_ANALYSIS_REPORT_H

@@ -1,0 +1,57 @@
+//===- analysis/Rta.cpp - Analytic response-time analysis -------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Rta.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace swa;
+using namespace swa::analysis;
+
+RtaResult swa::analysis::responseTimeAnalysis(const cfg::Config &Config,
+                                              int Partition) {
+  const cfg::Partition &P =
+      Config.Partitions[static_cast<size_t>(Partition)];
+  assert(P.Scheduler == cfg::SchedulerKind::FPPS &&
+         "RTA covers FPPS partitions only");
+
+  size_t N = P.Tasks.size();
+  RtaResult Res;
+  Res.Response.assign(N, -1);
+  Res.Schedulable = true;
+
+  for (size_t I = 0; I < N; ++I) {
+    const cfg::Task &TI = P.Tasks[I];
+    int64_t CI = Config.boundWcet({Partition, static_cast<int>(I)});
+    int64_t R = CI;
+    for (int Iter = 0; Iter < 1000; ++Iter) {
+      int64_t Next = CI;
+      for (size_t J = 0; J < N; ++J) {
+        if (J == I)
+          continue;
+        const cfg::Task &TJ = P.Tasks[J];
+        if (TJ.Priority <= TI.Priority)
+          continue;
+        Next += ceilDiv64(R, TJ.Period) *
+                Config.boundWcet({Partition, static_cast<int>(J)});
+      }
+      if (Next == R)
+        break;
+      R = Next;
+      if (R > TI.Deadline)
+        break;
+    }
+    if (R > TI.Deadline) {
+      Res.Schedulable = false;
+      Res.Response[I] = -1;
+    } else {
+      Res.Response[I] = R;
+    }
+  }
+  return Res;
+}

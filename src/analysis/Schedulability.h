@@ -1,0 +1,82 @@
+//===- analysis/Schedulability.h - Criterion and job statistics -*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the schedulability criterion of §2.1 on a system trace: for
+/// every job w_ijk of every task, the sum of its execution intervals must
+/// equal the task's WCET (on the bound core's type) and its finish must
+/// fall within the deadline. Also derives per-job statistics (response
+/// times, ready latency, preemption counts) used by reports and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_ANALYSIS_SCHEDULABILITY_H
+#define SWA_ANALYSIS_SCHEDULABILITY_H
+
+#include "config/Config.h"
+#include "core/SystemTrace.h"
+
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace analysis {
+
+struct ExecInterval {
+  int64_t Start = 0;
+  int64_t End = 0;
+
+  int64_t length() const { return End - Start; }
+  bool operator==(const ExecInterval &O) const {
+    return Start == O.Start && End == O.End;
+  }
+};
+
+struct JobStats {
+  int TaskGid = -1;
+  int JobIndex = -1;
+  int64_t ReleaseTime = 0;
+  /// Time the job became ready (-1: it never did, e.g. missing input data).
+  int64_t ReadyTime = -1;
+  /// FIN time (-1: no FIN observed).
+  int64_t FinishTime = -1;
+  /// Execution intervals (zero-length ones dropped), in time order.
+  std::vector<ExecInterval> Intervals;
+  int64_t ExecTotal = 0;
+  int Preemptions = 0;
+  /// True when the job completed its WCET within its deadline.
+  bool Completed = false;
+
+  /// FinishTime - ReleaseTime for completed jobs, -1 otherwise.
+  int64_t responseTime() const {
+    return Completed ? FinishTime - ReleaseTime : -1;
+  }
+};
+
+struct AnalysisResult {
+  bool Schedulable = false;
+  int64_t TotalJobs = 0;
+  int64_t MissedJobs = 0;
+  std::vector<JobStats> Jobs;
+  /// Worst response time per task gid (-1 when some job missed).
+  std::vector<int64_t> WorstResponse;
+  /// Human-readable description of the first criterion violation.
+  std::string FirstViolation;
+};
+
+/// Evaluates the criterion over the jobs of one hyperperiod.
+AnalysisResult analyzeTrace(const cfg::Config &Config,
+                            const core::SystemTrace &Trace);
+
+/// True when two traces are equivalent for schedulability purposes: the
+/// same per-job execution-interval sets, ready times and finish times
+/// (the paper's trace-equivalence, §3).
+bool jobTracesEquivalent(const AnalysisResult &A, const AnalysisResult &B);
+
+} // namespace analysis
+} // namespace swa
+
+#endif // SWA_ANALYSIS_SCHEDULABILITY_H

@@ -1,0 +1,125 @@
+//===- analysis/Stats.cpp - Utilization and load statistics -----------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Stats.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace swa;
+using namespace swa::analysis;
+
+TraceStats swa::analysis::computeStats(const cfg::Config &Config,
+                                       const AnalysisResult &Result) {
+  TraceStats S;
+  size_t NP = Config.Partitions.size();
+  size_t NC = Config.Cores.size();
+  int NT = Config.numTasks();
+
+  S.Partitions.resize(NP);
+  for (size_t P = 0; P < NP; ++P) {
+    S.Partitions[P].Partition = static_cast<int>(P);
+    S.Partitions[P].Demand =
+        Config.partitionUtilization(static_cast<int>(P));
+    S.Partitions[P].WindowShare =
+        Config.windowShare(static_cast<int>(P));
+  }
+  S.Cores.resize(NC);
+  for (size_t C = 0; C < NC; ++C)
+    S.Cores[C].Core = static_cast<int>(C);
+  for (size_t P = 0; P < NP; ++P)
+    if (Config.Partitions[P].Core >= 0)
+      S.Cores[static_cast<size_t>(Config.Partitions[P].Core)].Demand +=
+          S.Partitions[P].Demand;
+
+  S.Tasks.resize(static_cast<size_t>(NT));
+  for (int G = 0; G < NT; ++G)
+    S.Tasks[static_cast<size_t>(G)].TaskGid = G;
+
+  for (const JobStats &J : Result.Jobs) {
+    cfg::TaskRef Ref = Config.taskRefOf(J.TaskGid);
+    int P = Ref.Partition;
+    int C = Config.Partitions[static_cast<size_t>(P)].Core;
+    S.Partitions[static_cast<size_t>(P)].BusyTicks += J.ExecTotal;
+    if (C >= 0)
+      S.Cores[static_cast<size_t>(C)].BusyTicks += J.ExecTotal;
+
+    TaskResponseStats &T = S.Tasks[static_cast<size_t>(J.TaskGid)];
+    if (J.Completed) {
+      int64_t R = J.responseTime();
+      T.Best = T.Best < 0 ? R : std::min(T.Best, R);
+      T.Worst = std::max(T.Worst, R);
+      T.Mean += static_cast<double>(R);
+      ++T.Completed;
+    } else {
+      ++T.Missed;
+    }
+  }
+  for (TaskResponseStats &T : S.Tasks)
+    if (T.Completed > 0)
+      T.Mean /= static_cast<double>(T.Completed);
+
+  cfg::TimeValue L = Config.hyperperiod();
+  for (CoreStats &C : S.Cores)
+    C.BusyShare = L > 0 ? static_cast<double>(C.BusyTicks) /
+                              static_cast<double>(L)
+                        : 0;
+  return S;
+}
+
+std::string swa::analysis::renderStats(const cfg::Config &Config,
+                                       const TraceStats &S) {
+  std::string Out = "partitions:\n";
+  for (const PartitionStats &P : S.Partitions)
+    Out += formatString(
+        "  %-14s demand=%.3f windows=%.3f busy=%lld ticks\n",
+        Config.Partitions[static_cast<size_t>(P.Partition)].Name.c_str(),
+        P.Demand, P.WindowShare, static_cast<long long>(P.BusyTicks));
+  Out += "cores:\n";
+  for (const CoreStats &C : S.Cores)
+    Out += formatString("  %-14s demand=%.3f observed-busy=%.3f\n",
+                        Config.Cores[static_cast<size_t>(C.Core)]
+                            .Name.c_str(),
+                        C.Demand, C.BusyShare);
+  Out += "task responses:\n";
+  for (const TaskResponseStats &T : S.Tasks) {
+    const cfg::Task &Task = Config.taskOf(Config.taskRefOf(T.TaskGid));
+    Out += formatString(
+        "  %-14s best=%lld worst=%lld mean=%.1f completed=%lld "
+        "missed=%lld\n",
+        Task.Name.c_str(), static_cast<long long>(T.Best),
+        static_cast<long long>(T.Worst), T.Mean,
+        static_cast<long long>(T.Completed),
+        static_cast<long long>(T.Missed));
+  }
+  return Out;
+}
+
+std::string swa::analysis::jobsToCsv(const cfg::Config &Config,
+                                     const AnalysisResult &Result) {
+  std::string Out =
+      "task,job,release,ready,finish,exec,completed,intervals\n";
+  for (const JobStats &J : Result.Jobs) {
+    const cfg::Task &T = Config.taskOf(Config.taskRefOf(J.TaskGid));
+    std::string Intervals;
+    for (const ExecInterval &I : J.Intervals) {
+      if (!Intervals.empty())
+        Intervals += ' ';
+      Intervals += formatString("%lld-%lld",
+                                static_cast<long long>(I.Start),
+                                static_cast<long long>(I.End));
+    }
+    Out += formatString("%s,%d,%lld,%lld,%lld,%lld,%d,%s\n",
+                        T.Name.c_str(), J.JobIndex,
+                        static_cast<long long>(J.ReleaseTime),
+                        static_cast<long long>(J.ReadyTime),
+                        static_cast<long long>(J.FinishTime),
+                        static_cast<long long>(J.ExecTotal),
+                        J.Completed ? 1 : 0, Intervals.c_str());
+  }
+  return Out;
+}

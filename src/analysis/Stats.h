@@ -1,0 +1,72 @@
+//===- analysis/Stats.h - Utilization and load statistics -------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived statistics over a configuration and its analyzed trace: demand
+/// vs window supply per partition, observed busy time per core, response
+/// time distributions per task, and data-flow (sender-finish to
+/// receiver-finish) latencies per message. Used by reports, examples and
+/// the test suite's sanity cross-checks (e.g. observed core busy time
+/// equals the summed per-task demand of completed jobs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_ANALYSIS_STATS_H
+#define SWA_ANALYSIS_STATS_H
+
+#include "analysis/Schedulability.h"
+
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace analysis {
+
+struct PartitionStats {
+  int Partition = -1;
+  double Demand = 0;      ///< Sum of C/T over the partition's tasks.
+  double WindowShare = 0; ///< Window time / hyperperiod.
+  int64_t BusyTicks = 0;  ///< Observed execution ticks in the trace.
+};
+
+struct CoreStats {
+  int Core = -1;
+  double Demand = 0;     ///< Sum over hosted partitions.
+  int64_t BusyTicks = 0; ///< Observed execution ticks on the core.
+  double BusyShare = 0;  ///< BusyTicks / hyperperiod.
+};
+
+struct TaskResponseStats {
+  int TaskGid = -1;
+  int64_t Best = -1;  ///< Minimum response over completed jobs.
+  int64_t Worst = -1; ///< Maximum response.
+  double Mean = 0;    ///< Over completed jobs.
+  int64_t Completed = 0;
+  int64_t Missed = 0;
+};
+
+struct TraceStats {
+  std::vector<PartitionStats> Partitions;
+  std::vector<CoreStats> Cores;
+  std::vector<TaskResponseStats> Tasks;
+};
+
+/// Computes all statistics for one analyzed run.
+TraceStats computeStats(const cfg::Config &Config,
+                        const AnalysisResult &Result);
+
+/// Renders the statistics as a text table block.
+std::string renderStats(const cfg::Config &Config, const TraceStats &S);
+
+/// Exports the per-job table as CSV
+/// (task,job,release,ready,finish,exec,completed,intervals).
+std::string jobsToCsv(const cfg::Config &Config,
+                      const AnalysisResult &Result);
+
+} // namespace analysis
+} // namespace swa
+
+#endif // SWA_ANALYSIS_STATS_H

@@ -1,0 +1,239 @@
+//===- configio/ConfigXml.cpp - Configuration XML I/O -----------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "configio/ConfigXml.h"
+
+#include "support/StringUtils.h"
+#include "xml/Xml.h"
+
+#include <map>
+
+using namespace swa;
+using namespace swa::configio;
+
+std::string swa::configio::writeConfigXml(const cfg::Config &Config) {
+  xml::Node Root;
+  Root.Tag = "configuration";
+  Root.setAttr("name", Config.Name);
+  Root.setAttr("coreTypes", formatString("%d", Config.NumCoreTypes));
+
+  for (const cfg::Core &Core : Config.Cores) {
+    xml::Node *N = Root.addChild("core");
+    N->setAttr("name", Core.Name);
+    N->setAttr("module", formatString("%d", Core.Module));
+    N->setAttr("type", formatString("%d", Core.CoreType));
+  }
+
+  for (const cfg::Partition &Part : Config.Partitions) {
+    xml::Node *P = Root.addChild("partition");
+    P->setAttr("name", Part.Name);
+    P->setAttr("scheduler", cfg::schedulerKindName(Part.Scheduler));
+    if (Part.Core >= 0 &&
+        static_cast<size_t>(Part.Core) < Config.Cores.size())
+      P->setAttr("core",
+                 Config.Cores[static_cast<size_t>(Part.Core)].Name);
+    for (const cfg::Task &T : Part.Tasks) {
+      xml::Node *TN = P->addChild("task");
+      TN->setAttr("name", T.Name);
+      TN->setAttr("priority", formatString("%d", T.Priority));
+      TN->setAttr("period",
+                  formatString("%lld", static_cast<long long>(T.Period)));
+      TN->setAttr("deadline",
+                  formatString("%lld",
+                               static_cast<long long>(T.Deadline)));
+      std::vector<std::string> Wcets;
+      for (cfg::TimeValue C : T.Wcet)
+        Wcets.push_back(formatString("%lld", static_cast<long long>(C)));
+      TN->setAttr("wcet", join(Wcets, " "));
+    }
+    for (const cfg::Window &W : Part.Windows) {
+      xml::Node *WN = P->addChild("window");
+      WN->setAttr("start",
+                  formatString("%lld", static_cast<long long>(W.Start)));
+      WN->setAttr("end",
+                  formatString("%lld", static_cast<long long>(W.End)));
+    }
+  }
+
+  auto TaskPath = [&](const cfg::TaskRef &R) {
+    return Config.Partitions[static_cast<size_t>(R.Partition)].Name + "/" +
+           Config.taskOf(R).Name;
+  };
+  for (const cfg::Message &M : Config.Messages) {
+    xml::Node *MN = Root.addChild("message");
+    MN->setAttr("sender", TaskPath(M.Sender));
+    MN->setAttr("receiver", TaskPath(M.Receiver));
+    MN->setAttr("memDelay",
+                formatString("%lld", static_cast<long long>(M.MemDelay)));
+    MN->setAttr("netDelay",
+                formatString("%lld", static_cast<long long>(M.NetDelay)));
+  }
+  return xml::write(Root);
+}
+
+namespace {
+
+Result<int64_t> intAttr(const xml::Node &N, const char *Name) {
+  const std::string *V = N.attr(Name);
+  if (!V)
+    return Error::failure(formatString("<%s> is missing attribute '%s'",
+                                       N.Tag.c_str(), Name));
+  int64_t Out;
+  if (!parseInt64(*V, Out))
+    return Error::failure(formatString(
+        "<%s> attribute '%s' is not an integer: '%s'", N.Tag.c_str(), Name,
+        V->c_str()));
+  return Out;
+}
+
+} // namespace
+
+Result<cfg::Config> swa::configio::parseConfigXml(std::string_view Source) {
+  Result<xml::NodePtr> Doc = xml::parse(Source);
+  if (!Doc.ok())
+    return Doc.takeError();
+  const xml::Node &Root = **Doc;
+  if (Root.Tag != "configuration")
+    return Error::failure("expected a <configuration> root element, found "
+                          "<" +
+                          Root.Tag + ">");
+
+  cfg::Config C;
+  C.Name = Root.attrOr("name", "unnamed");
+  Result<int64_t> CoreTypes = intAttr(Root, "coreTypes");
+  if (!CoreTypes.ok())
+    return CoreTypes.takeError();
+  C.NumCoreTypes = static_cast<int>(*CoreTypes);
+
+  std::map<std::string, int> CoreIndex;
+  for (const xml::Node *N : Root.children("core")) {
+    cfg::Core Core;
+    Core.Name = N->attrOr("name",
+                          formatString("core%zu", C.Cores.size()));
+    Result<int64_t> Module = intAttr(*N, "module");
+    Result<int64_t> Type = intAttr(*N, "type");
+    if (!Module.ok())
+      return Module.takeError();
+    if (!Type.ok())
+      return Type.takeError();
+    Core.Module = static_cast<int>(*Module);
+    Core.CoreType = static_cast<int>(*Type);
+    if (!CoreIndex.emplace(Core.Name, static_cast<int>(C.Cores.size()))
+             .second)
+      return Error::failure("duplicate core name '" + Core.Name + "'");
+    C.Cores.push_back(std::move(Core));
+  }
+
+  std::map<std::string, cfg::TaskRef> TaskIndex;
+  for (const xml::Node *PN : Root.children("partition")) {
+    cfg::Partition Part;
+    Part.Name =
+        PN->attrOr("name", formatString("p%zu", C.Partitions.size()));
+    std::string Sched = PN->attrOr("scheduler", "FPPS");
+    if (Sched == "FPPS")
+      Part.Scheduler = cfg::SchedulerKind::FPPS;
+    else if (Sched == "FPNPS")
+      Part.Scheduler = cfg::SchedulerKind::FPNPS;
+    else if (Sched == "EDF")
+      Part.Scheduler = cfg::SchedulerKind::EDF;
+    else
+      return Error::failure("unknown scheduler '" + Sched +
+                            "' in partition '" + Part.Name + "'");
+    const std::string *CoreName = PN->attr("core");
+    if (!CoreName)
+      return Error::failure("partition '" + Part.Name +
+                            "' is missing its core binding");
+    auto It = CoreIndex.find(*CoreName);
+    if (It == CoreIndex.end())
+      return Error::failure("partition '" + Part.Name +
+                            "' references unknown core '" + *CoreName +
+                            "'");
+    Part.Core = It->second;
+
+    for (const xml::Node *TN : PN->children("task")) {
+      cfg::Task T;
+      T.Name = TN->attrOr("name", formatString("t%zu", Part.Tasks.size()));
+      Result<int64_t> Prio = intAttr(*TN, "priority");
+      Result<int64_t> Period = intAttr(*TN, "period");
+      Result<int64_t> Deadline = intAttr(*TN, "deadline");
+      if (!Prio.ok())
+        return Prio.takeError();
+      if (!Period.ok())
+        return Period.takeError();
+      if (!Deadline.ok())
+        return Deadline.takeError();
+      T.Priority = static_cast<int>(*Prio);
+      T.Period = *Period;
+      T.Deadline = *Deadline;
+      const std::string *Wcet = TN->attr("wcet");
+      if (!Wcet)
+        return Error::failure("task '" + T.Name + "' is missing wcet");
+      for (const std::string &Piece : split(*Wcet, ' ')) {
+        if (trim(Piece).empty())
+          continue;
+        int64_t V;
+        if (!parseInt64(Piece, V))
+          return Error::failure("task '" + T.Name +
+                                "' has a malformed wcet list");
+        T.Wcet.push_back(V);
+      }
+      std::string Path = Part.Name + "/" + T.Name;
+      if (!TaskIndex
+               .emplace(Path,
+                        cfg::TaskRef{static_cast<int>(C.Partitions.size()),
+                                     static_cast<int>(Part.Tasks.size())})
+               .second)
+        return Error::failure("duplicate task path '" + Path + "'");
+      Part.Tasks.push_back(std::move(T));
+    }
+    for (const xml::Node *WN : PN->children("window")) {
+      Result<int64_t> Start = intAttr(*WN, "start");
+      Result<int64_t> End = intAttr(*WN, "end");
+      if (!Start.ok())
+        return Start.takeError();
+      if (!End.ok())
+        return End.takeError();
+      Part.Windows.push_back({*Start, *End});
+    }
+    C.Partitions.push_back(std::move(Part));
+  }
+
+  for (const xml::Node *MN : Root.children("message")) {
+    cfg::Message M;
+    auto Resolve = [&](const char *Attr) -> Result<cfg::TaskRef> {
+      const std::string *Path = MN->attr(Attr);
+      if (!Path)
+        return Error::failure(formatString(
+            "<message> is missing attribute '%s'", Attr));
+      auto It = TaskIndex.find(*Path);
+      if (It == TaskIndex.end())
+        return Error::failure("message references unknown task '" + *Path +
+                              "'");
+      return It->second;
+    };
+    Result<cfg::TaskRef> Sender = Resolve("sender");
+    Result<cfg::TaskRef> Receiver = Resolve("receiver");
+    if (!Sender.ok())
+      return Sender.takeError();
+    if (!Receiver.ok())
+      return Receiver.takeError();
+    Result<int64_t> Mem = intAttr(*MN, "memDelay");
+    Result<int64_t> Net = intAttr(*MN, "netDelay");
+    if (!Mem.ok())
+      return Mem.takeError();
+    if (!Net.ok())
+      return Net.takeError();
+    M.Sender = *Sender;
+    M.Receiver = *Receiver;
+    M.MemDelay = *Mem;
+    M.NetDelay = *Net;
+    C.Messages.push_back(M);
+  }
+
+  if (Error E = C.validate())
+    return E.withContext("configuration '" + C.Name + "'");
+  return C;
+}

@@ -1,0 +1,49 @@
+//===- configio/ConfigXml.h - Configuration XML I/O -------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XML serialization of system configurations — the exchange format
+/// between the scheduling tool and the parametric model in the paper's
+/// toolchain (§4, Fig. 3). Schema:
+///
+/// \code
+/// <configuration name="demo" coreTypes="2">
+///   <core name="m0c0" module="0" type="0"/>
+///   <partition name="p0" scheduler="FPPS" core="m0c0">
+///     <task name="t1" priority="2" period="10" deadline="10"
+///           wcet="3 4"/>
+///     <window start="0" end="20"/>
+///   </partition>
+///   <message sender="p0/t1" receiver="p1/t2" memDelay="1" netDelay="5"/>
+/// </configuration>
+/// \endcode
+///
+/// Cores are referenced by name, tasks as "partition/task". Names must be
+/// unique within their scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_CONFIGIO_CONFIGXML_H
+#define SWA_CONFIGIO_CONFIGXML_H
+
+#include "config/Config.h"
+
+#include <string>
+#include <string_view>
+
+namespace swa {
+namespace configio {
+
+/// Serializes \p Config to an XML document string.
+std::string writeConfigXml(const cfg::Config &Config);
+
+/// Parses a configuration document. The result is validated.
+Result<cfg::Config> parseConfigXml(std::string_view Source);
+
+} // namespace configio
+} // namespace swa
+
+#endif // SWA_CONFIGIO_CONFIGXML_H

@@ -1,0 +1,112 @@
+//===- configio/TemplateXml.cpp - UPPAAL-like template reader ---------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "configio/TemplateXml.h"
+
+#include "support/StringUtils.h"
+#include "xml/Xml.h"
+
+using namespace swa;
+using namespace swa::configio;
+
+Result<std::unique_ptr<sa::Template>>
+swa::configio::parseTemplateXml(std::string_view Source,
+                                const usl::Declarations &Globals) {
+  Result<xml::NodePtr> Doc = xml::parse(Source);
+  if (!Doc.ok())
+    return Doc.takeError();
+  const xml::Node &Root = **Doc;
+  if (Root.Tag != "template")
+    return Error::failure("expected a <template> root element, found <" +
+                          Root.Tag + ">");
+  const std::string *Name = Root.attr("name");
+  if (!Name)
+    return Error::failure("<template> is missing its name");
+
+  sa::TemplateBuilder TB(*Name, Globals);
+  if (const xml::Node *P = Root.child("parameter"))
+    TB.params(P->Text);
+  for (const xml::Node *D : Root.children("declaration"))
+    TB.decls(D->Text);
+
+  bool SawInitial = false;
+  for (const xml::Node *L : Root.children("location")) {
+    const std::string *Id = L->attr("id");
+    if (!Id)
+      return Error::failure("template '" + *Name +
+                            "': <location> is missing its id");
+    bool Committed = L->attrOr("committed", "false") == "true";
+    std::string Invariant = L->attrOr("invariant", "");
+    // UPPAAL also nests invariants as <label kind="invariant">.
+    for (const xml::Node *Lb : L->children("label"))
+      if (Lb->attrOr("kind", "") == "invariant")
+        Invariant = Lb->Text;
+    TB.location(*Id, Invariant, Committed);
+    if (L->attrOr("initial", "false") == "true") {
+      if (SawInitial)
+        return Error::failure("template '" + *Name +
+                              "' declares two initial locations");
+      SawInitial = true;
+      TB.initial(*Id);
+    }
+  }
+  // UPPAAL also marks the initial location with a separate <init> element.
+  if (const xml::Node *Init = Root.child("init")) {
+    const std::string *Ref = Init->attr("ref");
+    if (Ref) {
+      if (SawInitial)
+        return Error::failure("template '" + *Name +
+                              "' declares two initial locations");
+      SawInitial = true;
+      TB.initial(*Ref);
+    }
+  }
+
+  for (const xml::Node *T : Root.children("transition")) {
+    const std::string *Src = T->attr("source");
+    const std::string *Dst = T->attr("target");
+    if (!Src || !Dst)
+      return Error::failure("template '" + *Name +
+                            "': <transition> needs source and target");
+    sa::TemplateBuilder::EdgeSpec Spec;
+    for (const xml::Node *Lb : T->children("label")) {
+      std::string Kind = Lb->attrOr("kind", "");
+      if (Kind == "select")
+        Spec.Select = Lb->Text;
+      else if (Kind == "guard")
+        Spec.Guard = Lb->Text;
+      else if (Kind == "synchronisation" || Kind == "synchronization" ||
+               Kind == "sync")
+        Spec.Sync = Lb->Text;
+      else if (Kind == "assignment" || Kind == "update")
+        Spec.Update = Lb->Text;
+      else
+        return Error::failure("template '" + *Name +
+                              "': unknown label kind '" + Kind + "'");
+    }
+    TB.edge(*Src, *Dst, std::move(Spec));
+  }
+
+  for (const xml::Node *H : Root.children("readhint")) {
+    const std::string *Array = H->attr("array");
+    if (!Array)
+      return Error::failure("template '" + *Name +
+                            "': <readhint> is missing its array");
+    const std::string *Count = H->attr("count");
+    if (!Count)
+      return Error::failure("template '" + *Name +
+                            "': <readhint> is missing its count");
+    if (const std::string *Base = H->attr("base"))
+      TB.readRange(*Array, *Base, *Count);
+    else if (const std::string *Elems = H->attr("elems"))
+      TB.readElems(*Array, *Elems, *Count);
+    else
+      return Error::failure("template '" + *Name +
+                            "': <readhint> needs base= or elems=");
+  }
+
+  return TB.build();
+}

@@ -1,0 +1,51 @@
+//===- configio/TemplateXml.h - UPPAAL-like template reader -----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "translator from UPPAAL to a C++ automata representation" of §4:
+/// reads automaton templates from an UPPAAL-flavoured XML format and
+/// compiles them (through the USL front-end) into sa::Template objects
+/// usable alongside the built-in component library — this is how a user
+/// adds, e.g., a custom task-scheduler model. Format:
+///
+/// \code
+/// <template name="RoundRobinScheduler">
+///   <parameter>int part, int off, int nt</parameter>
+///   <declaration>int cur = -1; ...</declaration>
+///   <location id="Asleep" initial="true"/>
+///   <location id="Decide" committed="true"/>
+///   <location id="Run" invariant="x &lt;= q"/>
+///   <transition source="Asleep" target="Decide">
+///     <label kind="synchronisation">wakeup[part]?</label>
+///     <label kind="guard">...</label>
+///     <label kind="select">i : int[0, nt-1]</label>
+///     <label kind="assignment">cur = -1</label>
+///   </transition>
+///   <readhint array="is_ready" base="off" count="nt"/>
+/// </template>
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_CONFIGIO_TEMPLATEXML_H
+#define SWA_CONFIGIO_TEMPLATEXML_H
+
+#include "sa/Template.h"
+
+#include <memory>
+#include <string_view>
+
+namespace swa {
+namespace configio {
+
+/// Parses one <template> document against \p Globals.
+Result<std::unique_ptr<sa::Template>>
+parseTemplateXml(std::string_view Source, const usl::Declarations &Globals);
+
+} // namespace configio
+} // namespace swa
+
+#endif // SWA_CONFIGIO_TEMPLATEXML_H

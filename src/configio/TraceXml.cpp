@@ -1,0 +1,70 @@
+//===- configio/TraceXml.cpp - System trace XML exchange --------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "configio/TraceXml.h"
+
+#include "support/StringUtils.h"
+#include "xml/Xml.h"
+
+using namespace swa;
+using namespace swa::configio;
+
+std::string swa::configio::writeTraceXml(const std::string &ConfigName,
+                                         int64_t Hyperperiod,
+                                         const core::SystemTrace &Trace) {
+  xml::Node Root;
+  Root.Tag = "trace";
+  Root.setAttr("configuration", ConfigName);
+  Root.setAttr("hyperperiod",
+               formatString("%lld", static_cast<long long>(Hyperperiod)));
+  for (const core::SysEvent &E : Trace) {
+    xml::Node *N = Root.addChild("event");
+    N->setAttr("t", formatString("%lld", static_cast<long long>(E.Time)));
+    N->setAttr("type", core::sysEventTypeName(E.Type));
+    N->setAttr("task", formatString("%d", E.TaskGid));
+  }
+  return xml::write(Root);
+}
+
+Result<TraceDocument>
+swa::configio::parseTraceXml(std::string_view Source) {
+  Result<xml::NodePtr> Doc = xml::parse(Source);
+  if (!Doc.ok())
+    return Doc.takeError();
+  const xml::Node &Root = **Doc;
+  if (Root.Tag != "trace")
+    return Error::failure("expected a <trace> root element, found <" +
+                          Root.Tag + ">");
+  TraceDocument Out;
+  Out.ConfigName = Root.attrOr("configuration", "");
+  if (!parseInt64(Root.attrOr("hyperperiod", "0"), Out.Hyperperiod))
+    return Error::failure("<trace> has a malformed hyperperiod");
+
+  for (const xml::Node *N : Root.children("event")) {
+    core::SysEvent E;
+    int64_t T, Task;
+    const std::string *Type = N->attr("type");
+    if (!N->attr("t") || !N->attr("task") || !Type)
+      return Error::failure("<event> needs t, type and task attributes");
+    if (!parseInt64(*N->attr("t"), T) ||
+        !parseInt64(*N->attr("task"), Task))
+      return Error::failure("<event> has malformed numeric attributes");
+    E.Time = T;
+    E.TaskGid = static_cast<int>(Task);
+    if (*Type == "EX")
+      E.Type = core::SysEventType::EX;
+    else if (*Type == "PR")
+      E.Type = core::SysEventType::PR;
+    else if (*Type == "FIN")
+      E.Type = core::SysEventType::FIN;
+    else if (*Type == "READY")
+      E.Type = core::SysEventType::READY;
+    else
+      return Error::failure("unknown event type '" + *Type + "'");
+    Out.Trace.push_back(E);
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- configio/TraceXml.h - System trace XML exchange ----------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XML serialization of system operation traces — the second half of the
+/// Fig. 3 toolchain loop: the model returns the trace to the scheduling
+/// tool, which performs its own analysis. Schema:
+///
+/// \code
+/// <trace configuration="demo" hyperperiod="40">
+///   <event t="3" type="EX" task="7"/>
+///   ...
+/// </trace>
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_CONFIGIO_TRACEXML_H
+#define SWA_CONFIGIO_TRACEXML_H
+
+#include "core/SystemTrace.h"
+
+#include <string>
+#include <string_view>
+
+namespace swa {
+namespace configio {
+
+/// Serializes a system trace.
+std::string writeTraceXml(const std::string &ConfigName,
+                          int64_t Hyperperiod,
+                          const core::SystemTrace &Trace);
+
+/// Parsed trace document.
+struct TraceDocument {
+  std::string ConfigName;
+  int64_t Hyperperiod = 0;
+  core::SystemTrace Trace;
+};
+
+/// Parses a trace document.
+Result<TraceDocument> parseTraceXml(std::string_view Source);
+
+} // namespace configio
+} // namespace swa
+
+#endif // SWA_CONFIGIO_TRACEXML_H

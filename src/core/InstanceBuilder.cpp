@@ -1,0 +1,189 @@
+//===- core/InstanceBuilder.cpp - Algorithm 1: config -> NSA ---------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InstanceBuilder.h"
+
+#include "models/ModelLibrary.h"
+#include "sa/Compile.h"
+#include "sa/NetworkBuilder.h"
+#include "sa/Validate.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace swa;
+using namespace swa::core;
+
+Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
+  if (Error E = Config.validate())
+    return E.withContext("invalid configuration");
+
+  BuiltModel Out;
+  Out.Config = Config;
+
+  int NT = Config.numTasks();
+  int NP = static_cast<int>(Config.Partitions.size());
+  int NL = static_cast<int>(Config.Messages.size());
+  cfg::TimeValue L = Config.hyperperiod();
+
+  sa::NetworkBuilder NB;
+  if (Error E = NB.addGlobals(models::globalDeclsSource(NT, NP, NL)))
+    return E;
+
+  Result<std::unique_ptr<models::ModelLibrary>> LibOrErr =
+      models::ModelLibrary::create(NB.globalDecls());
+  if (!LibOrErr.ok())
+    return LibOrErr.takeError();
+  models::ModelLibrary &Lib = **LibOrErr;
+
+  // Input links per task (message indices where the task receives).
+  std::vector<std::vector<int64_t>> InLinks(static_cast<size_t>(NT));
+  for (size_t M = 0; M < Config.Messages.size(); ++M) {
+    int RGid = Config.globalTaskId(Config.Messages[M].Receiver);
+    InLinks[static_cast<size_t>(RGid)].push_back(static_cast<int64_t>(M));
+  }
+
+  Out.TaskAutomaton.assign(static_cast<size_t>(NT), -1);
+  Out.SchedulerAutomaton.assign(static_cast<size_t>(NP), -1);
+
+  int AutCount = 0;
+  for (size_t P = 0; P < Config.Partitions.size(); ++P) {
+    const cfg::Partition &Part = Config.Partitions[P];
+    int Off = Config.globalTaskId({static_cast<int>(P), 0});
+
+    for (size_t T = 0; T < Part.Tasks.size(); ++T) {
+      const cfg::Task &Task = Part.Tasks[T];
+      cfg::TaskRef Ref{static_cast<int>(P), static_cast<int>(T)};
+      int Gid = Config.globalTaskId(Ref);
+
+      std::vector<int64_t> In = InLinks[static_cast<size_t>(Gid)];
+      int64_t NIn = static_cast<int64_t>(In.size());
+      if (In.empty())
+        In.push_back(0); // Array params must be non-empty; n_in==0 masks it.
+
+      sa::NetworkBuilder::ParamMap Params = {
+          {"gid", {Gid}},
+          {"part", {static_cast<int64_t>(P)}},
+          {"wcet", {Config.boundWcet(Ref)}},
+          {"period", {Task.Period}},
+          {"deadline", {Task.Deadline}},
+          {"priority", {static_cast<int64_t>(Task.Priority)}},
+          {"n_in", {NIn}},
+          {"in_links", In},
+      };
+      std::string Name =
+          formatString("task_%zu_%zu_%s", P, T, Task.Name.c_str());
+      Result<sa::Automaton *> A = NB.addInstance(Lib.task(), Name, Params);
+      if (!A.ok())
+        return A.takeError();
+      (*A)->Meta["gid"] = Gid;
+      (*A)->Meta["partition"] = static_cast<int64_t>(P);
+      (*A)->Meta["kind"] = 1; // Task.
+      Out.TaskAutomaton[static_cast<size_t>(Gid)] = AutCount++;
+    }
+
+    sa::NetworkBuilder::ParamMap TsParams = {
+        {"part", {static_cast<int64_t>(P)}},
+        {"off", {static_cast<int64_t>(Off)}},
+        {"nt", {static_cast<int64_t>(Part.Tasks.size())}},
+    };
+    Result<sa::Automaton *> TS = NB.addInstance(
+        Lib.scheduler(Part.Scheduler), formatString("ts_%zu", P), TsParams);
+    if (!TS.ok())
+      return TS.takeError();
+    (*TS)->Meta["partition"] = static_cast<int64_t>(P);
+    (*TS)->Meta["kind"] = 2; // Task scheduler.
+    Out.SchedulerAutomaton[P] = AutCount++;
+  }
+
+  // Core schedulers: one per core that hosts at least one partition.
+  for (size_t C = 0; C < Config.Cores.size(); ++C) {
+    struct Win {
+      cfg::TimeValue Start, End;
+      int64_t Part;
+    };
+    std::vector<Win> Wins;
+    bool HasPartition = false;
+    for (size_t P = 0; P < Config.Partitions.size(); ++P) {
+      if (Config.Partitions[P].Core != static_cast<int>(C))
+        continue;
+      HasPartition = true;
+      for (const cfg::Window &W : Config.Partitions[P].Windows)
+        Wins.push_back({W.Start, W.End, static_cast<int64_t>(P)});
+    }
+    if (!HasPartition)
+      continue;
+    std::sort(Wins.begin(), Wins.end(),
+              [](const Win &A, const Win &B) { return A.Start < B.Start; });
+
+    std::vector<int64_t> Starts, Ends, Parts;
+    for (const Win &W : Wins) {
+      Starts.push_back(W.Start);
+      Ends.push_back(W.End);
+      Parts.push_back(W.Part);
+    }
+    int64_t NW = static_cast<int64_t>(Wins.size());
+    if (Wins.empty()) {
+      Starts.push_back(0);
+      Ends.push_back(0);
+      Parts.push_back(0);
+    }
+    sa::NetworkBuilder::ParamMap CsParams = {
+        {"nw", {NW}},         {"w_start", Starts}, {"w_end", Ends},
+        {"w_part", Parts},    {"hyper", {L}},
+    };
+    Result<sa::Automaton *> CS =
+        NB.addInstance(Lib.coreScheduler(), formatString("cs_%zu", C),
+                       CsParams);
+    if (!CS.ok())
+      return CS.takeError();
+    (*CS)->Meta["core"] = static_cast<int64_t>(C);
+    (*CS)->Meta["kind"] = 3; // Core scheduler.
+    ++AutCount;
+  }
+
+  // Virtual links: one per message.
+  for (size_t M = 0; M < Config.Messages.size(); ++M) {
+    const cfg::Message &Msg = Config.Messages[M];
+    sa::NetworkBuilder::ParamMap VlParams = {
+        {"link", {static_cast<int64_t>(M)}},
+        {"src", {static_cast<int64_t>(Config.globalTaskId(Msg.Sender))}},
+        {"delay", {Config.effectiveDelay(Msg)}},
+    };
+    Result<sa::Automaton *> VL =
+        NB.addInstance(Lib.virtualLink(), formatString("vl_%zu", M),
+                       VlParams);
+    if (!VL.ok())
+      return VL.takeError();
+    (*VL)->Meta["link"] = static_cast<int64_t>(M);
+    (*VL)->Meta["kind"] = 4; // Virtual link.
+    ++AutCount;
+  }
+
+  Result<std::unique_ptr<sa::Network>> Net = NB.finish();
+  if (!Net.ok())
+    return Net.takeError();
+  Out.Net = Net.takeValue();
+  // Structural sanity (catches wiring mistakes, e.g. from user-supplied
+  // component models), then compile all USL code to bytecode.
+  if (Error E = sa::checkNetwork(*Out.Net))
+    return E.withContext("model validation");
+  if (Error E = sa::compileNetwork(*Out.Net))
+    return E;
+  Out.Net->Meta["horizon"] = L;
+  Out.Net->Meta["numTasks"] = NT;
+
+  Out.ReadyBase = Out.Net->channelId("ready");
+  Out.FinishedBase = Out.Net->channelId("finished");
+  Out.WakeupBase = Out.Net->channelId("wakeup");
+  Out.SleepBase = Out.Net->channelId("sleep");
+  Out.ExecBase = Out.Net->channelId("exec");
+  Out.PreemptBase = Out.Net->channelId("preempt");
+  Out.SendBase = Out.Net->channelId("send");
+  Out.DeliverBase = Out.Net->channelId("deliver");
+  Out.IsFailedSlot = Out.Net->slotOf("is_failed");
+  return Out;
+}

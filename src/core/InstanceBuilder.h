@@ -1,0 +1,62 @@
+//===- core/InstanceBuilder.h - Algorithm 1: config -> NSA ------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: for a system configuration, construct the NSA
+/// instance — one Task automaton per task, one task-scheduler automaton per
+/// partition (matching its scheduling algorithm), one core-scheduler
+/// automaton per used core, and one virtual-link automaton per message,
+/// wired through the shared variables and channels of the general model.
+///
+/// The result keeps the channel-table bases and task-to-automaton mapping
+/// needed to translate NSA synchronization traces back into system
+/// operation traces (EX/PR/FIN events per job, §2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_CORE_INSTANCEBUILDER_H
+#define SWA_CORE_INSTANCEBUILDER_H
+
+#include "config/Config.h"
+#include "sa/Network.h"
+
+#include <memory>
+#include <vector>
+
+namespace swa {
+namespace core {
+
+/// A bound model instance for one configuration.
+struct BuiltModel {
+  std::unique_ptr<sa::Network> Net;
+  cfg::Config Config;
+
+  // Flat channel-id bases of the general model's channel families.
+  int ReadyBase = -1;
+  int FinishedBase = -1;
+  int WakeupBase = -1;
+  int SleepBase = -1;
+  int ExecBase = -1;
+  int PreemptBase = -1;
+  int SendBase = -1;
+  int DeliverBase = -1;
+
+  /// Automaton index of each task (by global task id).
+  std::vector<int> TaskAutomaton;
+  /// Automaton index of each partition's task scheduler.
+  std::vector<int> SchedulerAutomaton;
+
+  /// Store slot of is_failed[0] (the failure flags array).
+  int IsFailedSlot = -1;
+};
+
+/// Runs Algorithm 1. The configuration is validated first.
+Result<BuiltModel> buildModel(const cfg::Config &Config);
+
+} // namespace core
+} // namespace swa
+
+#endif // SWA_CORE_INSTANCEBUILDER_H

@@ -1,0 +1,65 @@
+//===- core/SystemTrace.cpp - NSA trace -> system trace --------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SystemTrace.h"
+
+using namespace swa;
+using namespace swa::core;
+
+const char *swa::core::sysEventTypeName(SysEventType T) {
+  switch (T) {
+  case SysEventType::EX:
+    return "EX";
+  case SysEventType::PR:
+    return "PR";
+  case SysEventType::FIN:
+    return "FIN";
+  case SysEventType::READY:
+    return "READY";
+  }
+  return "<bad>";
+}
+
+SystemTrace swa::core::mapTrace(const BuiltModel &Model,
+                                const nsa::Trace &Events) {
+  SystemTrace Out;
+  Out.reserve(Events.size());
+  int NT = static_cast<int>(Model.TaskAutomaton.size());
+  int NP = static_cast<int>(Model.SchedulerAutomaton.size());
+
+  auto InRange = [](int Chan, int Base, int Count) {
+    return Base >= 0 && Chan >= Base && Chan < Base + Count;
+  };
+
+  for (const nsa::Event &E : Events) {
+    if (E.isInternal())
+      continue;
+    if (InRange(E.Channel, Model.ExecBase, NT)) {
+      Out.push_back({SysEventType::EX, E.Channel - Model.ExecBase, E.Time});
+      continue;
+    }
+    if (InRange(E.Channel, Model.PreemptBase, NT)) {
+      Out.push_back(
+          {SysEventType::PR, E.Channel - Model.PreemptBase, E.Time});
+      continue;
+    }
+    if (InRange(E.Channel, Model.FinishedBase, NP) ||
+        InRange(E.Channel, Model.ReadyBase, NP)) {
+      // Attributed to the initiating task automaton.
+      const sa::Automaton &A =
+          *Model.Net->Automata[static_cast<size_t>(E.Initiator.Automaton)];
+      int Gid = static_cast<int>(A.metaOr("gid", -1));
+      if (Gid < 0)
+        continue;
+      SysEventType Type = InRange(E.Channel, Model.FinishedBase, NP)
+                              ? SysEventType::FIN
+                              : SysEventType::READY;
+      Out.push_back({Type, Gid, E.Time});
+      continue;
+    }
+  }
+  return Out;
+}

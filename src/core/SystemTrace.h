@@ -1,0 +1,49 @@
+//===- core/SystemTrace.h - NSA trace -> system trace -----------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates an NSA synchronization trace into the paper's system
+/// operation trace: events <Type, Src, t> with Type in {EX, PR, FIN}
+/// (§2.1). EX corresponds to a synchronization on exec[g], PR on
+/// preempt[g]; FIN is a finished[p] synchronization attributed to the
+/// initiating task automaton. READY events (job became ready) are kept as
+/// well — they are not part of the formal trace but feed latency
+/// statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_CORE_SYSTEMTRACE_H
+#define SWA_CORE_SYSTEMTRACE_H
+
+#include "core/InstanceBuilder.h"
+#include "nsa/Event.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace swa {
+namespace core {
+
+enum class SysEventType { EX, PR, FIN, READY };
+
+const char *sysEventTypeName(SysEventType T);
+
+struct SysEvent {
+  SysEventType Type;
+  int TaskGid = -1;
+  int64_t Time = 0;
+};
+
+/// System operation trace: events in generation order.
+using SystemTrace = std::vector<SysEvent>;
+
+/// Maps the NSA trace of \p Model onto the system trace.
+SystemTrace mapTrace(const BuiltModel &Model, const nsa::Trace &Events);
+
+} // namespace core
+} // namespace swa
+
+#endif // SWA_CORE_SYSTEMTRACE_H

@@ -1,0 +1,65 @@
+//===- gen/BurstModel.cpp - The Table-1 burst NSA family --------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/BurstModel.h"
+
+#include "sa/Compile.h"
+#include "sa/NetworkBuilder.h"
+#include "sa/Template.h"
+#include "support/StringUtils.h"
+
+using namespace swa;
+using namespace swa::gen;
+
+Result<std::unique_ptr<sa::Network>> swa::gen::burstNetwork(int Jobs) {
+  sa::NetworkBuilder NB;
+  if (Error E = NB.addGlobals(
+          formatString("int done[%d];", Jobs > 0 ? Jobs : 1)))
+    return E;
+
+  sa::TemplateBuilder TB("BurstJob", NB.globalDecls());
+  TB.params("int id, int wcet");
+  TB.decls("clock e;");
+  // Release -> Running is the single interleavable step at t = 0; the
+  // completion instants (10 + id) are pairwise distinct, so they add no
+  // further interleaving.
+  TB.location("Release")
+      .location("Running", "e <= wcet")
+      .location("Done")
+      .initial("Release");
+  TB.edge("Release", "Running", {.Update = "e = 0"});
+  TB.edge("Running", "Done",
+          {.Guard = "e >= wcet", .Update = "done[id] = 1"});
+  Result<std::unique_ptr<sa::Template>> T = TB.build();
+  if (!T.ok())
+    return T.takeError();
+
+  for (int I = 0; I < Jobs; ++I) {
+    Result<sa::Automaton *> A = NB.addInstance(
+        **T, formatString("job%d", I),
+        {{"id", {I}}, {"wcet", {10 + I}}});
+    if (!A.ok())
+      return A.takeError();
+  }
+  Result<std::unique_ptr<sa::Network>> Net = NB.finish();
+  if (!Net.ok())
+    return Net;
+  if (Error E = sa::compileNetwork(**Net))
+    return E;
+  (*Net)->Meta["horizon"] = 10 + Jobs + 5;
+  return Net;
+}
+
+bool swa::gen::burstAllDone(const sa::Network &Net,
+                            const std::vector<int64_t> &Store, int Jobs) {
+  int Base = Net.slotOf("done");
+  if (Base < 0)
+    return false;
+  for (int I = 0; I < Jobs; ++I)
+    if (Store[static_cast<size_t>(Base + I)] == 0)
+      return false;
+  return true;
+}

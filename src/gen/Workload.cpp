@@ -1,0 +1,211 @@
+//===- gen/Workload.cpp - Configuration generators --------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Workload.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace swa;
+using namespace swa::gen;
+
+cfg::Config swa::gen::table1Config(int NumJobs) {
+  assert(NumJobs > 0 && "need at least one job");
+  cfg::Config C;
+  C.Name = formatString("table1-%d", NumJobs);
+  C.NumCoreTypes = 1;
+  cfg::TimeValue Period = 100;
+  for (int I = 0; I < NumJobs; ++I) {
+    C.Cores.push_back({formatString("core%d", I), I / 2, 0});
+    cfg::Partition P;
+    P.Name = formatString("p%d", I);
+    P.Scheduler = cfg::SchedulerKind::FPPS;
+    P.Core = I;
+    P.Windows.push_back({0, Period});
+    // Distinct WCETs so the concurrent jobs finish at distinct instants;
+    // the simultaneous releases at t = 0 are what MC must interleave.
+    P.Tasks.push_back(
+        {formatString("t%d", I), 1, {10 + (I % 7)}, Period, Period});
+    C.Partitions.push_back(std::move(P));
+  }
+  return C;
+}
+
+std::vector<double> swa::gen::uunifast(Rng &R, int N, double Total) {
+  std::vector<double> U(static_cast<size_t>(N));
+  double Sum = Total;
+  for (int I = 0; I < N - 1; ++I) {
+    double Next =
+        Sum * std::pow(R.uniformDouble(),
+                       1.0 / static_cast<double>(N - 1 - I));
+    U[static_cast<size_t>(I)] = Sum - Next;
+    Sum = Next;
+  }
+  U[static_cast<size_t>(N - 1)] = Sum;
+  return U;
+}
+
+cfg::Config swa::gen::industrialConfig(const IndustrialParams &Params) {
+  Rng R(Params.Seed);
+  cfg::Config C;
+  C.Name = formatString("industrial-seed%llu",
+                        static_cast<unsigned long long>(Params.Seed));
+  C.NumCoreTypes = 2;
+
+  int NumCores = Params.Modules * Params.CoresPerModule;
+  for (int M = 0; M < Params.Modules; ++M)
+    for (int K = 0; K < Params.CoresPerModule; ++K)
+      C.Cores.push_back({formatString("m%dc%d", M, K), M,
+                         /*CoreType=*/M % 2});
+
+  assert(!Params.Periods.empty() && "period menu must be non-empty");
+
+  // Partitions: per core, split the core utilization over the partitions
+  // with UUniFast, then each partition's utilization over its tasks.
+  for (int Core = 0; Core < NumCores; ++Core) {
+    std::vector<double> PartU =
+        uunifast(R, Params.PartitionsPerCore, Params.CoreUtilization);
+    for (int PI = 0; PI < Params.PartitionsPerCore; ++PI) {
+      cfg::Partition Part;
+      Part.Name = formatString("p%d_%d", Core, PI);
+      Part.Core = Core;
+      Part.Scheduler = cfg::SchedulerKind::FPPS;
+
+      int NumTasks = static_cast<int>(
+          R.uniformInt(Params.MinTasksPerPartition,
+                       Params.MaxTasksPerPartition));
+      std::vector<double> TaskU =
+          uunifast(R, NumTasks, PartU[static_cast<size_t>(PI)]);
+      for (int T = 0; T < NumTasks; ++T) {
+        cfg::Task Task;
+        Task.Name = formatString("t%d_%d_%d", Core, PI, T);
+        Task.Period =
+            Params.Periods[R.index(Params.Periods.size())];
+        cfg::TimeValue Cost = static_cast<cfg::TimeValue>(
+            TaskU[static_cast<size_t>(T)] *
+            static_cast<double>(Task.Period));
+        Task.Deadline = Task.Period;
+        if (Cost < 1)
+          Cost = 1;
+        if (Cost > Task.Deadline)
+          Cost = Task.Deadline;
+        // Both core types; the second type is 25% slower.
+        cfg::TimeValue SlowCost =
+            std::min(Task.Deadline, Cost + (Cost + 3) / 4);
+        Task.Wcet = {Cost, SlowCost};
+        // Rate-monotonic priorities (shorter period = higher priority),
+        // disambiguated by index.
+        Task.Priority = static_cast<int>(
+            1000000 / Task.Period * 100 + (NumTasks - T));
+        Part.Tasks.push_back(std::move(Task));
+      }
+      C.Partitions.push_back(std::move(Part));
+    }
+  }
+
+  // Window synthesis: per core, carve each minor frame (the shortest
+  // period used on that core) into utilization-proportional slices. The
+  // hyperperiod is the lcm of the periods actually drawn from the menu
+  // (not the menu's maximum: a seed may skip the longest period).
+  cfg::TimeValue L = C.hyperperiod();
+  for (int Core = 0; Core < NumCores; ++Core) {
+    std::vector<int> Parts;
+    cfg::TimeValue Minor = L;
+    for (size_t P = 0; P < C.Partitions.size(); ++P) {
+      if (C.Partitions[P].Core != Core)
+        continue;
+      Parts.push_back(static_cast<int>(P));
+      for (const cfg::Task &T : C.Partitions[P].Tasks)
+        Minor = std::min(Minor, T.Period);
+    }
+    if (Parts.empty())
+      continue;
+
+    // Raw slice lengths with slack, then scale to fit the minor frame.
+    std::vector<double> Raw;
+    double RawSum = 0;
+    for (int P : Parts) {
+      double U = C.partitionUtilization(P);
+      double Slice =
+          std::max(1.0, U * static_cast<double>(Minor) *
+                            Params.WindowBoost);
+      Raw.push_back(Slice);
+      RawSum += Slice;
+    }
+    double Scale =
+        RawSum > static_cast<double>(Minor)
+            ? static_cast<double>(Minor) / RawSum
+            : 1.0;
+
+    cfg::TimeValue Cursor = 0;
+    for (size_t I = 0; I < Parts.size(); ++I) {
+      cfg::TimeValue Len = std::max<cfg::TimeValue>(
+          1, static_cast<cfg::TimeValue>(Raw[I] * Scale));
+      if (Cursor + Len > Minor)
+        Len = Minor - Cursor;
+      if (Len <= 0)
+        break;
+      // Repeat the slice in every minor frame of the hyperperiod.
+      for (cfg::TimeValue Off = 0; Off < L; Off += Minor)
+        C.Partitions[static_cast<size_t>(Parts[I])].Windows.push_back(
+            {Off + Cursor, Off + Cursor + Len});
+      Cursor += Len;
+    }
+  }
+
+  // Message DAG: each task may receive from an earlier task with the same
+  // period (earlier in global order keeps the graph acyclic).
+  struct TaskSite {
+    cfg::TaskRef Ref;
+    cfg::TimeValue Period;
+  };
+  std::vector<TaskSite> Sites;
+  for (size_t P = 0; P < C.Partitions.size(); ++P)
+    for (size_t T = 0; T < C.Partitions[P].Tasks.size(); ++T)
+      Sites.push_back({{static_cast<int>(P), static_cast<int>(T)},
+                       C.Partitions[P].Tasks[T].Period});
+  for (size_t I = 1; I < Sites.size(); ++I) {
+    if (!R.chance(Params.MessageProbability))
+      continue;
+    // Find a same-period predecessor.
+    std::vector<size_t> Candidates;
+    for (size_t J = 0; J < I; ++J)
+      if (Sites[J].Period == Sites[I].Period &&
+          !(Sites[J].Ref.Partition == Sites[I].Ref.Partition &&
+            Sites[J].Ref.Task == Sites[I].Ref.Task))
+        Candidates.push_back(J);
+    if (Candidates.empty())
+      continue;
+    size_t J = Candidates[R.index(Candidates.size())];
+    cfg::Message M;
+    M.Sender = Sites[J].Ref;
+    M.Receiver = Sites[I].Ref;
+    M.MemDelay = R.uniformInt(1, 3);
+    M.NetDelay = R.uniformInt(5, 20);
+    C.Messages.push_back(M);
+  }
+  return C;
+}
+
+cfg::Config swa::gen::industrialConfigWithJobs(int64_t TargetJobs,
+                                               uint64_t Seed) {
+  // Average jobs per task with the default period menu {250,500,1000,2000}
+  // and hyperperiod 2000: mean(L/P) = (8+4+2+1)/4 = 3.75.
+  IndustrialParams P;
+  P.Seed = Seed;
+  double MeanTasksPerPartition =
+      (P.MinTasksPerPartition + P.MaxTasksPerPartition) / 2.0;
+  double JobsPerPartition = MeanTasksPerPartition * 3.75;
+  int NumCores = P.Modules * P.CoresPerModule;
+  int PerCore = static_cast<int>(
+      std::llround(static_cast<double>(TargetJobs) /
+                   (JobsPerPartition * NumCores)));
+  P.PartitionsPerCore = std::max(1, PerCore);
+  return industrialConfig(P);
+}

@@ -1,0 +1,71 @@
+//===- gen/Workload.h - Configuration generators ----------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic configuration generators standing in for the paper's
+/// proprietary industrial avionics configurations (see DESIGN.md §3):
+///
+///  * table1Config: the Table-1 family — n independent single-task
+///    partitions on n cores releasing simultaneously, which maximizes the
+///    number of concurrent events and therefore the interleaving explosion
+///    model checking suffers from;
+///  * uunifast: the classic utilization-distribution algorithm;
+///  * industrialConfig: module/core/partition/task structures of the scale
+///    the paper reports (~12500 jobs per hyperperiod), with harmonic
+///    periods, rate-monotonic priorities, utilization-proportional window
+///    synthesis, and a random same-period message DAG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_GEN_WORKLOAD_H
+#define SWA_GEN_WORKLOAD_H
+
+#include "config/Config.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace swa {
+namespace gen {
+
+/// Builds the Table-1 experiment configuration with \p NumJobs jobs per
+/// hyperperiod (one job per task, one task per partition, one partition
+/// per core; all windows span the whole hyperperiod).
+cfg::Config table1Config(int NumJobs);
+
+/// UUniFast: \p N task utilizations summing to \p Total, unbiased.
+std::vector<double> uunifast(Rng &R, int N, double Total);
+
+struct IndustrialParams {
+  int Modules = 8;
+  int CoresPerModule = 2;
+  int PartitionsPerCore = 3;
+  int MinTasksPerPartition = 3;
+  int MaxTasksPerPartition = 8;
+  /// Harmonic period menu in ticks (1 tick = 0.1 ms at the paper's scale).
+  std::vector<cfg::TimeValue> Periods = {250, 500, 1000, 2000};
+  /// Target utilization per core (shared by its partitions).
+  double CoreUtilization = 0.45;
+  /// Probability that a task receives a message from some earlier
+  /// same-period task.
+  double MessageProbability = 0.25;
+  /// Window over-provisioning factor (window share = util * boost).
+  double WindowBoost = 1.7;
+  uint64_t Seed = 1;
+};
+
+/// Generates an industrial-scale configuration. The result always
+/// validates; schedulability depends on the utilization and windows.
+cfg::Config industrialConfig(const IndustrialParams &Params);
+
+/// Convenience: picks PartitionsPerCore / task counts so the configuration
+/// has roughly \p TargetJobs jobs per hyperperiod.
+cfg::Config industrialConfigWithJobs(int64_t TargetJobs, uint64_t Seed);
+
+} // namespace gen
+} // namespace swa
+
+#endif // SWA_GEN_WORKLOAD_H

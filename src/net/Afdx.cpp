@@ -1,0 +1,163 @@
+//===- net/Afdx.cpp - Switched-network worst-case delay bounds --------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Afdx.h"
+
+#include "support/MathExtras.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace swa;
+using namespace swa::net;
+
+int Topology::addNode(std::string Name, NodeKind Kind) {
+  Nodes.push_back({std::move(Name), Kind});
+  return static_cast<int>(Nodes.size() - 1);
+}
+
+Result<int> Topology::addLink(int NodeA, int NodeB, int64_t BytesPerTick,
+                              int64_t TechLatency) {
+  if (NodeA < 0 || NodeA >= numNodes() || NodeB < 0 ||
+      NodeB >= numNodes() || NodeA == NodeB)
+    return Error::failure("link endpoints must be distinct existing nodes");
+  if (BytesPerTick <= 0)
+    return Error::failure("link bandwidth must be positive");
+  if (TechLatency < 0)
+    return Error::failure("link latency must be non-negative");
+  Links.push_back({NodeA, NodeB, BytesPerTick, TechLatency});
+  return static_cast<int>(Links.size() - 1);
+}
+
+int Topology::linkBetween(int A, int B) const {
+  for (size_t L = 0; L < Links.size(); ++L)
+    if ((Links[L].A == A && Links[L].B == B) ||
+        (Links[L].A == B && Links[L].B == A))
+      return static_cast<int>(L);
+  return -1;
+}
+
+Result<int> Topology::addVirtualLink(std::vector<int> Path,
+                                     int64_t MaxFrameBytes, int64_t Bag) {
+  if (Path.size() < 2)
+    return Error::failure("a virtual link needs at least two nodes");
+  if (MaxFrameBytes <= 0 || Bag <= 0)
+    return Error::failure("frame size and BAG must be positive");
+  if (Nodes[static_cast<size_t>(Path.front())].Kind != NodeKind::EndSystem)
+    return Error::failure("a virtual link must start at an end system");
+  if (Nodes[static_cast<size_t>(Path.back())].Kind != NodeKind::EndSystem)
+    return Error::failure("a virtual link must end at an end system");
+  Vl V;
+  V.Path = std::move(Path);
+  V.MaxFrameBytes = MaxFrameBytes;
+  V.Bag = Bag;
+  for (size_t I = 0; I + 1 < V.Path.size(); ++I) {
+    int Node = V.Path[I];
+    int Next = V.Path[I + 1];
+    if (Node < 0 || Node >= numNodes() || Next < 0 || Next >= numNodes())
+      return Error::failure("virtual link path references unknown nodes");
+    if (I > 0 &&
+        Nodes[static_cast<size_t>(Node)].Kind != NodeKind::Switch)
+      return Error::failure(
+          "intermediate hops of a virtual link must be switches");
+    int L = linkBetween(Node, Next);
+    if (L < 0)
+      return Error::failure(formatString(
+          "no link between '%s' and '%s'",
+          Nodes[static_cast<size_t>(Node)].Name.c_str(),
+          Nodes[static_cast<size_t>(Next)].Name.c_str()));
+    V.Links.push_back(L);
+  }
+  Vls.push_back(std::move(V));
+  return static_cast<int>(Vls.size() - 1);
+}
+
+Result<int> Topology::routeVirtualLink(int From, int To,
+                                       int64_t MaxFrameBytes, int64_t Bag) {
+  if (From < 0 || From >= numNodes() || To < 0 || To >= numNodes())
+    return Error::failure("route endpoints must be existing nodes");
+  // BFS over the undirected link graph.
+  std::vector<int> Prev(Nodes.size(), -2);
+  std::deque<int> Queue;
+  Queue.push_back(From);
+  Prev[static_cast<size_t>(From)] = -1;
+  while (!Queue.empty()) {
+    int N = Queue.front();
+    Queue.pop_front();
+    if (N == To)
+      break;
+    for (const Link &L : Links) {
+      int Other = L.A == N ? L.B : (L.B == N ? L.A : -1);
+      if (Other < 0 || Prev[static_cast<size_t>(Other)] != -2)
+        continue;
+      Prev[static_cast<size_t>(Other)] = N;
+      Queue.push_back(Other);
+    }
+  }
+  if (Prev[static_cast<size_t>(To)] == -2)
+    return Error::failure(
+        formatString("no route from '%s' to '%s'",
+                     Nodes[static_cast<size_t>(From)].Name.c_str(),
+                     Nodes[static_cast<size_t>(To)].Name.c_str()));
+  std::vector<int> Path;
+  for (int N = To; N != -1; N = Prev[static_cast<size_t>(N)])
+    Path.push_back(N);
+  std::reverse(Path.begin(), Path.end());
+  return addVirtualLink(std::move(Path), MaxFrameBytes, Bag);
+}
+
+Result<int64_t> Topology::worstCaseDelay(int VlId) const {
+  if (VlId < 0 || static_cast<size_t>(VlId) >= Vls.size())
+    return Error::failure("unknown virtual link");
+  const Vl &V = Vls[static_cast<size_t>(VlId)];
+
+  int64_t Total = 0;
+  for (size_t Hop = 0; Hop < V.Links.size(); ++Hop) {
+    const Link &L = Links[static_cast<size_t>(V.Links[Hop])];
+    // The directed output port is (path node -> next node) of this hop.
+    int PortFrom = V.Path[Hop];
+    int PortTo = V.Path[Hop + 1];
+
+    // Own serialization plus technological latency.
+    int64_t Serialize = ceilDiv64(V.MaxFrameBytes, L.BytesPerTick);
+    int64_t HopDelay = Serialize + L.TechLatency;
+
+    // FIFO interference: one maximum frame of every other VL using the
+    // same directed port.
+    for (size_t Other = 0; Other < Vls.size(); ++Other) {
+      if (static_cast<int>(Other) == VlId)
+        continue;
+      const Vl &O = Vls[Other];
+      for (size_t OH = 0; OH < O.Links.size(); ++OH) {
+        if (O.Path[OH] == PortFrom && O.Path[OH + 1] == PortTo) {
+          HopDelay += ceilDiv64(O.MaxFrameBytes, L.BytesPerTick);
+          break;
+        }
+      }
+    }
+    Total += HopDelay;
+  }
+  return Total;
+}
+
+Error swa::net::computeMessageDelays(cfg::Config &Config,
+                                     const Topology &Net,
+                                     const std::vector<int> &VlOfMessage) {
+  if (VlOfMessage.size() != Config.Messages.size())
+    return Error::failure(
+        formatString("expected one virtual link per message (%zu messages, "
+                     "%zu mappings)",
+                     Config.Messages.size(), VlOfMessage.size()));
+  for (size_t M = 0; M < Config.Messages.size(); ++M) {
+    Result<int64_t> D = Net.worstCaseDelay(VlOfMessage[M]);
+    if (!D.ok())
+      return D.takeError().withContext(
+          formatString("message %zu", M));
+    Config.Messages[M].NetDelay = *D;
+  }
+  return Error::success();
+}

@@ -1,0 +1,120 @@
+//===- net/Afdx.h - Switched-network worst-case delay bounds ----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An AFDX-style switched network substrate. The paper assumes message
+/// transfer delays equal to safe upper bounds and notes that "typical
+/// avionics networks (e.g. AFDX) allow to obtain safe estimations for
+/// these delays"; extending the library with switched-network component
+/// models is listed as future work. This module provides that estimation:
+///
+///  * a topology of end systems (module network interfaces) and switches
+///    connected by full-duplex links with bandwidth and technological
+///    latency;
+///  * virtual links (VLs): unicast/multicast routes with a BAG (bandwidth
+///    allocation gap) and a maximum frame size;
+///  * a classic per-hop interference bound: on every output port a frame
+///    waits for at most one maximum-size frame of each other VL routed
+///    through that port (BAG regulation guarantees at most one pending
+///    frame per VL), plus its own serialization time and the link's
+///    technological latency.
+///
+/// The bound is deliberately the simple textbook one (not full network
+/// calculus with burst accumulation) — it is safe for BAG-regulated
+/// traffic with FIFO ports and suffices to parameterize the virtual-link
+/// automata of the model: computeMessageDelays() writes the per-message
+/// worst-case network delays into a configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_NET_AFDX_H
+#define SWA_NET_AFDX_H
+
+#include "config/Config.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace net {
+
+enum class NodeKind { EndSystem, Switch };
+
+/// A switched network with virtual-link routes.
+class Topology {
+public:
+  /// Adds a node; returns its id.
+  int addNode(std::string Name, NodeKind Kind);
+
+  /// Adds a full-duplex link between two nodes.
+  ///
+  /// \p BytesPerTick is the bandwidth, \p TechLatency the per-traversal
+  /// technological latency in ticks. Returns the link id.
+  Result<int> addLink(int NodeA, int NodeB, int64_t BytesPerTick,
+                      int64_t TechLatency);
+
+  /// Declares a virtual link with the given route (node ids, first is the
+  /// source end system). \p MaxFrameBytes bounds every frame; \p Bag is
+  /// the bandwidth allocation gap (minimum spacing between frames of this
+  /// VL, ticks). Returns the VL id.
+  Result<int> addVirtualLink(std::vector<int> Path, int64_t MaxFrameBytes,
+                             int64_t Bag);
+
+  /// Finds a route from \p From to \p To (fewest hops) and registers it as
+  /// a virtual link. Convenience for tests/examples.
+  Result<int> routeVirtualLink(int From, int To, int64_t MaxFrameBytes,
+                               int64_t Bag);
+
+  int numNodes() const { return static_cast<int>(Nodes.size()); }
+  int numVirtualLinks() const { return static_cast<int>(Vls.size()); }
+
+  /// Worst-case end-to-end delay bound of a VL (ticks): per hop, the
+  /// serialization of one maximum frame of every other VL sharing the
+  /// output port, plus this VL's own serialization and the link latency.
+  Result<int64_t> worstCaseDelay(int VlId) const;
+
+  /// Name of a node (for reports).
+  const std::string &nodeName(int Node) const {
+    return Nodes[static_cast<size_t>(Node)].Name;
+  }
+
+private:
+  struct Node {
+    std::string Name;
+    NodeKind Kind;
+  };
+  struct Link {
+    int A, B;
+    int64_t BytesPerTick;
+    int64_t TechLatency;
+  };
+  struct Vl {
+    std::vector<int> Path;
+    std::vector<int> Links; ///< Directed hop i uses Links[i].
+    int64_t MaxFrameBytes;
+    int64_t Bag;
+  };
+
+  /// Link id connecting two adjacent nodes, or -1.
+  int linkBetween(int A, int B) const;
+
+  std::vector<Node> Nodes;
+  std::vector<Link> Links;
+  std::vector<Vl> Vls;
+};
+
+/// Maps every message of \p Config onto the network: the message's
+/// NetDelay becomes the worst-case bound of \p VlOfMessage[msg index].
+/// Sizes must match.
+Error computeMessageDelays(cfg::Config &Config, const Topology &Net,
+                           const std::vector<int> &VlOfMessage);
+
+} // namespace net
+} // namespace swa
+
+#endif // SWA_NET_AFDX_H

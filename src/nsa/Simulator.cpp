@@ -1,0 +1,339 @@
+//===- nsa/Simulator.cpp - Deterministic NSA simulator ---------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nsa/Simulator.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace swa;
+using namespace swa::nsa;
+
+Simulator::Simulator(const sa::Network &Net) : Net(Net), Ex(Net) {
+  size_t N = Net.Automata.size();
+  Enabled.resize(N);
+  RecvContrib.resize(N);
+  ReceiversByChan.resize(static_cast<size_t>(Net.NumChannelIds));
+  Dirty.assign(N, 0);
+  CurrentWake.assign(N, TimeInfinity);
+
+  WatchersBySlot.resize(Net.InitialStore.size());
+  for (size_t A = 0; A < N; ++A)
+    for (int32_t Slot : Net.Automata[A]->StaticReads)
+      if (Slot >= 0 && static_cast<size_t>(Slot) < WatchersBySlot.size())
+        WatchersBySlot[static_cast<size_t>(Slot)].push_back(
+            static_cast<int32_t>(A));
+}
+
+void Simulator::markDirty(int Aut) {
+  if (Dirty[static_cast<size_t>(Aut)])
+    return;
+  Dirty[static_cast<size_t>(Aut)] = 1;
+  DirtyStack.push_back(static_cast<int32_t>(Aut));
+}
+
+void Simulator::refreshAutomaton(int Aut) {
+  size_t AI = static_cast<size_t>(Aut);
+
+  // Undo previous channel contributions.
+  for (int32_t Chan : RecvContrib[AI])
+    ReceiversByChan[static_cast<size_t>(Chan)].erase(
+        static_cast<int32_t>(Aut));
+  RecvContrib[AI].clear();
+  Initiators.erase(static_cast<int32_t>(Aut));
+
+  Enabled[AI].clear();
+  Ex.collectEnabled(S, Aut, Enabled[AI]);
+
+  bool IsInitiator = false;
+  for (const EnabledInst &Inst : Enabled[AI]) {
+    if (Inst.ChanId < 0 || Inst.IsSend) {
+      IsInitiator = true;
+    } else {
+      auto &Set = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+      if (Set.insert(static_cast<int32_t>(Aut)).second)
+        RecvContrib[AI].push_back(Inst.ChanId);
+    }
+  }
+  if (IsInitiator)
+    Initiators.insert(static_cast<int32_t>(Aut));
+
+  if (Ex.inCommitted(S, Aut))
+    Committed.insert(static_cast<int32_t>(Aut));
+  else
+    Committed.erase(static_cast<int32_t>(Aut));
+
+  int64_t Wake = Ex.wakeTime(S, Aut);
+  CurrentWake[AI] = Wake;
+  if (Wake < TimeInfinity)
+    WakeHeap.push({Wake, static_cast<int32_t>(Aut)});
+}
+
+void Simulator::refreshDirty() {
+  while (!DirtyStack.empty()) {
+    int32_t A = DirtyStack.back();
+    DirtyStack.pop_back();
+    Dirty[static_cast<size_t>(A)] = 0;
+    refreshAutomaton(A);
+  }
+}
+
+bool Simulator::committedOk(const Step &St) const {
+  if (Committed.empty())
+    return true;
+  if (Committed.count(St.InitiatorAut))
+    return true;
+  for (const Step::Recv &R : St.Receivers)
+    if (Committed.count(R.Aut))
+      return true;
+  return false;
+}
+
+bool Simulator::attachReceivers(int Aut, const EnabledInst &Inst, Step &Out,
+                                Rng *RandomRecv) {
+  if (Inst.ChanId < 0)
+    return true; // Internal step.
+  assert(Inst.IsSend && "initiators must send");
+  const auto &Recvs = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+
+  auto FirstRecvInst = [&](int32_t R) -> const EnabledInst * {
+    std::vector<const EnabledInst *> Options;
+    for (const EnabledInst &RI : Enabled[static_cast<size_t>(R)])
+      if (RI.ChanId == Inst.ChanId && !RI.IsSend)
+        Options.push_back(&RI);
+    if (Options.empty())
+      return nullptr;
+    if (RandomRecv && Options.size() > 1)
+      return Options[RandomRecv->index(Options.size())];
+    return Options.front();
+  };
+
+  if (Inst.Broadcast) {
+    for (int32_t R : Recvs) {
+      if (R == Aut)
+        continue;
+      const EnabledInst *RI = FirstRecvInst(R);
+      if (RI)
+        Out.Receivers.push_back({R, *RI});
+    }
+    return true; // Broadcast never blocks.
+  }
+
+  // Binary: need exactly one partner.
+  for (int32_t R : Recvs) {
+    if (R == Aut)
+      continue;
+    const EnabledInst *RI = FirstRecvInst(R);
+    if (!RI)
+      continue;
+    Out.Receivers.push_back({R, *RI});
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::buildStepFrom(int Aut, const EnabledInst &Inst, Step &Out,
+                              Rng *RandomRecv) {
+  Out.InitiatorAut = static_cast<int32_t>(Aut);
+  Out.Initiator = Inst;
+  Out.Receivers.clear();
+  if (!attachReceivers(Aut, Inst, Out, RandomRecv))
+    return false;
+  return committedOk(Out);
+}
+
+bool Simulator::pickStepDeterministic(Step &Out) {
+  for (int32_t A : Initiators) {
+    for (const EnabledInst &Inst : Enabled[static_cast<size_t>(A)]) {
+      if (Inst.ChanId >= 0 && !Inst.IsSend)
+        continue;
+      if (Inst.ChanId >= 0 && !Inst.Broadcast) {
+        // Try every partner in order (a later partner may satisfy the
+        // committed-participation rule when an earlier one does not).
+        const auto &Recvs = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+        for (int32_t R : Recvs) {
+          if (R == A)
+            continue;
+          for (const EnabledInst &RI : Enabled[static_cast<size_t>(R)]) {
+            if (RI.ChanId != Inst.ChanId || RI.IsSend)
+              continue;
+            Out.InitiatorAut = A;
+            Out.Initiator = Inst;
+            Out.Receivers.clear();
+            Out.Receivers.push_back({R, RI});
+            if (committedOk(Out))
+              return true;
+          }
+        }
+        continue;
+      }
+      if (buildStepFrom(A, Inst, Out, nullptr))
+        return true;
+    }
+  }
+  return false;
+}
+
+bool Simulator::pickStepRandom(Step &Out, Rng &R) {
+  std::vector<Step> All;
+  for (int32_t A : Initiators) {
+    for (const EnabledInst &Inst : Enabled[static_cast<size_t>(A)]) {
+      if (Inst.ChanId >= 0 && !Inst.IsSend)
+        continue;
+      if (Inst.ChanId >= 0 && !Inst.Broadcast) {
+        const auto &Recvs = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+        for (int32_t Partner : Recvs) {
+          if (Partner == A)
+            continue;
+          for (const EnabledInst &RI :
+               Enabled[static_cast<size_t>(Partner)]) {
+            if (RI.ChanId != Inst.ChanId || RI.IsSend)
+              continue;
+            Step St;
+            St.InitiatorAut = A;
+            St.Initiator = Inst;
+            St.Receivers.push_back({Partner, RI});
+            if (committedOk(St))
+              All.push_back(std::move(St));
+          }
+        }
+        continue;
+      }
+      Step St;
+      if (buildStepFrom(A, Inst, St, &R))
+        All.push_back(std::move(St));
+    }
+  }
+  if (All.empty())
+    return false;
+  Out = std::move(All[R.index(All.size())]);
+  return true;
+}
+
+SimResult Simulator::run(const SimOptions &Options) {
+  SimResult Res;
+  Ex.initState(S);
+
+  int64_t Horizon = Options.Horizon >= 0
+                        ? Options.Horizon
+                        : Net.metaOr("horizon", TimeInfinity);
+
+  for (size_t A = 0; A < Net.Automata.size(); ++A)
+    markDirty(static_cast<int>(A));
+
+  for (;;) {
+    refreshDirty();
+
+    Step St;
+    bool Found = Options.RandomOrder
+                     ? pickStepRandom(St, *Options.RandomOrder)
+                     : pickStepDeterministic(St);
+    if (Found) {
+      if (++Res.ActionCount > Options.MaxActions) {
+        Res.Error = "action budget exhausted (livelock in the model?)";
+        break;
+      }
+      WriteLog.clear();
+      if (!Ex.applyStep(S, St, &WriteLog)) {
+        Res.Error = formatString(
+            "invariant violated after a step initiated by '%s'",
+            Net.Automata[static_cast<size_t>(St.InitiatorAut)]
+                ->Name.c_str());
+        break;
+      }
+      if (St.Initiator.ChanId >= 0 || Options.RecordInternal) {
+        Event E;
+        E.Time = S.Now;
+        E.Channel = St.Initiator.ChanId;
+        E.Initiator = {St.InitiatorAut, St.Initiator.Edge};
+        for (const Step::Recv &R : St.Receivers)
+          E.Receivers.push_back({R.Aut, R.Inst.Edge});
+        Res.Events.push_back(std::move(E));
+      }
+      markDirty(St.InitiatorAut);
+      for (const Step::Recv &R : St.Receivers)
+        markDirty(R.Aut);
+      for (int32_t Slot : WriteLog)
+        for (int32_t W : WatchersBySlot[static_cast<size_t>(Slot)])
+          markDirty(W);
+      continue;
+    }
+
+    // No action fireable.
+    if (!Committed.empty()) {
+      Res.Error = "deadlock: a committed location cannot progress";
+      break;
+    }
+
+    // Find the next valid wake time (lazy heap cleanup).
+    int64_t Next = TimeInfinity;
+    while (!WakeHeap.empty()) {
+      auto [T, A] = WakeHeap.top();
+      if (CurrentWake[static_cast<size_t>(A)] != T) {
+        WakeHeap.pop();
+        continue;
+      }
+      Next = T;
+      break;
+    }
+
+    if (Next <= S.Now) {
+      if (Next == S.Now) {
+        // Name the automata whose bounds expired to ease model debugging.
+        std::string Stuck;
+        for (size_t A = 0; A < Net.Automata.size(); ++A) {
+          if (CurrentWake[A] != Next)
+            continue;
+          const sa::Automaton &Aut = *Net.Automata[A];
+          if (!Stuck.empty())
+            Stuck += ", ";
+          Stuck += Aut.Name + " at " +
+                   Aut.Locations[static_cast<size_t>(S.Locs[A])].Name;
+        }
+        Res.Error = formatString(
+            "time-lock at t=%lld: an invariant bound expired with no "
+            "enabled action (%s)",
+            static_cast<long long>(S.Now), Stuck.c_str());
+        break;
+      }
+      // Next == TimeInfinity handled below; Next < Now impossible.
+    }
+    // Actions at exactly the horizon still belong to the analyzed window
+    // (a job with deadline == period fails precisely at the hyperperiod
+    // boundary); only strictly later wakes end the run.
+    if (Next >= TimeInfinity) {
+      if (Horizon < TimeInfinity) {
+        Ex.advanceTime(S, Horizon - S.Now);
+        Res.HorizonReached = true;
+      } else {
+        Res.Quiescent = true;
+      }
+      break;
+    }
+    if (Next > Horizon) {
+      Ex.advanceTime(S, Horizon - S.Now);
+      Res.HorizonReached = true;
+      break;
+    }
+
+    Ex.advanceTime(S, Next - S.Now);
+    ++Res.DelayCount;
+    // Wake every automaton whose deadline arrived.
+    while (!WakeHeap.empty()) {
+      auto [T, A] = WakeHeap.top();
+      if (T > Next)
+        break;
+      WakeHeap.pop();
+      if (CurrentWake[static_cast<size_t>(A)] == T)
+        markDirty(A);
+    }
+  }
+
+  Res.Final = S;
+  return Res;
+}

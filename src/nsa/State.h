@@ -1,0 +1,59 @@
+//===- nsa/State.h - NSA runtime state --------------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A state of a network of stopwatch automata: the location vector, the
+/// clock valuation, the variable store, and the model time (the paper's
+/// special never-stopped clock). Time and clocks are integer ticks; see
+/// DESIGN.md for why integer time is exact for this model class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_NSA_STATE_H
+#define SWA_NSA_STATE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace swa {
+namespace nsa {
+
+struct State {
+  int64_t Now = 0;
+  std::vector<int32_t> Locs;
+  std::vector<int64_t> Clocks;
+  std::vector<int64_t> Store;
+
+  bool operator==(const State &O) const {
+    return Now == O.Now && Locs == O.Locs && Clocks == O.Clocks &&
+           Store == O.Store;
+  }
+};
+
+/// FNV-1a over the full state; used by the model checker's visited set
+/// (with full-state equality as the fallback on collision).
+struct StateHash {
+  size_t operator()(const State &S) const {
+    uint64_t H = 1469598103934665603ULL;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V;
+      H *= 1099511628211ULL;
+    };
+    Mix(static_cast<uint64_t>(S.Now));
+    for (int32_t L : S.Locs)
+      Mix(static_cast<uint64_t>(static_cast<uint32_t>(L)));
+    for (int64_t C : S.Clocks)
+      Mix(static_cast<uint64_t>(C));
+    for (int64_t V : S.Store)
+      Mix(static_cast<uint64_t>(V));
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace nsa
+} // namespace swa
+
+#endif // SWA_NSA_STATE_H

@@ -1,0 +1,132 @@
+//===- sa/Automaton.h - Bound stopwatch automaton IR ------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime representation of one stopwatch automaton instance inside a
+/// network, corresponding to the paper's tuple
+///   <L, l0, U, C, V, v0, AU, AS, E, I, P>:
+///
+///  * L, l0, U  — Locations / InitialLocation / the Committed flags;
+///  * C         — Clocks (absolute indices into the network clock array);
+///  * V, v0     — slots of the network store (allocated by NetworkBuilder);
+///  * AU, AS    — edge update statements and synchronization actions;
+///  * I         — location invariants (data part + clock upper bounds);
+///  * P         — progress conditions: per-location stopwatch rate
+///                conditions (rate 0 stops a clock in that location).
+///
+/// All expressions and statements are *bound* USL trees (see usl/Binder.h):
+/// evaluation needs only the network store, constant table and function
+/// table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SA_AUTOMATON_H
+#define SWA_SA_AUTOMATON_H
+
+#include "usl/Ast.h"
+#include "usl/Bytecode.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace sa {
+
+/// Invariant term `clock <= bound` (or `<` when Strict).
+struct ClockUpper {
+  int Clock = -1;
+  bool Strict = false;
+  usl::ExprPtr Bound;
+  usl::Code BoundCode; ///< Filled by sa::compileNetwork (optional).
+};
+
+/// Stopwatch progress condition: in this location, Clock advances iff
+/// Rate evaluates to nonzero. Clocks without a rate condition advance.
+struct RateCond {
+  int Clock = -1;
+  usl::ExprPtr Rate;
+  usl::Code RateCode;
+};
+
+struct Location {
+  std::string Name;
+  bool Committed = false;
+  usl::ExprPtr DataInvariant; ///< Null means true.
+  usl::Code DataInvariantCode;
+  std::vector<ClockUpper> Uppers;
+  std::vector<RateCond> Rates;
+  std::vector<int> OutEdges; ///< Indices into Automaton::Edges.
+};
+
+/// Guard term `clock <op> bound` with op in {Lt, Le, Gt, Ge, Eq}.
+struct ClockGuard {
+  int Clock = -1;
+  usl::BinaryOp Op = usl::BinaryOp::Ge;
+  usl::ExprPtr Bound;
+  usl::Code BoundCode;
+};
+
+/// One nondeterministic select binding `name : int[Lo, Hi]` (bounds folded
+/// at instantiation). The value occupies FrameSlot of the edge frame.
+struct SelectBinding {
+  int FrameSlot = 0;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+};
+
+/// Synchronization action of an edge.
+struct SyncAction {
+  int ChannelBase = -1;     ///< First channel id of the (array) channel.
+  int ChannelCount = 1;     ///< Array size (1 for scalar channels).
+  usl::ExprPtr Index;       ///< Runtime index for channel arrays; may ref
+                            ///< select variables. Null for scalars.
+  usl::Code IndexCode;
+  bool IsSend = false;
+  bool Broadcast = false;
+};
+
+struct Edge {
+  int Src = -1;
+  int Dst = -1;
+  std::vector<SelectBinding> Selects;
+  usl::ExprPtr DataGuard; ///< Null means true. May reference selects.
+  usl::Code DataGuardCode;
+  std::vector<ClockGuard> ClockGuards;
+  std::optional<SyncAction> Sync;
+  std::vector<usl::StmtPtr> Update;
+  usl::Code UpdateCode;
+  std::vector<int> ClockResets; ///< Absolute clock indices reset to 0.
+};
+
+/// A fully instantiated automaton.
+struct Automaton {
+  std::string Name;
+  std::string TemplateName;
+  int InitialLocation = 0;
+  std::vector<Location> Locations;
+  std::vector<Edge> Edges;
+  /// Absolute indices of this instance's clocks, in declaration order.
+  std::vector<int> Clocks;
+  /// Store slots of guard-relevant shared variables this automaton reads
+  /// (union over all edges/invariants); used for dirty tracking.
+  std::vector<int32_t> StaticReads;
+  /// Free-form metadata set by instance builders (e.g. global task id) and
+  /// consumed by trace mapping.
+  std::map<std::string, int64_t> Meta;
+
+  int64_t metaOr(const std::string &Key, int64_t Default) const {
+    auto It = Meta.find(Key);
+    return It == Meta.end() ? Default : It->second;
+  }
+};
+
+} // namespace sa
+} // namespace swa
+
+#endif // SWA_SA_AUTOMATON_H

@@ -1,0 +1,31 @@
+//===- sa/Compile.h - Compile a network's USL code to bytecode --*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles every guard, update, invariant bound, rate condition, sync
+/// index and function of a bound network to bytecode (see usl/Bytecode.h).
+/// The simulator and model checker then execute the VM code instead of
+/// walking trees; networks that skip this pass still run (the engines
+/// fall back to the interpreter per site), which is what the
+/// interpreter-vs-VM ablation in bench_engine exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SA_COMPILE_H
+#define SWA_SA_COMPILE_H
+
+#include "sa/Network.h"
+
+namespace swa {
+namespace sa {
+
+/// Compiles all USL code of \p Net in place.
+Error compileNetwork(Network &Net);
+
+} // namespace sa
+} // namespace swa
+
+#endif // SWA_SA_COMPILE_H

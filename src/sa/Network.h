@@ -1,0 +1,108 @@
+//===- sa/Network.h - A bound network of stopwatch automata -----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Network is a fully instantiated NSA: the flat variable store layout
+/// with initial values, the channel table, the clock table, the bound
+/// function/constant tables shared by all expressions, and the automaton
+/// instances. Networks are produced by NetworkBuilder and executed by the
+/// nsa::Simulator or explored by the mc::ModelChecker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SA_NETWORK_H
+#define SWA_SA_NETWORK_H
+
+#include "sa/Automaton.h"
+#include "usl/Binder.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace sa {
+
+/// A channel or channel array. Ids [Base, Base+Count) are flat channel
+/// identifiers unique across the network.
+struct ChannelInfo {
+  std::string Name;
+  int Base = 0;
+  int Count = 1;
+  bool Broadcast = false;
+};
+
+/// Debug/test metadata for one store variable (global or instance-local).
+struct VarInfo {
+  std::string Name; ///< Instance-locals are qualified: "inst.var".
+  int Base = 0;
+  int Size = 1;
+};
+
+class Network {
+public:
+  usl::BindTarget Bind;
+  /// Compiled bodies of Bind.FuncTable entries; filled by compileNetwork()
+  /// (empty until then; the engines fall back to the tree interpreter).
+  std::vector<usl::Code> FuncCode;
+  std::vector<int64_t> InitialStore;
+  std::vector<VarInfo> Vars;
+  std::vector<ChannelInfo> Channels;
+  int NumChannelIds = 0;
+  std::vector<std::string> ClockNames;
+  std::vector<std::unique_ptr<Automaton>> Automata;
+  /// Free-form network metadata (e.g. the hyperperiod under key "horizon").
+  std::map<std::string, int64_t> Meta;
+
+  int numClocks() const { return static_cast<int>(ClockNames.size()); }
+  int numAutomata() const { return static_cast<int>(Automata.size()); }
+
+  /// Returns the base store slot of a variable by (qualified) name, or -1.
+  int slotOf(const std::string &Name) const {
+    for (const VarInfo &V : Vars)
+      if (V.Name == Name)
+        return V.Base;
+    return -1;
+  }
+
+  /// Returns the flat channel id for Name[Offset], or -1.
+  int channelId(const std::string &Name, int Offset = 0) const {
+    for (const ChannelInfo &C : Channels)
+      if (C.Name == Name)
+        return Offset < C.Count ? C.Base + Offset : -1;
+    return -1;
+  }
+
+  /// Channel metadata for a flat channel id.
+  const ChannelInfo *channelOf(int Id) const {
+    for (const ChannelInfo &C : Channels)
+      if (Id >= C.Base && Id < C.Base + C.Count)
+        return &C;
+    return nullptr;
+  }
+
+  /// Formats a flat channel id as "name" or "name[i]".
+  std::string channelIdName(int Id) const;
+
+  /// Returns the automaton instance with the given name, or null.
+  const Automaton *automatonByName(const std::string &Name) const {
+    for (const std::unique_ptr<Automaton> &A : Automata)
+      if (A->Name == Name)
+        return A.get();
+    return nullptr;
+  }
+
+  int64_t metaOr(const std::string &Key, int64_t Default) const {
+    auto It = Meta.find(Key);
+    return It == Meta.end() ? Default : It->second;
+  }
+};
+
+} // namespace sa
+} // namespace swa
+
+#endif // SWA_SA_NETWORK_H

@@ -1,0 +1,272 @@
+//===- sa/Printer.cpp - Textual dumps of automata and networks --------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Printer.h"
+
+#include "support/StringUtils.h"
+
+using namespace swa;
+using namespace swa::sa;
+using usl::BinaryOp;
+using usl::Expr;
+using usl::ExprKind;
+using usl::RefKind;
+using usl::Stmt;
+using usl::StmtKind;
+
+namespace {
+
+const char *binOpText(BinaryOp B) {
+  switch (B) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  case BinaryOp::Min:
+    return "min";
+  case BinaryOp::Max:
+    return "max";
+  }
+  return "?";
+}
+
+std::string refText(const Expr &E) {
+  switch (E.Ref) {
+  case RefKind::Const:
+    return formatString("%lld", static_cast<long long>(E.ConstValue));
+  case RefKind::Store:
+    return formatString("s%d", E.Slot);
+  case RefKind::Frame:
+    return formatString("f%d", E.Slot);
+  case RefKind::ConstArray:
+    return formatString("k%d", E.Slot);
+  case RefKind::ClockRef:
+    return formatString("c%d", E.Slot);
+  case RefKind::Unresolved:
+    return E.Sym ? E.Sym->Name : "<unresolved>";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string swa::sa::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return formatString("%lld", static_cast<long long>(E.Literal));
+  case ExprKind::BoolLit:
+    return E.Literal ? "true" : "false";
+  case ExprKind::VarRef:
+    return refText(E);
+  case ExprKind::Index:
+    return refText(E) + "[" + printExpr(*E.Children[0]) + "]";
+  case ExprKind::Call: {
+    // Bound calls must not touch E.Sym: the symbol lives in the template's
+    // declarations, which may be gone by the time a network is printed.
+    std::string Out =
+        (E.FuncIndex >= 0 ? formatString("fn%d", E.FuncIndex)
+                          : (E.Sym ? E.Sym->Name : "<fn>")) +
+        "(";
+    for (size_t I = 0; I < E.Children.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*E.Children[I]);
+    }
+    return Out + ")";
+  }
+  case ExprKind::Unary:
+    return std::string(E.UOp == usl::UnaryOp::Neg ? "-" : "!") + "(" +
+           printExpr(*E.Children[0]) + ")";
+  case ExprKind::Binary:
+    return "(" + printExpr(*E.Children[0]) + " " +
+           binOpText(E.BOp) + " " + printExpr(*E.Children[1]) + ")";
+  case ExprKind::Ternary:
+    return "(" + printExpr(*E.Children[0]) + " ? " +
+           printExpr(*E.Children[1]) + " : " + printExpr(*E.Children[2]) +
+           ")";
+  }
+  return "?";
+}
+
+std::string swa::sa::printStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Assign: {
+    const char *Op = S.AOp == usl::AssignOp::Set   ? " = "
+                     : S.AOp == usl::AssignOp::Add ? " += "
+                                                   : " -= ";
+    return printExpr(*S.Target) + Op + printExpr(*S.Value);
+  }
+  case StmtKind::ExprStmt:
+    return printExpr(*S.Value);
+  case StmtKind::Block: {
+    std::string Out = "{ ";
+    for (const usl::StmtPtr &B : S.Body)
+      Out += printStmt(*B) + "; ";
+    return Out + "}";
+  }
+  case StmtKind::LocalDecl:
+    return formatString("local f%d", S.DeclFrameSlot);
+  case StmtKind::If:
+    return "if (" + printExpr(*S.Cond) + ") " + printStmt(*S.Then) +
+           (S.Else ? " else " + printStmt(*S.Else) : "");
+  case StmtKind::While:
+    return "while (" + printExpr(*S.Cond) + ") " + printStmt(*S.Then);
+  case StmtKind::For:
+    return "for (...) " + printStmt(*S.Then);
+  case StmtKind::Return:
+    return S.Value ? "return " + printExpr(*S.Value) : "return";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string edgeLabel(const Network &Net, const Edge &E) {
+  std::string Out;
+  if (!E.Selects.empty()) {
+    Out += "select ";
+    for (size_t I = 0; I < E.Selects.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += formatString("f%d:[%lld,%lld]", E.Selects[I].FrameSlot,
+                          static_cast<long long>(E.Selects[I].Lo),
+                          static_cast<long long>(E.Selects[I].Hi));
+    }
+    Out += "; ";
+  }
+  bool AnyGuard = false;
+  for (const ClockGuard &CG : E.ClockGuards) {
+    Out += formatString("c%d ", CG.Clock);
+    Out += binOpText(CG.Op);
+    Out += " " + printExpr(*CG.Bound);
+    Out += " && ";
+    AnyGuard = true;
+  }
+  if (E.DataGuard) {
+    Out += printExpr(*E.DataGuard);
+    AnyGuard = true;
+  } else if (AnyGuard) {
+    Out.erase(Out.size() - 4); // Trailing " && ".
+  }
+  if (E.Sync) {
+    Out += AnyGuard || !E.Selects.empty() ? "; " : "";
+    const ChannelInfo *CI = Net.channelOf(E.Sync->ChannelBase);
+    Out += CI ? CI->Name : formatString("<chan:%d>", E.Sync->ChannelBase);
+    if (E.Sync->Index)
+      Out += "[" + printExpr(*E.Sync->Index) + "]";
+    else if (CI && CI->Count > 1)
+      Out += formatString("[%d]", E.Sync->ChannelBase - CI->Base);
+    Out += E.Sync->IsSend ? "!" : "?";
+  }
+  if (!E.Update.empty() || !E.ClockResets.empty()) {
+    Out += "; ";
+    for (size_t I = 0; I < E.Update.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printStmt(*E.Update[I]);
+    }
+    for (int C : E.ClockResets)
+      Out += formatString("%sc%d = 0", E.Update.empty() ? "" : ", ", C);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string swa::sa::printAutomaton(const Network &Net, const Automaton &A) {
+  std::string Out =
+      formatString("automaton %s (template %s)\n", A.Name.c_str(),
+                   A.TemplateName.c_str());
+  for (size_t L = 0; L < A.Locations.size(); ++L) {
+    const Location &Loc = A.Locations[L];
+    Out += formatString("  %s%s%s", Loc.Name.c_str(),
+                        Loc.Committed ? " [committed]" : "",
+                        static_cast<int>(L) == A.InitialLocation
+                            ? " [initial]"
+                            : "");
+    std::string Inv;
+    for (const ClockUpper &U : Loc.Uppers)
+      Inv += formatString("c%d %s %s && ", U.Clock, U.Strict ? "<" : "<=",
+                          printExpr(*U.Bound).c_str());
+    for (const RateCond &R : Loc.Rates)
+      Inv += formatString("c%d' == %s && ", R.Clock,
+                          printExpr(*R.Rate).c_str());
+    if (Loc.DataInvariant)
+      Inv += printExpr(*Loc.DataInvariant) + " && ";
+    if (!Inv.empty()) {
+      Inv.erase(Inv.size() - 4);
+      Out += " inv: " + Inv;
+    }
+    Out += "\n";
+    for (int EI : Loc.OutEdges) {
+      const Edge &E = A.Edges[static_cast<size_t>(EI)];
+      Out += formatString("    -> %s : %s\n",
+                          A.Locations[static_cast<size_t>(E.Dst)]
+                              .Name.c_str(),
+                          edgeLabel(Net, E).c_str());
+    }
+  }
+  return Out;
+}
+
+std::string swa::sa::printNetwork(const Network &Net) {
+  std::string Out = formatString(
+      "network: %d automata, %zu store slots, %d clocks, %d channel ids\n",
+      Net.numAutomata(), Net.InitialStore.size(), Net.numClocks(),
+      Net.NumChannelIds);
+  for (const std::unique_ptr<Automaton> &A : Net.Automata)
+    Out += printAutomaton(Net, *A);
+  return Out;
+}
+
+std::string swa::sa::toDot(const Network &Net, const Automaton &A) {
+  std::string Out = "digraph \"" + A.Name + "\" {\n"
+                    "  rankdir=LR;\n  node [shape=ellipse];\n";
+  for (size_t L = 0; L < A.Locations.size(); ++L) {
+    const Location &Loc = A.Locations[L];
+    Out += formatString(
+        "  n%zu [label=\"%s\"%s%s];\n", L, Loc.Name.c_str(),
+        Loc.Committed ? ", peripheries=2" : "",
+        static_cast<int>(L) == A.InitialLocation ? ", style=bold" : "");
+  }
+  for (const Edge &E : A.Edges) {
+    std::string Label = edgeLabel(Net, E);
+    // Escape quotes for DOT.
+    std::string Escaped;
+    for (char C : Label) {
+      if (C == '"')
+        Escaped += "\\\"";
+      else
+        Escaped += C;
+    }
+    Out += formatString("  n%d -> n%d [label=\"%s\"];\n", E.Src, E.Dst,
+                        Escaped.c_str());
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,46 @@
+//===- sa/Printer.h - Textual dumps of automata and networks ----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable renderings of bound networks: a structured text dump
+/// (locations, invariants, edges with their labels re-rendered from the
+/// bound trees) and a Graphviz DOT form of single automata. Used by tests
+/// and for model debugging; the expression printer is also the basis of
+/// error messages elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SA_PRINTER_H
+#define SWA_SA_PRINTER_H
+
+#include "sa/Network.h"
+
+#include <string>
+
+namespace swa {
+namespace sa {
+
+/// Renders a bound expression back to USL-like text (slots shown as
+/// `s<slot>`/`f<slot>` since names are erased by binding, constants shown
+/// folded).
+std::string printExpr(const usl::Expr &E);
+
+/// Renders one statement (an update fragment).
+std::string printStmt(const usl::Stmt &S);
+
+/// Structured text dump of one automaton.
+std::string printAutomaton(const Network &Net, const Automaton &A);
+
+/// Summary dump of the whole network (one block per automaton).
+std::string printNetwork(const Network &Net);
+
+/// Graphviz DOT rendering of one automaton.
+std::string toDot(const Network &Net, const Automaton &A);
+
+} // namespace sa
+} // namespace swa
+
+#endif // SWA_SA_PRINTER_H

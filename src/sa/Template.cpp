@@ -1,0 +1,136 @@
+//===- sa/Template.cpp - Parametric automaton templates --------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Template.h"
+
+#include "support/StringUtils.h"
+
+using namespace swa;
+using namespace swa::sa;
+
+TemplateBuilder &TemplateBuilder::location(std::string LocName,
+                                           std::string Invariant,
+                                           bool Committed) {
+  RawLocations.push_back(
+      {std::move(LocName), std::move(Invariant), Committed});
+  return *this;
+}
+
+TemplateBuilder &TemplateBuilder::edge(std::string Src, std::string Dst,
+                                       EdgeSpec Spec) {
+  RawEdges.push_back({std::move(Src), std::move(Dst), std::move(Spec)});
+  return *this;
+}
+
+TemplateBuilder &TemplateBuilder::readRange(std::string Array,
+                                            std::string BaseSrc,
+                                            std::string CountSrc) {
+  RawHints.push_back(
+      {std::move(Array), std::move(BaseSrc), std::move(CountSrc), ""});
+  return *this;
+}
+
+TemplateBuilder &TemplateBuilder::readElems(std::string Array,
+                                            std::string IdxParam,
+                                            std::string CountSrc) {
+  RawHints.push_back(
+      {std::move(Array), "", std::move(CountSrc), std::move(IdxParam)});
+  return *this;
+}
+
+Result<std::unique_ptr<Template>> TemplateBuilder::build() {
+  auto T = std::make_unique<Template>(Name, Globals);
+  auto Context = [&](const std::string &What) {
+    return "template '" + Name + "' " + What;
+  };
+
+  if (!ParamsSrc.empty())
+    if (Error E = usl::parseTemplateParams(ParamsSrc, T->Decls))
+      return E.withContext(Context("parameters"));
+  if (!DeclsSrc.empty())
+    if (Error E =
+            usl::parseDeclarations(DeclsSrc, T->Decls, /*IsTemplate=*/true))
+      return E.withContext(Context("declarations"));
+
+  if (RawLocations.empty())
+    return Error::failure(Context("has no locations"));
+
+  for (const RawLocation &RL : RawLocations) {
+    if (T->LocationIndex.count(RL.Name))
+      return Error::failure(Context("redefines location '" + RL.Name + "'"));
+    Template::LocationDef LD;
+    LD.Name = RL.Name;
+    LD.Committed = RL.Committed;
+    if (!RL.Invariant.empty()) {
+      Result<usl::InvariantAst> Inv =
+          usl::parseInvariant(RL.Invariant, T->Decls);
+      if (!Inv.ok())
+        return Inv.takeError().withContext(
+            Context("location '" + RL.Name + "'"));
+      LD.Invariant = std::move(*Inv);
+    }
+    T->LocationIndex[RL.Name] = static_cast<int>(T->Locations.size());
+    T->Locations.push_back(std::move(LD));
+  }
+
+  if (!InitialName.empty()) {
+    int Idx = T->locationIndex(InitialName);
+    if (Idx < 0)
+      return Error::failure(
+          Context("initial location '" + InitialName + "' does not exist"));
+    T->Initial = Idx;
+  }
+
+  for (const RawEdge &RE : RawEdges) {
+    Template::EdgeDef ED;
+    ED.Src = T->locationIndex(RE.Src);
+    ED.Dst = T->locationIndex(RE.Dst);
+    if (ED.Src < 0 || ED.Dst < 0)
+      return Error::failure(Context("edge references unknown location '" +
+                                    (ED.Src < 0 ? RE.Src : RE.Dst) + "'"));
+    Result<usl::EdgeLabelsAst> Labels =
+        usl::parseEdgeLabels(RE.Spec.Select, RE.Spec.Guard, RE.Spec.Sync,
+                             RE.Spec.Update, T->Decls);
+    if (!Labels.ok())
+      return Labels.takeError().withContext(
+          Context(formatString("edge %s -> %s", RE.Src.c_str(),
+                               RE.Dst.c_str())));
+    ED.Labels = std::move(*Labels);
+    T->Edges.push_back(std::move(ED));
+  }
+
+  for (const RawHint &RH : RawHints) {
+    Template::ReadHintDef HD;
+    HD.Array = RH.Array;
+    const usl::Symbol *ArraySym = T->Decls.lookup(RH.Array);
+    if (!ArraySym || ArraySym->Kind != usl::SymbolKind::GlobalVar ||
+        !ArraySym->Ty.isArray())
+      return Error::failure(Context("read hint targets '" + RH.Array +
+                                    "', which is not a global array"));
+    Result<usl::ExprPtr> Count = usl::parseIntExpr(RH.CountSrc, T->Decls);
+    if (!Count.ok())
+      return Count.takeError().withContext(Context("read hint count"));
+    if (!RH.IdxParam.empty()) {
+      const usl::Symbol *P = T->Decls.lookup(RH.IdxParam);
+      if (!P || P->Kind != usl::SymbolKind::TemplateParam ||
+          !P->Ty.isArray())
+        return Error::failure(Context("read hint index parameter '" +
+                                      RH.IdxParam +
+                                      "' is not an int[] parameter"));
+      HD.ElemsParam = RH.IdxParam;
+      HD.ElemsCount = Count.takeValue();
+    } else {
+      Result<usl::ExprPtr> Base = usl::parseIntExpr(RH.BaseSrc, T->Decls);
+      if (!Base.ok())
+        return Base.takeError().withContext(Context("read hint base"));
+      HD.Base = Base.takeValue();
+      HD.Count = Count.takeValue();
+    }
+    T->ReadHints.push_back(std::move(HD));
+  }
+
+  return T;
+}

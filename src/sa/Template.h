@@ -1,0 +1,191 @@
+//===- sa/Template.h - Parametric automaton templates -----------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Template is the paper's *parametric stopwatch automaton* (concrete
+/// automata type): locations and edges whose labels are type-checked USL
+/// trees over the template's parameters, local declarations and the
+/// network's global declarations. NetworkBuilder::addInstance turns a
+/// template plus parameter values into a bound sa::Automaton.
+///
+/// TemplateBuilder offers the authoring API used by the component model
+/// library (src/models) and by the UPPAAL-like XML reader (src/configio):
+/// locations, invariants and edges are supplied as USL source snippets and
+/// parsed/checked in build().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SA_TEMPLATE_H
+#define SWA_SA_TEMPLATE_H
+
+#include "support/Error.h"
+#include "usl/Decls.h"
+#include "usl/Parser.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swa {
+namespace sa {
+
+/// A parsed, type-checked automaton template.
+class Template {
+public:
+  struct LocationDef {
+    std::string Name;
+    bool Committed = false;
+    usl::InvariantAst Invariant;
+  };
+
+  struct EdgeDef {
+    int Src = -1;
+    int Dst = -1;
+    usl::EdgeLabelsAst Labels;
+  };
+
+  /// A read hint tightens the conservative dirty-tracking read set for one
+  /// global array: instances of this template promise to only read the
+  /// hinted elements of it. Either a contiguous range [Base, Base+Count)
+  /// or the elements listed in an int[] parameter (first ElemsCount
+  /// entries). Expressions fold at instantiation.
+  struct ReadHintDef {
+    std::string Array;
+    usl::ExprPtr Base;   ///< Range form.
+    usl::ExprPtr Count;  ///< Range form.
+    std::string ElemsParam; ///< Elems form: int[] parameter name.
+    usl::ExprPtr ElemsCount;
+
+    bool isRange() const { return Base != nullptr; }
+  };
+
+  Template(std::string Name, const usl::Declarations &Globals)
+      : Name(std::move(Name)), Decls(&Globals) {}
+
+  Template(const Template &) = delete;
+  Template &operator=(const Template &) = delete;
+
+  const std::string &name() const { return Name; }
+  usl::Declarations &decls() { return Decls; }
+  const usl::Declarations &decls() const { return Decls; }
+
+  int initialLocation() const { return Initial; }
+  const std::vector<LocationDef> &locations() const { return Locations; }
+  const std::vector<EdgeDef> &edges() const { return Edges; }
+
+  int locationIndex(const std::string &LocName) const {
+    auto It = LocationIndex.find(LocName);
+    return It == LocationIndex.end() ? -1 : It->second;
+  }
+
+  const std::vector<ReadHintDef> &readHints() const { return ReadHints; }
+
+private:
+  friend class TemplateBuilder;
+
+  std::string Name;
+  usl::Declarations Decls;
+  std::vector<LocationDef> Locations;
+  std::vector<EdgeDef> Edges;
+  std::vector<ReadHintDef> ReadHints;
+  std::unordered_map<std::string, int> LocationIndex;
+  int Initial = 0;
+};
+
+/// Collects template source snippets and parses them in build().
+class TemplateBuilder {
+public:
+  /// \p Globals are the network declarations templates may reference.
+  TemplateBuilder(std::string Name, const usl::Declarations &Globals)
+      : Name(std::move(Name)), Globals(Globals) {}
+
+  /// Sets the formal parameter list, e.g. `int partId, int[] wcet`.
+  TemplateBuilder &params(std::string Source) {
+    ParamsSrc = std::move(Source);
+    return *this;
+  }
+
+  /// Adds local declarations (variables, clocks, functions). May be called
+  /// multiple times; blocks are concatenated.
+  TemplateBuilder &decls(std::string Source) {
+    DeclsSrc += Source;
+    DeclsSrc += "\n";
+    return *this;
+  }
+
+  /// Adds a location. \p Invariant may be empty.
+  TemplateBuilder &location(std::string LocName, std::string Invariant = "",
+                            bool Committed = false);
+
+  /// Adds a committed location.
+  TemplateBuilder &committed(std::string LocName) {
+    return location(std::move(LocName), "", /*Committed=*/true);
+  }
+
+  /// Selects the initial location (defaults to the first added).
+  TemplateBuilder &initial(std::string LocName) {
+    InitialName = std::move(LocName);
+    return *this;
+  }
+
+  /// Edge label bundle; all fields optional.
+  struct EdgeSpec {
+    std::string Select;
+    std::string Guard;
+    std::string Sync;
+    std::string Update;
+  };
+
+  /// Adds an edge between named locations.
+  TemplateBuilder &edge(std::string Src, std::string Dst, EdgeSpec Spec);
+
+  /// Read hint: instances only read elements [base, base+count) of the
+  /// global array \p Array. \p BaseSrc / \p CountSrc are int expressions
+  /// over the template's parameters/constants, folded at instantiation.
+  TemplateBuilder &readRange(std::string Array, std::string BaseSrc,
+                             std::string CountSrc);
+
+  /// Read hint: instances only read the elements of \p Array whose indices
+  /// are the first `count` entries of the int[] parameter \p IdxParam.
+  TemplateBuilder &readElems(std::string Array, std::string IdxParam,
+                             std::string CountSrc);
+
+  /// Parses everything and produces the template.
+  Result<std::unique_ptr<Template>> build();
+
+private:
+  struct RawLocation {
+    std::string Name;
+    std::string Invariant;
+    bool Committed;
+  };
+  struct RawEdge {
+    std::string Src;
+    std::string Dst;
+    EdgeSpec Spec;
+  };
+  struct RawHint {
+    std::string Array;
+    std::string BaseSrc;  ///< Range form (empty for elems form).
+    std::string CountSrc;
+    std::string IdxParam; ///< Elems form.
+  };
+
+  std::string Name;
+  const usl::Declarations &Globals;
+  std::string ParamsSrc;
+  std::string DeclsSrc;
+  std::vector<RawLocation> RawLocations;
+  std::vector<RawEdge> RawEdges;
+  std::vector<RawHint> RawHints;
+  std::string InitialName;
+};
+
+} // namespace sa
+} // namespace swa
+
+#endif // SWA_SA_TEMPLATE_H

@@ -1,0 +1,131 @@
+//===- sa/Validate.cpp - Structural network validation ----------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sa/Validate.h"
+
+#include "support/StringUtils.h"
+
+#include <deque>
+
+using namespace swa;
+using namespace swa::sa;
+
+std::vector<Finding> swa::sa::validateNetwork(const Network &Net) {
+  std::vector<Finding> Out;
+
+  // Channel usage: which channel *families* have any send/receive edge.
+  // Runtime indices make per-id precision impossible statically, so the
+  // check is per family — exactly the right granularity for authoring
+  // mistakes like a sender on a channel no component ever listens to.
+  size_t NumFamilies = Net.Channels.size();
+  std::vector<char> FamilyHasSend(NumFamilies, 0);
+  std::vector<char> FamilyHasRecv(NumFamilies, 0);
+  auto FamilyOf = [&](int ChannelBase) -> int {
+    for (size_t F = 0; F < NumFamilies; ++F)
+      if (ChannelBase >= Net.Channels[F].Base &&
+          ChannelBase < Net.Channels[F].Base + Net.Channels[F].Count)
+        return static_cast<int>(F);
+    return -1;
+  };
+
+  for (const std::unique_ptr<Automaton> &A : Net.Automata) {
+    // Reachability over the location graph.
+    std::vector<char> Reached(A->Locations.size(), 0);
+    std::deque<int> Queue;
+    Queue.push_back(A->InitialLocation);
+    Reached[static_cast<size_t>(A->InitialLocation)] = 1;
+    while (!Queue.empty()) {
+      int L = Queue.front();
+      Queue.pop_front();
+      for (int EI : A->Locations[static_cast<size_t>(L)].OutEdges) {
+        int Dst = A->Edges[static_cast<size_t>(EI)].Dst;
+        if (!Reached[static_cast<size_t>(Dst)]) {
+          Reached[static_cast<size_t>(Dst)] = 1;
+          Queue.push_back(Dst);
+        }
+      }
+    }
+    for (size_t L = 0; L < A->Locations.size(); ++L)
+      if (!Reached[L])
+        Out.push_back({FindingSeverity::Warning, A->Name,
+                       formatString("location '%s' is unreachable from "
+                                    "the initial location",
+                                    A->Locations[L].Name.c_str())});
+
+    for (size_t L = 0; L < A->Locations.size(); ++L) {
+      const Location &Loc = A->Locations[L];
+      if (!Loc.Committed || !Reached[L])
+        continue;
+      if (Loc.OutEdges.empty()) {
+        Out.push_back({FindingSeverity::Error, A->Name,
+                       formatString("committed location '%s' has no "
+                                    "outgoing edges (deadlock when "
+                                    "entered)",
+                                    Loc.Name.c_str())});
+        continue;
+      }
+      bool AnySelfInitiated = false;
+      for (int EI : Loc.OutEdges) {
+        const Edge &E = A->Edges[static_cast<size_t>(EI)];
+        if (!E.Sync || E.Sync->IsSend)
+          AnySelfInitiated = true;
+      }
+      if (!AnySelfInitiated)
+        Out.push_back(
+            {FindingSeverity::Warning, A->Name,
+             formatString("committed location '%s' can only progress via "
+                          "receive actions (depends on an external "
+                          "sender)",
+                          Loc.Name.c_str())});
+    }
+
+    for (const Edge &E : A->Edges) {
+      if (!E.Sync)
+        continue;
+      int F = FamilyOf(E.Sync->ChannelBase);
+      if (F < 0)
+        continue;
+      if (E.Sync->IsSend)
+        FamilyHasSend[static_cast<size_t>(F)] = 1;
+      else
+        FamilyHasRecv[static_cast<size_t>(F)] = 1;
+    }
+  }
+
+  for (size_t F = 0; F < NumFamilies; ++F) {
+    const ChannelInfo &C = Net.Channels[F];
+    bool Broadcast = C.Broadcast;
+    if (FamilyHasSend[F] && !FamilyHasRecv[F] && !Broadcast)
+      Out.push_back({FindingSeverity::Error, "",
+                     formatString("binary channel '%s' has senders but no "
+                                  "receiver anywhere (sends can never "
+                                  "fire)",
+                                  C.Name.c_str())});
+    if (FamilyHasRecv[F] && !FamilyHasSend[F])
+      Out.push_back({FindingSeverity::Warning, "",
+                     formatString("channel '%s' has receivers but no "
+                                  "sender",
+                                  C.Name.c_str())});
+  }
+  return Out;
+}
+
+Error swa::sa::checkNetwork(const Network &Net) {
+  std::vector<Finding> Findings = validateNetwork(Net);
+  std::string Msg;
+  for (const Finding &F : Findings) {
+    if (F.Severity != FindingSeverity::Error)
+      continue;
+    if (!Msg.empty())
+      Msg += "; ";
+    if (!F.Automaton.empty())
+      Msg += F.Automaton + ": ";
+    Msg += F.Message;
+  }
+  if (Msg.empty())
+    return Error::success();
+  return Error::failure(Msg);
+}

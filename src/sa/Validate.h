@@ -1,0 +1,56 @@
+//===- sa/Validate.h - Structural network validation ------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural sanity checks over a bound network, aimed at user-supplied
+/// templates (the registry and the UPPAAL-like XML reader accept arbitrary
+/// models). Violations here are almost always authoring mistakes that
+/// would otherwise surface as runtime deadlocks or silent misbehaviour:
+///
+///  * locations unreachable from the initial location;
+///  * committed locations with no outgoing edges (guaranteed deadlock the
+///    moment they are entered);
+///  * binary channels with senders but no receiver anywhere in the
+///    network (the send can never fire), and vice versa;
+///  * edges out of committed locations labelled with receive actions only
+///    (the component cannot make progress on its own) — reported as a
+///    warning since an external sender may exist.
+///
+/// Findings are returned as a list; callers decide which severities to
+/// enforce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SA_VALIDATE_H
+#define SWA_SA_VALIDATE_H
+
+#include "sa/Network.h"
+
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace sa {
+
+enum class FindingSeverity { Warning, Error };
+
+struct Finding {
+  FindingSeverity Severity = FindingSeverity::Warning;
+  std::string Automaton; ///< Empty for network-level findings.
+  std::string Message;
+};
+
+/// Runs all checks; findings are ordered by automaton then check.
+std::vector<Finding> validateNetwork(const Network &Net);
+
+/// Convenience: returns a failure listing all Error-severity findings, or
+/// success when there are none.
+Error checkNetwork(const Network &Net);
+
+} // namespace sa
+} // namespace swa
+
+#endif // SWA_SA_VALIDATE_H

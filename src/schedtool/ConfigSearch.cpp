@@ -1,0 +1,192 @@
+//===- schedtool/ConfigSearch.cpp - Model-in-the-loop config search ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedtool/ConfigSearch.h"
+
+#include "analysis/Analyzer.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace swa;
+using namespace swa::schedtool;
+
+bool swa::schedtool::bindFirstFitDecreasing(cfg::Config &Config) {
+  // Order partitions by demand (utilization with type-0 WCETs).
+  std::vector<std::pair<double, int>> Order;
+  for (size_t P = 0; P < Config.Partitions.size(); ++P) {
+    double U = 0;
+    for (const cfg::Task &T : Config.Partitions[P].Tasks)
+      U += static_cast<double>(T.Wcet[0]) /
+           static_cast<double>(T.Period);
+    Order.push_back({U, static_cast<int>(P)});
+  }
+  std::sort(Order.begin(), Order.end(),
+            [](const auto &A, const auto &B) { return A.first > B.first; });
+
+  std::vector<double> CoreLoad(Config.Cores.size(), 0.0);
+  for (auto &[U, P] : Order) {
+    int Best = -1;
+    for (size_t C = 0; C < Config.Cores.size(); ++C) {
+      int Type = Config.Cores[C].CoreType;
+      double UC = 0;
+      for (const cfg::Task &T :
+           Config.Partitions[static_cast<size_t>(P)].Tasks)
+        UC += static_cast<double>(T.Wcet[static_cast<size_t>(Type)]) /
+              static_cast<double>(T.Period);
+      if (CoreLoad[C] + UC <= 1.0 &&
+          (Best < 0 || CoreLoad[C] < CoreLoad[static_cast<size_t>(Best)]))
+        Best = static_cast<int>(C);
+    }
+    if (Best < 0)
+      return false;
+    Config.Partitions[static_cast<size_t>(P)].Core = Best;
+    int Type = Config.Cores[static_cast<size_t>(Best)].CoreType;
+    for (const cfg::Task &T :
+         Config.Partitions[static_cast<size_t>(P)].Tasks)
+      CoreLoad[static_cast<size_t>(Best)] +=
+          static_cast<double>(T.Wcet[static_cast<size_t>(Type)]) /
+          static_cast<double>(T.Period);
+  }
+  return true;
+}
+
+void swa::schedtool::synthesizeWindows(cfg::Config &Config,
+                                       const std::vector<double> &Boost) {
+  cfg::TimeValue L = Config.hyperperiod();
+  for (cfg::Partition &P : Config.Partitions)
+    P.Windows.clear();
+
+  for (size_t C = 0; C < Config.Cores.size(); ++C) {
+    std::vector<int> Parts;
+    cfg::TimeValue Minor = L;
+    for (size_t P = 0; P < Config.Partitions.size(); ++P) {
+      if (Config.Partitions[P].Core != static_cast<int>(C))
+        continue;
+      Parts.push_back(static_cast<int>(P));
+      for (const cfg::Task &T : Config.Partitions[P].Tasks)
+        Minor = std::min(Minor, T.Period);
+    }
+    if (Parts.empty())
+      continue;
+
+    std::vector<double> Raw;
+    double RawSum = 0;
+    for (int P : Parts) {
+      double B = static_cast<size_t>(P) < Boost.size()
+                     ? Boost[static_cast<size_t>(P)]
+                     : 1.5;
+      double Slice = std::max(
+          1.0, Config.partitionUtilization(P) *
+                   static_cast<double>(Minor) * B);
+      Raw.push_back(Slice);
+      RawSum += Slice;
+    }
+    double Scale = RawSum > static_cast<double>(Minor)
+                       ? static_cast<double>(Minor) / RawSum
+                       : 1.0;
+
+    cfg::TimeValue Cursor = 0;
+    for (size_t I = 0; I < Parts.size(); ++I) {
+      cfg::TimeValue Len = std::max<cfg::TimeValue>(
+          1, static_cast<cfg::TimeValue>(Raw[I] * Scale));
+      if (Cursor + Len > Minor)
+        Len = Minor - Cursor;
+      if (Len <= 0)
+        break;
+      for (cfg::TimeValue Off = 0; Off < L; Off += Minor)
+        Config.Partitions[static_cast<size_t>(Parts[I])]
+            .Windows.push_back({Off + Cursor, Off + Cursor + Len});
+      Cursor += Len;
+    }
+  }
+}
+
+Result<SearchResult>
+swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
+  SearchResult Res;
+  Rng R(Problem.Seed);
+
+  cfg::Config Current = Problem.Base;
+  if (!bindFirstFitDecreasing(Current)) {
+    Res.Log.push_back("initial binding failed: insufficient capacity");
+    return Res;
+  }
+  std::vector<double> Boost(Current.Partitions.size(), 1.5);
+
+  Res.BestMissedJobs = -1;
+  for (int Iter = 0; Iter < Problem.MaxIterations; ++Iter) {
+    synthesizeWindows(Current, Boost);
+    if (Error E = Current.validate()) {
+      // A move produced an invalid layout; perturb and retry.
+      Res.Log.push_back(formatString("iter %d: invalid candidate (%s)",
+                                     Iter, E.message().c_str()));
+      for (double &B : Boost)
+        B = Problem.MinBoost +
+            R.uniformDouble() * (Problem.MaxBoost - Problem.MinBoost);
+      continue;
+    }
+
+    Result<analysis::AnalyzeOutcome> Out =
+        analysis::analyzeConfiguration(Current);
+    if (!Out.ok())
+      return Out.takeError();
+    ++Res.ConfigurationsEvaluated;
+
+    const analysis::AnalysisResult &A = Out->Analysis;
+    Res.Log.push_back(formatString(
+        "iter %d: %s (%lld missed of %lld jobs)", Iter,
+        A.Schedulable ? "schedulable" : "unschedulable",
+        static_cast<long long>(A.MissedJobs),
+        static_cast<long long>(A.TotalJobs)));
+
+    if (A.Schedulable) {
+      ++Res.SchedulableSeen;
+      Res.Found = true;
+      Res.Best = Current;
+      Res.BestMissedJobs = 0;
+      return Res;
+    }
+    if (Res.BestMissedJobs < 0 || A.MissedJobs < Res.BestMissedJobs) {
+      Res.BestMissedJobs = A.MissedJobs;
+      Res.Best = Current;
+    }
+
+    // Moves: grow the windows of partitions with missed jobs; occasionally
+    // rebind the worst partition to the least-loaded core.
+    std::vector<int64_t> MissedPerPartition(Current.Partitions.size(), 0);
+    for (const analysis::JobStats &J : A.Jobs)
+      if (!J.Completed)
+        ++MissedPerPartition[static_cast<size_t>(
+            Current.taskRefOf(J.TaskGid).Partition)];
+
+    int Worst = -1;
+    for (size_t P = 0; P < MissedPerPartition.size(); ++P) {
+      if (MissedPerPartition[P] == 0)
+        continue;
+      Boost[P] = std::min(Problem.MaxBoost, Boost[P] * 1.25);
+      if (Worst < 0 || MissedPerPartition[P] >
+                           MissedPerPartition[static_cast<size_t>(Worst)])
+        Worst = static_cast<int>(P);
+    }
+    if (Worst >= 0 && R.chance(0.3)) {
+      // Rebind the worst partition to the core with the lowest load.
+      std::vector<double> Load(Current.Cores.size(), 0.0);
+      for (size_t P = 0; P < Current.Partitions.size(); ++P)
+        if (Current.Partitions[P].Core >= 0)
+          Load[static_cast<size_t>(Current.Partitions[P].Core)] +=
+              Current.partitionUtilization(static_cast<int>(P));
+      int Lightest = 0;
+      for (size_t C = 1; C < Load.size(); ++C)
+        if (Load[C] < Load[static_cast<size_t>(Lightest)])
+          Lightest = static_cast<int>(C);
+      Current.Partitions[static_cast<size_t>(Worst)].Core = Lightest;
+    }
+  }
+  return Res;
+}

@@ -1,0 +1,70 @@
+//===- schedtool/ConfigSearch.h - Model-in-the-loop config search -*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integration the paper describes in §4: an IMA scheduling tool
+/// iterates over candidate configurations (partition-to-core bindings and
+/// window layouts); each candidate is handed to the parametric model,
+/// whose trace yields the schedulability verdict; unschedulable candidates
+/// are discarded and drive the next move.
+///
+/// The search here is a greedy first-fit-decreasing binding followed by a
+/// seeded local search over bindings and per-partition window shares —
+/// deliberately simple, since the subject of the reproduction is the
+/// model-in-the-loop protocol and its cost, not the optimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SCHEDTOOL_CONFIGSEARCH_H
+#define SWA_SCHEDTOOL_CONFIGSEARCH_H
+
+#include "analysis/Schedulability.h"
+#include "config/Config.h"
+
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace schedtool {
+
+struct SearchProblem {
+  /// Cores/partitions/tasks/messages; bindings (Partition::Core) and
+  /// windows are ignored and chosen by the search.
+  cfg::Config Base;
+  uint64_t Seed = 1;
+  int MaxIterations = 100;
+  /// Window over-provisioning range explored by the search.
+  double MinBoost = 1.1;
+  double MaxBoost = 2.5;
+};
+
+struct SearchResult {
+  bool Found = false;
+  cfg::Config Best;              ///< Schedulable configuration when Found.
+  int ConfigurationsEvaluated = 0;
+  int SchedulableSeen = 0;
+  /// Missed-job count of the best candidate seen (0 when Found).
+  int64_t BestMissedJobs = 0;
+  std::vector<std::string> Log;
+};
+
+/// Assigns partitions to cores first-fit-decreasing by utilization.
+/// Returns false when some partition fits on no core.
+bool bindFirstFitDecreasing(cfg::Config &Config);
+
+/// Synthesizes windows: per core, each minor frame (shortest period on
+/// the core) is carved into slices proportional to partition utilization
+/// times its boost factor (indexed by partition).
+void synthesizeWindows(cfg::Config &Config,
+                       const std::vector<double> &Boost);
+
+/// Runs the search.
+Result<SearchResult> searchConfiguration(const SearchProblem &Problem);
+
+} // namespace schedtool
+} // namespace swa
+
+#endif // SWA_SCHEDTOOL_CONFIGSEARCH_H

@@ -1,0 +1,62 @@
+//===- support/MathExtras.h - Integer math helpers --------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer helpers used throughout the model: gcd/lcm (the scheduling
+/// hyperperiod is the lcm of all task periods), overflow-checked arithmetic
+/// and ceiling division (used by the analytic response-time baseline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_MATHEXTRAS_H
+#define SWA_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace swa {
+
+/// Greatest common divisor of two non-negative values; gcd(0, x) == x.
+inline int64_t gcd64(int64_t A, int64_t B) {
+  assert(A >= 0 && B >= 0 && "gcd64 requires non-negative operands");
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Multiplies two int64 values, returning false on signed overflow.
+inline bool mulOverflow64(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_mul_overflow(A, B, &Out);
+}
+
+/// Adds two int64 values, returning false on signed overflow.
+inline bool addOverflow64(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_add_overflow(A, B, &Out);
+}
+
+/// Least common multiple of two positive values. Asserts on overflow; model
+/// hyperperiods are expected to stay far below the int64 range.
+inline int64_t lcm64(int64_t A, int64_t B) {
+  assert(A > 0 && B > 0 && "lcm64 requires positive operands");
+  int64_t G = gcd64(A, B);
+  int64_t Out;
+  [[maybe_unused]] bool Overflow = mulOverflow64(A / G, B, Out);
+  assert(!Overflow && "hyperperiod overflows int64");
+  return Out;
+}
+
+/// Ceiling division for non-negative numerator and positive denominator.
+inline int64_t ceilDiv64(int64_t A, int64_t B) {
+  assert(A >= 0 && B > 0 && "ceilDiv64 domain violation");
+  return (A + B - 1) / B;
+}
+
+} // namespace swa
+
+#endif // SWA_SUPPORT_MATHEXTRAS_H

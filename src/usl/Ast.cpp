@@ -1,0 +1,56 @@
+//===- usl/Ast.cpp - USL AST cloning --------------------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "usl/Ast.h"
+
+using namespace swa;
+using namespace swa::usl;
+
+ExprPtr swa::usl::cloneExpr(const Expr &E) {
+  auto Out = std::make_unique<Expr>();
+  Out->Kind = E.Kind;
+  Out->Ty = E.Ty;
+  Out->Loc = E.Loc;
+  Out->Literal = E.Literal;
+  Out->Sym = E.Sym;
+  Out->Ref = E.Ref;
+  Out->ConstValue = E.ConstValue;
+  Out->Slot = E.Slot;
+  Out->ArraySize = E.ArraySize;
+  Out->FuncIndex = E.FuncIndex;
+  Out->UOp = E.UOp;
+  Out->BOp = E.BOp;
+  Out->ClockAtom = E.ClockAtom;
+  Out->HasClockAtom = E.HasClockAtom;
+  Out->Children.reserve(E.Children.size());
+  for (const ExprPtr &C : E.Children)
+    Out->Children.push_back(cloneExpr(*C));
+  return Out;
+}
+
+StmtPtr swa::usl::cloneStmt(const Stmt &S) {
+  auto Out = std::make_unique<Stmt>();
+  Out->Kind = S.Kind;
+  Out->Loc = S.Loc;
+  Out->DeclSym = S.DeclSym;
+  Out->DeclFrameSlot = S.DeclFrameSlot;
+  Out->DeclFrameCount = S.DeclFrameCount;
+  Out->AOp = S.AOp;
+  if (S.Target)
+    Out->Target = cloneExpr(*S.Target);
+  if (S.Value)
+    Out->Value = cloneExpr(*S.Value);
+  if (S.Cond)
+    Out->Cond = cloneExpr(*S.Cond);
+  if (S.Then)
+    Out->Then = cloneStmt(*S.Then);
+  if (S.Else)
+    Out->Else = cloneStmt(*S.Else);
+  Out->Body.reserve(S.Body.size());
+  for (const StmtPtr &B : S.Body)
+    Out->Body.push_back(cloneStmt(*B));
+  return Out;
+}

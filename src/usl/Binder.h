@@ -1,0 +1,98 @@
+//===- usl/Binder.h - Template instantiation binding ------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Binder turns type-checked USL trees into *bound* trees ready for
+/// evaluation, implementing the parametric-automaton instantiation of the
+/// paper's Algorithm 1 at the expression level:
+///
+///  * template parameters are replaced by the constants supplied at
+///    instantiation (scalars fold into literals; arrays become entries of
+///    the instance constant table);
+///  * shared variables (global and template-local) resolve to absolute
+///    slots of the flat network store — each template instance receives a
+///    fresh copy of its local variables;
+///  * clocks resolve to absolute clock indices;
+///  * function references resolve to indices into the network function
+///    table; template-local functions are cloned and bound per instance.
+///
+/// One Binder is used per automaton instance; it starts from a shared
+/// "global" binder holding the bindings of the network declarations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_BINDER_H
+#define SWA_USL_BINDER_H
+
+#include "support/Error.h"
+#include "usl/Ast.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace swa {
+namespace usl {
+
+/// Shared destination tables owned by the network being built.
+struct BindTarget {
+  std::vector<std::vector<int64_t>> ConstArrays;
+  std::vector<std::unique_ptr<FuncDecl>> OwnedFuncs;
+  std::vector<const FuncDecl *> FuncTable;
+};
+
+class Binder {
+public:
+  explicit Binder(BindTarget &Target) : Target(Target) {}
+
+  /// Copies the symbol maps of \p Global (network declarations) as the
+  /// starting point for a template-instance binder.
+  Binder(BindTarget &Target, const Binder &Global)
+      : Target(Target), StoreMap(Global.StoreMap),
+        ClockMap(Global.ClockMap), ParamMap(Global.ParamMap),
+        FuncMap(Global.FuncMap) {}
+
+  /// Declares that \p Sym (a state variable) lives at store \p Slot.
+  void mapStore(const Symbol *Sym, int Slot) { StoreMap[Sym] = Slot; }
+
+  /// Declares that clock symbol \p Sym is absolute clock \p Index.
+  void mapClock(const Symbol *Sym, int Index) { ClockMap[Sym] = Index; }
+
+  /// Binds a template parameter to constant values (size 1 for scalars).
+  void mapParam(const Symbol *Sym, std::vector<int64_t> Values) {
+    ParamMap[Sym] = std::move(Values);
+  }
+
+  /// Clones and binds an expression tree.
+  Result<ExprPtr> bindExpr(const Expr &E);
+
+  /// Clones and binds a statement tree.
+  Result<StmtPtr> bindStmt(const Stmt &S);
+
+  /// Returns the absolute clock index for \p Sym.
+  Result<int> clockIndex(const Symbol *Sym) const;
+
+  /// Returns (binding if needed) the function-table index of \p F.
+  Result<int> bindFunc(const FuncDecl *F);
+
+  /// Convenience: binds and constant-folds an int expression.
+  Result<int64_t> bindAndFold(const Expr &E);
+
+private:
+  int internConstArray(const std::vector<int64_t> &Values);
+
+  BindTarget &Target;
+  std::unordered_map<const Symbol *, int> StoreMap;
+  std::unordered_map<const Symbol *, int> ClockMap;
+  std::unordered_map<const Symbol *, std::vector<int64_t>> ParamMap;
+  std::unordered_map<const FuncDecl *, int> FuncMap;
+  std::unordered_map<const Symbol *, int> ConstArrayMap;
+};
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_BINDER_H

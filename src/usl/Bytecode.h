@@ -1,0 +1,90 @@
+//===- usl/Bytecode.h - Bytecode for bound USL code -------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact stack-machine bytecode for *bound* USL expressions,
+/// statements and functions. Guard/update evaluation dominates simulation
+/// time; compiling the bound trees once per network removes the
+/// tree-walking overhead from the hot loop (see bench_engine for the
+/// interpreter-vs-VM ablation).
+///
+/// The machine is a conventional operand-stack design:
+///  * data values are int64;
+///  * store/frame/constant-array accesses carry the base slot in A and
+///    the (bounds-checked) element count in Imm;
+///  * control flow uses absolute jump targets within one Code object;
+///  * Call invokes another compiled function by function-table index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_BYTECODE_H
+#define SWA_USL_BYTECODE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace swa {
+namespace usl {
+
+enum class Op : uint8_t {
+  PushConst,     ///< push Imm
+  LoadStore,     ///< push Store[A]
+  LoadStoreArr,  ///< idx = pop; push Store[A + idx]   (0 <= idx < Imm)
+  LoadFrame,     ///< push Frame[A]
+  LoadFrameArr,  ///< idx = pop; push Frame[A + idx]
+  LoadConstArr,  ///< idx = pop; push ConstArrays[A][idx]
+  StoreStore,    ///< Store[A] = pop
+  AddStore,      ///< Store[A] += pop
+  SubStore,      ///< Store[A] -= pop
+  StoreStoreArr, ///< idx = pop; val = pop; Store[A + idx] = val
+  AddStoreArr,   ///< idx = pop; val = pop; Store[A + idx] += val
+  SubStoreArr,   ///< idx = pop; val = pop; Store[A + idx] -= val
+  StoreFrame,    ///< Frame[A] = pop
+  AddFrame,      ///< Frame[A] += pop
+  SubFrame,      ///< Frame[A] -= pop
+  StoreFrameArr, ///< idx = pop; val = pop; Frame[A + idx] = val
+  AddFrameArr,   ///< idx = pop; val = pop; Frame[A + idx] += val
+  SubFrameArr,   ///< idx = pop; val = pop; Frame[A + idx] -= val
+  ZeroFrame,     ///< Frame[A .. A+Imm) = 0
+  // Arithmetic/logic (operands popped right-then-left, result pushed).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Neg,
+  Not,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  CmpEq,
+  CmpNe,
+  // Control flow.
+  Jmp,       ///< pc = A
+  JmpIfZero, ///< if (pop == 0) pc = A
+  JmpIfNZ,   ///< if (pop != 0) pc = A
+  Pop,
+  Call, ///< A = function index, Imm = argument count
+  Ret,  ///< return with the value on top of the stack
+  Halt, ///< end of a top-level expression/update; result (if any) on top
+  Trap, ///< non-void function fell off the end (model error)
+};
+
+struct Insn {
+  Op Code;
+  int32_t A = 0;
+  int64_t Imm = 0;
+};
+
+/// One compiled unit; empty means "not compiled" (fall back to the
+/// tree-walking interpreter).
+using Code = std::vector<Insn>;
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_BYTECODE_H

@@ -1,0 +1,40 @@
+//===- usl/Compiler.h - Bound USL trees -> bytecode -------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles bound USL trees (see Binder.h) to the bytecode of Bytecode.h.
+/// Short-circuit operators, ternaries and loops compile to jumps; compound
+/// assignments evaluate their source before the index, matching the
+/// interpreter's evaluation order exactly (differential tests in
+/// tests/VmTest.cpp enforce interpreter/VM agreement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_COMPILER_H
+#define SWA_USL_COMPILER_H
+
+#include "support/Error.h"
+#include "usl/Ast.h"
+#include "usl/Bytecode.h"
+
+namespace swa {
+namespace usl {
+
+/// Compiles a bound data expression; the produced code ends with Halt and
+/// leaves the value on the stack.
+Result<Code> compileExpr(const Expr &E);
+
+/// Compiles a bound statement list (an update label); ends with Halt.
+Result<Code> compileStmts(const std::vector<StmtPtr> &Stmts);
+
+/// Compiles a bound function body; every return path ends with Ret, and
+/// falling off the end yields Ret 0 for void functions or Trap otherwise.
+Result<Code> compileFunction(const FuncDecl &F);
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_COMPILER_H

@@ -1,0 +1,109 @@
+//===- usl/Decls.h - USL declaration sets -----------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Declarations object owns the symbols, variables, clocks, channels,
+/// constants and functions introduced by one USL declaration block: either
+/// the network-global declarations or the local declarations of one
+/// automaton template. Template declarations chain to the global ones for
+/// name lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_DECLS_H
+#define SWA_USL_DECLS_H
+
+#include "support/Error.h"
+#include "usl/Ast.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swa {
+namespace usl {
+
+/// One declaration block (global or template-local).
+class Declarations {
+public:
+  explicit Declarations(const Declarations *Parent = nullptr)
+      : Parent(Parent) {}
+
+  Declarations(const Declarations &) = delete;
+  Declarations &operator=(const Declarations &) = delete;
+
+  /// Looks a name up here and then in the parent chain.
+  Symbol *lookup(const std::string &Name) const {
+    auto It = ByName.find(Name);
+    if (It != ByName.end())
+      return It->second;
+    return Parent ? Parent->lookup(Name) : nullptr;
+  }
+
+  /// True if \p Name is declared directly in this block (shadowing across
+  /// blocks is rejected by the parser, so this is a redefinition check).
+  bool declaresLocally(const std::string &Name) const {
+    return ByName.count(Name) != 0;
+  }
+
+  /// Creates and registers a new symbol. The caller fills category vectors.
+  Symbol *create(SymbolKind Kind, std::string Name, Type Ty) {
+    auto S = std::make_unique<Symbol>();
+    S->Kind = Kind;
+    S->Name = std::move(Name);
+    S->Ty = Ty;
+    Symbol *Raw = S.get();
+    OwnedSymbols.push_back(std::move(S));
+    ByName[Raw->Name] = Raw;
+    return Raw;
+  }
+
+  /// Creates a symbol that is owned here but *not* added to the name table
+  /// (function params/locals and select vars live in scopes instead).
+  Symbol *createScoped(SymbolKind Kind, std::string Name, Type Ty) {
+    auto S = std::make_unique<Symbol>();
+    S->Kind = Kind;
+    S->Name = std::move(Name);
+    S->Ty = Ty;
+    Symbol *Raw = S.get();
+    OwnedSymbols.push_back(std::move(S));
+    return Raw;
+  }
+
+  FuncDecl *createFunc() {
+    OwnedFuncs.push_back(std::make_unique<FuncDecl>());
+    return OwnedFuncs.back().get();
+  }
+
+  const Declarations *parent() const { return Parent; }
+
+  /// A state variable together with its (unfolded) initializer expressions.
+  struct VarInit {
+    Symbol *Sym = nullptr;
+    /// One expression per element for arrays (may be shorter: the rest are
+    /// zero); one expression or empty for scalars.
+    std::vector<ExprPtr> Init;
+  };
+
+  std::vector<VarInit> Vars;       ///< GlobalVar / TemplateVar, decl order.
+  std::vector<Symbol *> Clocks;    ///< GlobalClock / TemplateClock.
+  std::vector<Symbol *> Channels;  ///< Channel symbols.
+  std::vector<Symbol *> Consts;    ///< GlobalConst symbols.
+  std::vector<Symbol *> Params;    ///< TemplateParam symbols (templates).
+  std::vector<FuncDecl *> Funcs;   ///< Function definitions, decl order.
+
+private:
+  const Declarations *Parent;
+  std::vector<std::unique_ptr<Symbol>> OwnedSymbols;
+  std::vector<std::unique_ptr<FuncDecl>> OwnedFuncs;
+  std::unordered_map<std::string, Symbol *> ByName;
+};
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_DECLS_H

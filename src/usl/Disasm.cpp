@@ -1,0 +1,147 @@
+//===- usl/Disasm.cpp - Bytecode disassembler --------------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "usl/Disasm.h"
+
+#include "support/StringUtils.h"
+
+using namespace swa;
+using namespace swa::usl;
+
+const char *swa::usl::opName(Op O) {
+  switch (O) {
+  case Op::PushConst:
+    return "push";
+  case Op::LoadStore:
+    return "ld.s";
+  case Op::LoadStoreArr:
+    return "ld.s[]";
+  case Op::LoadFrame:
+    return "ld.f";
+  case Op::LoadFrameArr:
+    return "ld.f[]";
+  case Op::LoadConstArr:
+    return "ld.k[]";
+  case Op::StoreStore:
+    return "st.s";
+  case Op::AddStore:
+    return "add.s";
+  case Op::SubStore:
+    return "sub.s";
+  case Op::StoreStoreArr:
+    return "st.s[]";
+  case Op::AddStoreArr:
+    return "add.s[]";
+  case Op::SubStoreArr:
+    return "sub.s[]";
+  case Op::StoreFrame:
+    return "st.f";
+  case Op::AddFrame:
+    return "add.f";
+  case Op::SubFrame:
+    return "sub.f";
+  case Op::StoreFrameArr:
+    return "st.f[]";
+  case Op::AddFrameArr:
+    return "add.f[]";
+  case Op::SubFrameArr:
+    return "sub.f[]";
+  case Op::ZeroFrame:
+    return "zero.f";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Div:
+    return "div";
+  case Op::Rem:
+    return "rem";
+  case Op::Neg:
+    return "neg";
+  case Op::Not:
+    return "not";
+  case Op::CmpLt:
+    return "clt";
+  case Op::CmpLe:
+    return "cle";
+  case Op::CmpGt:
+    return "cgt";
+  case Op::CmpGe:
+    return "cge";
+  case Op::CmpEq:
+    return "ceq";
+  case Op::CmpNe:
+    return "cne";
+  case Op::Jmp:
+    return "jmp";
+  case Op::JmpIfZero:
+    return "jz";
+  case Op::JmpIfNZ:
+    return "jnz";
+  case Op::Pop:
+    return "pop";
+  case Op::Call:
+    return "call";
+  case Op::Ret:
+    return "ret";
+  case Op::Halt:
+    return "halt";
+  case Op::Trap:
+    return "trap";
+  }
+  return "???";
+}
+
+std::string swa::usl::disassemble(const Code &C) {
+  std::string Out;
+  for (size_t PC = 0; PC < C.size(); ++PC) {
+    const Insn &I = C[PC];
+    Out += formatString("%4zu: %-8s", PC, opName(I.Code));
+    switch (I.Code) {
+    case Op::PushConst:
+      Out += formatString(" %lld", static_cast<long long>(I.Imm));
+      break;
+    case Op::Jmp:
+    case Op::JmpIfZero:
+    case Op::JmpIfNZ:
+      Out += formatString(" -> %d", I.A);
+      break;
+    case Op::Call:
+      Out += formatString(" fn%d/%lld", I.A,
+                          static_cast<long long>(I.Imm));
+      break;
+    case Op::LoadStoreArr:
+    case Op::LoadFrameArr:
+    case Op::LoadConstArr:
+    case Op::StoreStoreArr:
+    case Op::AddStoreArr:
+    case Op::SubStoreArr:
+    case Op::StoreFrameArr:
+    case Op::AddFrameArr:
+    case Op::SubFrameArr:
+    case Op::ZeroFrame:
+      Out += formatString(" %d (n=%lld)", I.A,
+                          static_cast<long long>(I.Imm));
+      break;
+    case Op::LoadStore:
+    case Op::LoadFrame:
+    case Op::StoreStore:
+    case Op::AddStore:
+    case Op::SubStore:
+    case Op::StoreFrame:
+    case Op::AddFrame:
+    case Op::SubFrame:
+      Out += formatString(" %d", I.A);
+      break;
+    default:
+      break;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- usl/Disasm.h - Bytecode disassembler ---------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders compiled bytecode to readable text, one instruction per line
+/// with absolute jump targets. Debugging aid for the compiler and VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_DISASM_H
+#define SWA_USL_DISASM_H
+
+#include "usl/Bytecode.h"
+
+#include <string>
+
+namespace swa {
+namespace usl {
+
+/// Mnemonic of one opcode.
+const char *opName(Op O);
+
+/// Full listing of \p C.
+std::string disassemble(const Code &C);
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_DISASM_H

@@ -1,0 +1,359 @@
+//===- usl/Lexer.cpp - USL lexer ------------------------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "usl/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <limits>
+#include <unordered_map>
+
+using namespace swa;
+using namespace swa::usl;
+
+const char *swa::usl::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwClock:
+    return "'clock'";
+  case TokenKind::KwChan:
+    return "'chan'";
+  case TokenKind::KwBroadcast:
+    return "'broadcast'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Not:
+  case TokenKind::Exclaim:
+    return "'!'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Prime:
+    return "'''";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Eof:
+    return "end of input";
+  }
+  return "<unknown token>";
+}
+
+static TokenKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"const", TokenKind::KwConst},   {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},     {"clock", TokenKind::KwClock},
+      {"chan", TokenKind::KwChan},     {"broadcast", TokenKind::KwBroadcast},
+      {"void", TokenKind::KwVoid},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},       {"return", TokenKind::KwReturn},
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Source) : Src(Source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> Tokens;
+    for (;;) {
+      if (Error E = skipTrivia())
+        return E;
+      SourceLoc Loc = CurLoc;
+      if (atEnd()) {
+        Tokens.push_back({TokenKind::Eof, "", 0, Loc});
+        return Tokens;
+      }
+      Result<Token> T = lexToken();
+      if (!T.ok())
+        return T.takeError();
+      T->Loc = Loc;
+      Tokens.push_back(std::move(*T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++CurLoc.Line;
+      CurLoc.Col = 1;
+    } else {
+      ++CurLoc.Col;
+    }
+    return C;
+  }
+
+  Error errorHere(const std::string &Msg) const {
+    return Error::failure(formatString("%d:%d: %s", CurLoc.Line, CurLoc.Col,
+                                       Msg.c_str()));
+  }
+
+  Error skipTrivia() {
+    for (;;) {
+      if (atEnd())
+        return Error::success();
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = CurLoc;
+        advance();
+        advance();
+        for (;;) {
+          if (atEnd())
+            return Error::failure(formatString(
+                "%d:%d: unterminated block comment", Start.Line, Start.Col));
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+        continue;
+      }
+      return Error::success();
+    }
+  }
+
+  Result<Token> lexToken() {
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    if (isIdentStart(C))
+      return lexIdentifier();
+    return lexPunct();
+  }
+
+  Result<Token> lexNumber() {
+    Token T;
+    T.Kind = TokenKind::IntLiteral;
+    int64_t Value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      int Digit = peek() - '0';
+      if (Value > (std::numeric_limits<int64_t>::max() - Digit) / 10)
+        return errorHere("integer literal overflows int64");
+      Value = Value * 10 + Digit;
+      T.Text.push_back(advance());
+    }
+    if (!atEnd() && isIdentStart(peek()))
+      return errorHere("identifier character directly after number");
+    T.IntValue = Value;
+    return T;
+  }
+
+  Result<Token> lexIdentifier() {
+    Token T;
+    while (!atEnd() && isIdentChar(peek()))
+      T.Text.push_back(advance());
+    T.Kind = keywordKind(T.Text);
+    if (T.Kind == TokenKind::KwTrue)
+      T.IntValue = 1;
+    return T;
+  }
+
+  Result<Token> lexPunct() {
+    Token T;
+    char C = advance();
+    auto Two = [&](char Next, TokenKind IfTwo, TokenKind IfOne) {
+      if (peek() == Next) {
+        T.Text.push_back(C);
+        T.Text.push_back(advance());
+        T.Kind = IfTwo;
+      } else {
+        T.Text.push_back(C);
+        T.Kind = IfOne;
+      }
+      return T;
+    };
+    switch (C) {
+    case '(':
+      T.Kind = TokenKind::LParen;
+      break;
+    case ')':
+      T.Kind = TokenKind::RParen;
+      break;
+    case '{':
+      T.Kind = TokenKind::LBrace;
+      break;
+    case '}':
+      T.Kind = TokenKind::RBrace;
+      break;
+    case '[':
+      T.Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      T.Kind = TokenKind::RBracket;
+      break;
+    case ',':
+      T.Kind = TokenKind::Comma;
+      break;
+    case ';':
+      T.Kind = TokenKind::Semi;
+      break;
+    case ':':
+      T.Kind = TokenKind::Colon;
+      break;
+    case '?':
+      T.Kind = TokenKind::Question;
+      break;
+    case '\'':
+      T.Kind = TokenKind::Prime;
+      break;
+    case '+':
+      if (peek() == '+') {
+        advance();
+        T.Kind = TokenKind::PlusPlus;
+        break;
+      }
+      return Two('=', TokenKind::PlusAssign, TokenKind::Plus);
+    case '-':
+      if (peek() == '-') {
+        advance();
+        T.Kind = TokenKind::MinusMinus;
+        break;
+      }
+      return Two('=', TokenKind::MinusAssign, TokenKind::Minus);
+    case '*':
+      T.Kind = TokenKind::Star;
+      break;
+    case '/':
+      T.Kind = TokenKind::Slash;
+      break;
+    case '%':
+      T.Kind = TokenKind::Percent;
+      break;
+    case '!':
+      return Two('=', TokenKind::NotEq, TokenKind::Not);
+    case '<':
+      return Two('=', TokenKind::Le, TokenKind::Lt);
+    case '>':
+      return Two('=', TokenKind::Ge, TokenKind::Gt);
+    case '=':
+      return Two('=', TokenKind::EqEq, TokenKind::Assign);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        T.Kind = TokenKind::AndAnd;
+        break;
+      }
+      return errorHere("expected '&&'");
+    case '|':
+      if (peek() == '|') {
+        advance();
+        T.Kind = TokenKind::OrOr;
+        break;
+      }
+      return errorHere("expected '||'");
+    default:
+      return errorHere(formatString("unexpected character '%c'", C));
+    }
+    if (T.Text.empty())
+      T.Text.push_back(C);
+    return T;
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  SourceLoc CurLoc;
+};
+
+} // namespace
+
+Result<std::vector<Token>> swa::usl::lex(std::string_view Source) {
+  return LexerImpl(Source).run();
+}

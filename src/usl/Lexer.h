@@ -1,0 +1,35 @@
+//===- usl/Lexer.h - USL lexer ----------------------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for USL. Supports //-style and /**/-style comments.
+/// The lexer is infallible except for unterminated comments and unknown
+/// characters, which produce an error token stream terminated early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_LEXER_H
+#define SWA_USL_LEXER_H
+
+#include "support/Error.h"
+#include "usl/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace swa {
+namespace usl {
+
+/// Tokenizes an entire USL snippet.
+///
+/// \returns the token vector (always terminated with an Eof token) or a
+/// failure describing the first lexical error with its position.
+Result<std::vector<Token>> lex(std::string_view Source);
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_LEXER_H

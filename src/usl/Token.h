@@ -1,0 +1,100 @@
+//===- usl/Token.h - USL token definitions ----------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of USL, the UPPAAL-style modeling language used to author
+/// declarations, guards, updates, invariants and synchronization labels of
+/// stopwatch automata templates. The paper's toolchain authors component
+/// models in UPPAAL and translates them to a C++ representation; USL plays
+/// the role of UPPAAL's C-like subset in this reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_TOKEN_H
+#define SWA_USL_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace swa {
+namespace usl {
+
+/// Source position within a USL snippet (1-based line/column).
+struct SourceLoc {
+  int Line = 1;
+  int Col = 1;
+};
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwConst,
+  KwInt,
+  KwBool,
+  KwClock,
+  KwChan,
+  KwBroadcast,
+  KwVoid,
+  KwTrue,
+  KwFalse,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Question,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Not,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Exclaim, // '!' used as a send marker in sync labels (same char as Not).
+  Prime,   // "'" clock-rate marker in invariants (x' == 0).
+  PlusPlus,
+  MinusMinus,
+  Eof,
+};
+
+/// Returns a human-readable spelling of a token kind for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_TOKEN_H

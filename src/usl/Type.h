@@ -1,0 +1,104 @@
+//===- usl/Type.h - USL type representation ---------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// USL's types: void, int (optionally range-bounded), bool, clock, channel
+/// and fixed-size arrays of int/bool plus channel arrays. Clocks and
+/// channels are not first-class values: clocks may only appear in guard /
+/// invariant comparisons and zero-resets, channels only in synchronization
+/// labels. The type checker enforces those restrictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_TYPE_H
+#define SWA_USL_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace swa {
+namespace usl {
+
+enum class TypeKind {
+  Void,
+  Int,
+  Bool,
+  Clock,
+  Chan,
+  IntArray,
+  BoolArray,
+  ChanArray,
+};
+
+/// A USL type. Arrays carry their element count; Size is -1 for unsized
+/// array parameters of templates (bound at instantiation).
+struct Type {
+  TypeKind Kind = TypeKind::Void;
+  int Size = 0; // Element count for arrays; -1 = unsized parameter array.
+
+  static Type makeVoid() { return {TypeKind::Void, 0}; }
+  static Type makeInt() { return {TypeKind::Int, 0}; }
+  static Type makeBool() { return {TypeKind::Bool, 0}; }
+  static Type makeClock() { return {TypeKind::Clock, 0}; }
+  static Type makeChan() { return {TypeKind::Chan, 0}; }
+  static Type makeIntArray(int Size) { return {TypeKind::IntArray, Size}; }
+  static Type makeBoolArray(int Size) { return {TypeKind::BoolArray, Size}; }
+  static Type makeChanArray(int Size) { return {TypeKind::ChanArray, Size}; }
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isClock() const { return Kind == TypeKind::Clock; }
+  bool isChan() const {
+    return Kind == TypeKind::Chan || Kind == TypeKind::ChanArray;
+  }
+  bool isArray() const {
+    return Kind == TypeKind::IntArray || Kind == TypeKind::BoolArray ||
+           Kind == TypeKind::ChanArray;
+  }
+  /// Scalar data value usable in arithmetic/assignment (int or bool).
+  bool isData() const { return isInt() || isBool(); }
+
+  /// Element type for arrays.
+  Type element() const {
+    switch (Kind) {
+    case TypeKind::IntArray:
+      return makeInt();
+    case TypeKind::BoolArray:
+      return makeBool();
+    case TypeKind::ChanArray:
+      return makeChan();
+    default:
+      return *this;
+    }
+  }
+
+  std::string str() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Int:
+      return "int";
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::Clock:
+      return "clock";
+    case TypeKind::Chan:
+      return "chan";
+    case TypeKind::IntArray:
+      return "int[]";
+    case TypeKind::BoolArray:
+      return "bool[]";
+    case TypeKind::ChanArray:
+      return "chan[]";
+    }
+    return "<bad>";
+  }
+};
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_TYPE_H

@@ -1,0 +1,36 @@
+//===- usl/Vm.h - Bytecode virtual machine ----------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the bytecode of Bytecode.h against the same EvalContext the
+/// tree-walking interpreter uses (store, constant arrays, frame stack,
+/// write log, step budget). Function calls resolve through a code table
+/// parallel to the context's function table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_USL_VM_H
+#define SWA_USL_VM_H
+
+#include "usl/Bytecode.h"
+#include "usl/Interp.h"
+
+namespace swa {
+namespace usl {
+
+/// Runs one compiled unit. \p FrameBase addresses the current frame in
+/// Ctx.FrameStack (select values for edge code). \p FuncCode holds the
+/// compiled body of every function in Ctx.FuncTable.
+///
+/// \returns the value left on the stack by Halt (0 when the unit left
+/// none, e.g. update code).
+int64_t runCode(const Code &C, const std::vector<Code> &FuncCode,
+                EvalContext &Ctx, size_t FrameBase);
+
+} // namespace usl
+} // namespace swa
+
+#endif // SWA_USL_VM_H

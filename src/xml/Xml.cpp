@@ -1,0 +1,324 @@
+//===- xml/Xml.cpp - Minimal XML reader/writer ------------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xml/Xml.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace swa;
+using namespace swa::xml;
+
+std::string swa::xml::escape(std::string_view Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '&':
+      Out += "&amp;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    case '\'':
+      Out += "&apos;";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+class XmlParser {
+public:
+  explicit XmlParser(std::string_view Source) : Src(Source) {}
+
+  Result<NodePtr> run() {
+    skipProlog();
+    Result<NodePtr> Root = parseElement();
+    if (!Root.ok())
+      return Root;
+    skipMisc();
+    if (Pos != Src.size())
+      return errorHere("trailing content after the root element");
+    return Root;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  bool lookingAt(std::string_view S) const {
+    return Src.substr(Pos, S.size()) == S;
+  }
+
+  Error errorHere(const std::string &Msg) const {
+    int Line = 1, Col = 1;
+    for (size_t I = 0; I < Pos && I < Src.size(); ++I) {
+      if (Src[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    return Error::failure(
+        formatString("xml:%d:%d: %s", Line, Col, Msg.c_str()));
+  }
+
+  void skipWs() {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+      ++Pos;
+  }
+
+  /// Skips whitespace, comments and the XML declaration before/after root.
+  void skipMisc() {
+    for (;;) {
+      skipWs();
+      if (lookingAt("<!--")) {
+        size_t End = Src.find("-->", Pos + 4);
+        Pos = End == std::string_view::npos ? Src.size() : End + 3;
+        continue;
+      }
+      if (lookingAt("<?")) {
+        size_t End = Src.find("?>", Pos + 2);
+        Pos = End == std::string_view::npos ? Src.size() : End + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  void skipProlog() { skipMisc(); }
+
+  static bool isNameChar(char C) {
+    return isIdentChar(C) || C == '-' || C == '.' || C == ':';
+  }
+
+  Result<std::string> parseName() {
+    if (atEnd() || !(isIdentStart(peek()) || peek() == ':'))
+      return errorHere("expected a name");
+    std::string Name;
+    while (!atEnd() && isNameChar(peek()))
+      Name.push_back(Src[Pos++]);
+    return Name;
+  }
+
+  Result<std::string> decodeEntities(std::string_view Raw) {
+    std::string Out;
+    Out.reserve(Raw.size());
+    for (size_t I = 0; I < Raw.size();) {
+      if (Raw[I] != '&') {
+        Out.push_back(Raw[I++]);
+        continue;
+      }
+      size_t Semi = Raw.find(';', I);
+      if (Semi == std::string_view::npos)
+        return errorHere("unterminated entity reference");
+      std::string_view Ent = Raw.substr(I + 1, Semi - I - 1);
+      if (Ent == "lt")
+        Out.push_back('<');
+      else if (Ent == "gt")
+        Out.push_back('>');
+      else if (Ent == "amp")
+        Out.push_back('&');
+      else if (Ent == "quot")
+        Out.push_back('"');
+      else if (Ent == "apos")
+        Out.push_back('\'');
+      else if (!Ent.empty() && Ent[0] == '#') {
+        int64_t Code = 0;
+        bool Hex = Ent.size() > 1 && (Ent[1] == 'x' || Ent[1] == 'X');
+        for (size_t J = Hex ? 2 : 1; J < Ent.size(); ++J) {
+          char C = Ent[J];
+          int Digit;
+          if (std::isdigit(static_cast<unsigned char>(C)))
+            Digit = C - '0';
+          else if (Hex && std::isxdigit(static_cast<unsigned char>(C)))
+            Digit = std::tolower(C) - 'a' + 10;
+          else
+            return errorHere("malformed character reference");
+          Code = Code * (Hex ? 16 : 10) + Digit;
+        }
+        if (Code <= 0 || Code > 0x10FFFF)
+          return errorHere("character reference out of range");
+        // Encode as UTF-8.
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else if (Code < 0x10000) {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+      } else {
+        return errorHere("unknown entity '&" + std::string(Ent) + ";'");
+      }
+      I = Semi + 1;
+    }
+    return Out;
+  }
+
+  Result<NodePtr> parseElement() {
+    if (!lookingAt("<"))
+      return errorHere("expected an element");
+    ++Pos;
+    auto N = std::make_unique<Node>();
+    Result<std::string> Tag = parseName();
+    if (!Tag.ok())
+      return Tag.takeError();
+    N->Tag = Tag.takeValue();
+
+    // Attributes.
+    for (;;) {
+      skipWs();
+      if (atEnd())
+        return errorHere("unterminated start tag");
+      if (lookingAt("/>")) {
+        Pos += 2;
+        return NodePtr(std::move(N));
+      }
+      if (peek() == '>') {
+        ++Pos;
+        break;
+      }
+      Result<std::string> AttrName = parseName();
+      if (!AttrName.ok())
+        return AttrName.takeError();
+      skipWs();
+      if (peek() != '=')
+        return errorHere("expected '=' after attribute name");
+      ++Pos;
+      skipWs();
+      char Quote = peek();
+      if (Quote != '"' && Quote != '\'')
+        return errorHere("expected a quoted attribute value");
+      ++Pos;
+      size_t End = Src.find(Quote, Pos);
+      if (End == std::string_view::npos)
+        return errorHere("unterminated attribute value");
+      Result<std::string> Value = decodeEntities(Src.substr(Pos, End - Pos));
+      if (!Value.ok())
+        return Value.takeError();
+      Pos = End + 1;
+      N->setAttr(AttrName.takeValue(), Value.takeValue());
+    }
+
+    // Content.
+    for (;;) {
+      if (atEnd())
+        return errorHere("unterminated element <" + N->Tag + ">");
+      if (lookingAt("</")) {
+        Pos += 2;
+        Result<std::string> Close = parseName();
+        if (!Close.ok())
+          return Close.takeError();
+        if (*Close != N->Tag)
+          return errorHere("mismatched closing tag </" + *Close +
+                           "> for <" + N->Tag + ">");
+        skipWs();
+        if (peek() != '>')
+          return errorHere("malformed closing tag");
+        ++Pos;
+        return NodePtr(std::move(N));
+      }
+      if (lookingAt("<!--")) {
+        size_t End = Src.find("-->", Pos + 4);
+        if (End == std::string_view::npos)
+          return errorHere("unterminated comment");
+        Pos = End + 3;
+        continue;
+      }
+      if (lookingAt("<![CDATA[")) {
+        size_t End = Src.find("]]>", Pos + 9);
+        if (End == std::string_view::npos)
+          return errorHere("unterminated CDATA section");
+        N->Text.append(Src.substr(Pos + 9, End - Pos - 9));
+        Pos = End + 3;
+        continue;
+      }
+      if (peek() == '<') {
+        Result<NodePtr> Child = parseElement();
+        if (!Child.ok())
+          return Child;
+        N->Children.push_back(Child.takeValue());
+        continue;
+      }
+      size_t Next = Src.find('<', Pos);
+      if (Next == std::string_view::npos)
+        Next = Src.size();
+      Result<std::string> Text = decodeEntities(Src.substr(Pos, Next - Pos));
+      if (!Text.ok())
+        return Text.takeError();
+      N->Text.append(*Text);
+      Pos = Next;
+    }
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+};
+
+void writeNode(const Node &N, std::string &Out, int Indent) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  Out += Pad;
+  Out += '<';
+  Out += N.Tag;
+  for (const auto &[K, V] : N.Attrs) {
+    Out += ' ';
+    Out += K;
+    Out += "=\"";
+    Out += escape(V);
+    Out += '"';
+  }
+  std::string_view Text = trim(N.Text);
+  if (N.Children.empty() && Text.empty()) {
+    Out += "/>\n";
+    return;
+  }
+  Out += '>';
+  if (!Text.empty())
+    Out += escape(Text);
+  if (!N.Children.empty()) {
+    Out += '\n';
+    for (const NodePtr &C : N.Children)
+      writeNode(*C, Out, Indent + 1);
+    Out += Pad;
+  }
+  Out += "</";
+  Out += N.Tag;
+  Out += ">\n";
+}
+
+} // namespace
+
+Result<NodePtr> swa::xml::parse(std::string_view Source) {
+  return XmlParser(Source).run();
+}
+
+std::string swa::xml::write(const Node &Root) {
+  std::string Out = "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  writeNode(Root, Out, 0);
+  return Out;
+}

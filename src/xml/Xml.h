@@ -1,0 +1,98 @@
+//===- xml/Xml.h - Minimal XML reader/writer --------------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free, non-validating XML subset parser and writer.
+/// The paper's toolchain exchanges system configurations as XML files and
+/// authors automata in UPPAAL's XML format; this module supports the
+/// subset both need: elements, attributes, character data, comments, XML
+/// declarations, CDATA sections and the five predefined entities. No
+/// DTDs, namespaces or processing instructions beyond the prolog.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_XML_XML_H
+#define SWA_XML_XML_H
+
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swa {
+namespace xml {
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// One XML element.
+class Node {
+public:
+  std::string Tag;
+  std::vector<std::pair<std::string, std::string>> Attrs;
+  std::vector<NodePtr> Children;
+  /// Concatenated character data of this element (entity-decoded,
+  /// including CDATA), with child-element text excluded.
+  std::string Text;
+
+  /// Attribute value, or null when absent.
+  const std::string *attr(std::string_view Name) const {
+    for (const auto &[K, V] : Attrs)
+      if (K == Name)
+        return &V;
+    return nullptr;
+  }
+
+  /// Attribute value or \p Default.
+  std::string attrOr(std::string_view Name,
+                     const std::string &Default) const {
+    const std::string *V = attr(Name);
+    return V ? *V : Default;
+  }
+
+  void setAttr(std::string Name, std::string Value) {
+    Attrs.emplace_back(std::move(Name), std::move(Value));
+  }
+
+  /// First child element with the given tag, or null.
+  const Node *child(std::string_view ChildTag) const {
+    for (const NodePtr &C : Children)
+      if (C->Tag == ChildTag)
+        return C.get();
+    return nullptr;
+  }
+
+  /// All child elements with the given tag.
+  std::vector<const Node *> children(std::string_view ChildTag) const {
+    std::vector<const Node *> Out;
+    for (const NodePtr &C : Children)
+      if (C->Tag == ChildTag)
+        Out.push_back(C.get());
+    return Out;
+  }
+
+  Node *addChild(std::string ChildTag) {
+    Children.push_back(std::make_unique<Node>());
+    Children.back()->Tag = std::move(ChildTag);
+    return Children.back().get();
+  }
+};
+
+/// Parses a document; returns its root element.
+Result<NodePtr> parse(std::string_view Source);
+
+/// Serializes \p Root (with an XML declaration and 2-space indentation).
+std::string write(const Node &Root);
+
+/// Escapes the five predefined entities for use in text content.
+std::string escape(std::string_view Raw);
+
+} // namespace xml
+} // namespace swa
+
+#endif // SWA_XML_XML_H

@@ -1,0 +1,205 @@
+//===- tests/AnalysisTest.cpp - Criterion, RTA and report tests -------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "analysis/Report.h"
+#include "analysis/Rta.h"
+#include "gen/Workload.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+using namespace swa::analysis;
+
+//===----------------------------------------------------------------------===//
+// Criterion edge cases (hand-built traces)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+core::SystemTrace makeTrace(
+    std::initializer_list<std::tuple<core::SysEventType, int, int64_t>>
+        Events) {
+  core::SystemTrace Out;
+  for (const auto &[Type, Gid, Time] : Events)
+    Out.push_back({Type, Gid, Time});
+  return Out;
+}
+
+} // namespace
+
+TEST(Criterion, AcceptsExactWcetWithinDeadline) {
+  cfg::Config C = testcfg::twoTasksOneCore(); // t1: C=3 P=10; t2: C=5 P=20.
+  core::SystemTrace Trace = makeTrace({
+      {core::SysEventType::READY, 0, 0},
+      {core::SysEventType::EX, 0, 0},
+      {core::SysEventType::FIN, 0, 3},
+      {core::SysEventType::READY, 1, 0},
+      {core::SysEventType::EX, 1, 3},
+      {core::SysEventType::FIN, 1, 8},
+      {core::SysEventType::READY, 0, 10},
+      {core::SysEventType::EX, 0, 10},
+      {core::SysEventType::FIN, 0, 13},
+  });
+  AnalysisResult R = analyzeTrace(C, Trace);
+  EXPECT_TRUE(R.Schedulable) << R.FirstViolation;
+  EXPECT_EQ(R.TotalJobs, 3);
+}
+
+TEST(Criterion, RejectsUnderrunAndMissingJobs) {
+  cfg::Config C = testcfg::twoTasksOneCore();
+  // t1 job 0 only executes 2 of 3 ticks; t1 job 1 and t2 produce nothing.
+  core::SystemTrace Trace = makeTrace({
+      {core::SysEventType::EX, 0, 0},
+      {core::SysEventType::PR, 0, 2},
+      {core::SysEventType::FIN, 0, 9},
+  });
+  AnalysisResult R = analyzeTrace(C, Trace);
+  EXPECT_FALSE(R.Schedulable);
+  EXPECT_EQ(R.MissedJobs, 3);
+}
+
+TEST(Criterion, DeadlineBoundaryFinBelongsToPreviousJob) {
+  // deadline == period: a FIN exactly at the release boundary must close
+  // the previous job, not the new one.
+  cfg::Config C = testcfg::twoTasksOneCore();
+  core::SysEvent Fin{core::SysEventType::FIN, 0, 10};
+  core::SystemTrace Trace = {Fin};
+  AnalysisResult R = analyzeTrace(C, Trace);
+  const JobStats *J0 = nullptr;
+  for (const JobStats &J : R.Jobs)
+    if (J.TaskGid == 0 && J.JobIndex == 0)
+      J0 = &J;
+  ASSERT_TRUE(J0);
+  EXPECT_EQ(J0->FinishTime, 10);
+}
+
+TEST(Criterion, ZeroLengthIntervalsAreDropped) {
+  cfg::Config C = testcfg::twoTasksOneCore();
+  core::SystemTrace Trace = makeTrace({
+      {core::SysEventType::EX, 0, 5},
+      {core::SysEventType::PR, 0, 5}, // Zero-length: dropped.
+      {core::SysEventType::EX, 0, 6},
+      {core::SysEventType::FIN, 0, 9},
+  });
+  AnalysisResult R = analyzeTrace(C, Trace);
+  const JobStats &J = R.Jobs.front();
+  ASSERT_EQ(J.Intervals.size(), 1u);
+  EXPECT_EQ(J.Intervals[0], (ExecInterval{6, 9}));
+  EXPECT_EQ(J.ExecTotal, 3);
+}
+
+TEST(Criterion, LateCompletionIsAMiss) {
+  cfg::Config C = testcfg::twoTasksOneCore();
+  C.Partitions[0].Tasks[0].Deadline = 5;
+  core::SystemTrace Trace = makeTrace({
+      {core::SysEventType::EX, 0, 3},
+      {core::SysEventType::FIN, 0, 6}, // 3 ticks, but past deadline 5.
+  });
+  AnalysisResult R = analyzeTrace(C, Trace);
+  EXPECT_FALSE(R.Jobs.front().Completed);
+}
+
+//===----------------------------------------------------------------------===//
+// RTA cross-validation
+//===----------------------------------------------------------------------===//
+
+TEST(Rta, MatchesTextbookExample) {
+  cfg::Config C = testcfg::twoTasksOneCore();
+  RtaResult R = responseTimeAnalysis(C, 0);
+  EXPECT_TRUE(R.Schedulable);
+  EXPECT_EQ(R.Response[0], 3); // High priority: its own WCET.
+  EXPECT_EQ(R.Response[1], 8); // 5 + 3 interference.
+}
+
+TEST(Rta, DetectsOverload) {
+  RtaResult R = responseTimeAnalysis(testcfg::overloadedOneCore(), 0);
+  EXPECT_FALSE(R.Schedulable);
+  EXPECT_EQ(R.Response[1], -1);
+}
+
+TEST(Rta, SimulationNeverExceedsTheAnalyticBound) {
+  // Property sweep: random single-partition FPPS task sets with a full
+  // window; the model's worst observed response must be <= the RTA bound,
+  // and the verdicts must agree (synchronous release = critical instant).
+  Rng R(2026);
+  int Checked = 0;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    cfg::Config C;
+    C.Name = "rta-sweep";
+    C.NumCoreTypes = 1;
+    C.Cores.push_back({"c", 0, 0});
+    cfg::Partition P;
+    P.Name = "p";
+    P.Core = 0;
+    P.Scheduler = cfg::SchedulerKind::FPPS;
+    int N = static_cast<int>(R.uniformInt(2, 4));
+    std::vector<double> U = gen::uunifast(R, N, 0.9);
+    std::vector<cfg::TimeValue> Periods = {8, 16, 32};
+    for (int I = 0; I < N; ++I) {
+      cfg::Task T;
+      T.Name = "t" + std::to_string(I);
+      T.Period = Periods[R.index(Periods.size())];
+      T.Deadline = T.Period;
+      cfg::TimeValue Cost = std::max<cfg::TimeValue>(
+          1, static_cast<cfg::TimeValue>(U[static_cast<size_t>(I)] *
+                                         static_cast<double>(T.Period)));
+      T.Wcet = {std::min(Cost, T.Period)};
+      T.Priority = 1000 - static_cast<int>(T.Period) * 10 + I;
+      P.Tasks.push_back(std::move(T));
+    }
+    P.Windows.push_back({0, 32});
+    C.Partitions.push_back(std::move(P));
+    if (C.validate().isFailure())
+      continue;
+
+    RtaResult Bound = responseTimeAnalysis(C, 0);
+    auto Out = analyzeConfiguration(C);
+    ASSERT_TRUE(Out.ok()) << Out.error().message();
+    EXPECT_EQ(Bound.Schedulable, Out->Analysis.Schedulable)
+        << "trial " << Trial;
+    if (Bound.Schedulable) {
+      for (size_t I = 0; I < Bound.Response.size(); ++I) {
+        int G = C.globalTaskId({0, static_cast<int>(I)});
+        EXPECT_LE(Out->Analysis.WorstResponse[static_cast<size_t>(G)],
+                  Bound.Response[I])
+            << "trial " << Trial << " task " << I;
+      }
+    }
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 10);
+}
+
+//===----------------------------------------------------------------------===//
+// Reports
+//===----------------------------------------------------------------------===//
+
+TEST(Report, RendersVerdictAndGantt) {
+  auto Out = analyzeConfiguration(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Out.ok());
+  std::string Report =
+      renderReport(Out->Model.Config, Out->Analysis);
+  EXPECT_NE(Report.find("SCHEDULABLE"), std::string::npos);
+  EXPECT_NE(Report.find("worst-resp=8"), std::string::npos);
+
+  std::string Gantt = renderGantt(Out->Model.Config, Out->Analysis);
+  // t1 runs [0,3): the row starts with three '#'.
+  EXPECT_NE(Gantt.find("|###......."), std::string::npos);
+}
+
+TEST(Report, MarksMissesInGantt) {
+  auto Out = analyzeConfiguration(testcfg::overloadedOneCore());
+  ASSERT_TRUE(Out.ok());
+  std::string Gantt = renderGantt(Out->Model.Config, Out->Analysis);
+  EXPECT_NE(Gantt.find('!'), std::string::npos);
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

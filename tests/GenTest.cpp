@@ -1,0 +1,104 @@
+//===- tests/GenTest.cpp - Workload generator tests ------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "gen/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace swa;
+using namespace swa::gen;
+
+TEST(UUniFast, SumsToTotalAndStaysInRange) {
+  Rng R(7);
+  for (int N : {1, 2, 5, 20, 100}) {
+    std::vector<double> U = uunifast(R, N, 0.8);
+    double Sum = 0;
+    for (double V : U) {
+      EXPECT_GE(V, 0.0);
+      EXPECT_LE(V, 0.8 + 1e-9);
+      Sum += V;
+    }
+    EXPECT_NEAR(Sum, 0.8, 1e-9) << "N=" << N;
+  }
+}
+
+TEST(UUniFast, IsDeterministicPerSeed) {
+  Rng R1(42), R2(42), R3(43);
+  auto A = uunifast(R1, 10, 0.5);
+  auto B = uunifast(R2, 10, 0.5);
+  auto C = uunifast(R3, 10, 0.5);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(Table1Family, ValidatesAndCountsJobs) {
+  for (int N : {1, 5, 10, 18}) {
+    cfg::Config C = table1Config(N);
+    EXPECT_FALSE(C.validate().isFailure()) << C.validate().message();
+    EXPECT_EQ(C.jobCount(), N);
+    EXPECT_EQ(static_cast<int>(C.Partitions.size()), N);
+    EXPECT_EQ(static_cast<int>(C.Cores.size()), N);
+  }
+}
+
+TEST(Table1Family, AllPointsAreSchedulable) {
+  // Every table-1 point must be schedulable: the experiment measures
+  // analysis cost, not verdicts.
+  for (int N : {10, 14, 18}) {
+    auto Out = analysis::analyzeConfiguration(table1Config(N));
+    ASSERT_TRUE(Out.ok()) << Out.error().message();
+    EXPECT_TRUE(Out->Analysis.Schedulable)
+        << N << ": " << Out->Analysis.FirstViolation;
+  }
+}
+
+TEST(Industrial, GeneratedConfigurationsValidate) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    IndustrialParams P;
+    P.Seed = Seed;
+    P.Modules = 2;
+    P.PartitionsPerCore = 2;
+    cfg::Config C = industrialConfig(P);
+    Error E = C.validate();
+    EXPECT_FALSE(E.isFailure()) << "seed " << Seed << ": " << E.message();
+    EXPECT_GT(C.jobCount(), 0);
+    EXPECT_GT(C.Messages.size(), 0u);
+  }
+}
+
+TEST(Industrial, JobTargetIsApproximatelyMet) {
+  cfg::Config C = industrialConfigWithJobs(2000, 3);
+  ASSERT_FALSE(C.validate().isFailure());
+  double Ratio = static_cast<double>(C.jobCount()) / 2000.0;
+  EXPECT_GT(Ratio, 0.5);
+  EXPECT_LT(Ratio, 2.0);
+}
+
+TEST(Industrial, MessagesConnectEqualPeriods) {
+  cfg::Config C = industrialConfig({});
+  for (const cfg::Message &M : C.Messages)
+    EXPECT_EQ(C.taskOf(M.Sender).Period, C.taskOf(M.Receiver).Period);
+}
+
+TEST(Industrial, SimulatesEndToEnd) {
+  IndustrialParams P;
+  P.Modules = 2;
+  P.PartitionsPerCore = 2;
+  P.Seed = 11;
+  cfg::Config C = industrialConfig(P);
+  auto Out = analysis::analyzeConfiguration(C);
+  ASSERT_TRUE(Out.ok()) << Out.error().message();
+  EXPECT_EQ(Out->Analysis.TotalJobs, C.jobCount());
+  EXPECT_TRUE(Out->failureFlagsConsistent());
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,208 @@
+//===- tests/McTest.cpp - Model checker unit tests --------------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InstanceBuilder.h"
+#include "gen/BurstModel.h"
+#include "gen/Workload.h"
+#include "mc/ModelChecker.h"
+#include "sa/NetworkBuilder.h"
+#include "sa/Template.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+using namespace swa::mc;
+
+TEST(ModelChecker, ExploresAllInterleavings) {
+  // Two independent automata each taking one internal step at t=0: the
+  // state space is the 2x2 product (4 states) regardless of order.
+  sa::NetworkBuilder NB;
+  ASSERT_FALSE(NB.addGlobals("int a; int b;").isFailure());
+  for (int I = 0; I < 2; ++I) {
+    sa::TemplateBuilder TB(I == 0 ? "A" : "B", NB.globalDecls());
+    TB.location("S").location("T").initial("S").edge(
+        "S", "T", {.Update = std::string(I == 0 ? "a" : "b") + " = 1"});
+    auto T = TB.build();
+    ASSERT_TRUE(T.ok()) << T.error().message();
+    ASSERT_TRUE(NB.addInstance(**T, I == 0 ? "a" : "b", {}).ok());
+  }
+  auto Net = NB.finish();
+  ASSERT_TRUE(Net.ok());
+  (*Net)->Meta["horizon"] = 1;
+
+  ModelChecker MC(**Net);
+  McResult R = MC.explore();
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.StatesExplored, 4u);
+  EXPECT_EQ(R.DistinctFinalStates, 1u);
+}
+
+TEST(ModelChecker, BurstFamilyGrowsByTwoPerJob) {
+  // The Table-1 regime: each job contributes one interleavable step, so
+  // the lattice has ~2^n states and the ratio between consecutive points
+  // is ~2 — the growth rate the paper's Table 1 reports.
+  uint64_t Prev = 0;
+  for (int N : {6, 7, 8, 9, 10}) {
+    auto Net = gen::burstNetwork(N);
+    ASSERT_TRUE(Net.ok()) << Net.error().message();
+    ModelChecker MC(**Net);
+    McResult R = MC.explore();
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(R.DistinctFinalStates, 1u) << N;
+    EXPECT_GT(R.StatesExplored, (1u << N)) << N; // At least the lattice.
+    if (Prev != 0) {
+      double Ratio =
+          static_cast<double>(R.StatesExplored) / static_cast<double>(Prev);
+      EXPECT_GT(Ratio, 1.7) << N;
+      EXPECT_LT(Ratio, 2.3) << N;
+    }
+    Prev = R.StatesExplored;
+  }
+}
+
+TEST(ModelChecker, FullStackInterleavesSeveralStepsPerJob) {
+  // The full IMA stack adds ready/dispatch chains per job: exhaustive
+  // exploration grows much faster than 2x per job (empirically ~10x) —
+  // which is why the paper's single-run approach matters.
+  auto M3 = core::buildModel(gen::table1Config(3));
+  auto M4 = core::buildModel(gen::table1Config(4));
+  ASSERT_TRUE(M3.ok());
+  ASSERT_TRUE(M4.ok());
+  ModelChecker MC3(*M3->Net), MC4(*M4->Net);
+  McResult R3 = MC3.explore();
+  McResult R4 = MC4.explore();
+  ASSERT_TRUE(R3.ok());
+  ASSERT_TRUE(R4.ok());
+  EXPECT_EQ(R3.DistinctFinalStates, 1u);
+  EXPECT_EQ(R4.DistinctFinalStates, 1u);
+  double Ratio =
+      static_cast<double>(R4.StatesExplored) /
+      static_cast<double>(R3.StatesExplored);
+  EXPECT_GT(Ratio, 5.0);
+}
+
+TEST(ModelChecker, AgreesWithSimulatorOnVerdicts) {
+  // Bad-state reachability (a failure flag set) must match the
+  // simulation verdict on both a schedulable and an unschedulable config.
+  for (bool Overloaded : {false, true}) {
+    cfg::Config C = Overloaded ? testcfg::overloadedOneCore()
+                               : testcfg::twoTasksOneCore();
+    auto Model = core::buildModel(C);
+    ASSERT_TRUE(Model.ok()) << Model.error().message();
+    ModelChecker MC(*Model->Net);
+    McResult R = MC.explore(
+        {}, ModelChecker::storeNonZero(*Model->Net, "is_failed"));
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(R.PropertyViolated, Overloaded);
+  }
+}
+
+TEST(ModelChecker, DeterministicModelsHaveOneFinalState) {
+  // Even with messages and multiple cores, all interleavings converge:
+  // the paper's determinism theorem at the state level.
+  auto Model = core::buildModel(testcfg::producerConsumer());
+  ASSERT_TRUE(Model.ok()) << Model.error().message();
+  ModelChecker MC(*Model->Net);
+  McResult R = MC.explore();
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.DistinctFinalStates, 1u);
+  EXPECT_GT(R.CompleteRuns, 0u);
+}
+
+TEST(ModelChecker, CompactVisitedMatchesFullStates) {
+  auto Net = gen::burstNetwork(9);
+  ASSERT_TRUE(Net.ok());
+  ModelChecker MC(**Net);
+  McResult Full = MC.explore();
+  McOptions Compact;
+  Compact.CompactVisited = true;
+  ModelChecker MC2(**Net);
+  McResult Hashed = MC2.explore(Compact);
+  ASSERT_TRUE(Full.ok());
+  ASSERT_TRUE(Hashed.ok());
+  EXPECT_EQ(Full.StatesExplored, Hashed.StatesExplored);
+}
+
+TEST(ModelChecker, SelectBindingsBranchTheSearch) {
+  // One edge with a 4-way select writing distinct values: 4 final states.
+  sa::NetworkBuilder NB;
+  ASSERT_FALSE(NB.addGlobals("int out = -1;").isFailure());
+  sa::TemplateBuilder TB("Sel", NB.globalDecls());
+  TB.location("S").location("T").initial("S").edge(
+      "S", "T", {.Select = "i : int[0, 3]", .Update = "out = i"});
+  auto T = TB.build();
+  ASSERT_TRUE(T.ok()) << T.error().message();
+  ASSERT_TRUE(NB.addInstance(**T, "s", {}).ok());
+  auto Net = NB.finish();
+  ASSERT_TRUE(Net.ok());
+  (*Net)->Meta["horizon"] = 1;
+
+  ModelChecker MC(**Net);
+  McResult R = MC.explore();
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.DistinctFinalStates, 4u);
+}
+
+TEST(ModelChecker, WitnessPathLeadsToTheViolation) {
+  // An unschedulable config with witness recording: the counterexample
+  // must be non-empty, time-ordered, and end at a state where the
+  // property holds... i.e. where is_failed is set.
+  auto Model = core::buildModel(testcfg::overloadedOneCore());
+  ASSERT_TRUE(Model.ok());
+  ModelChecker MC(*Model->Net);
+  McOptions Opts;
+  Opts.RecordWitness = true;
+  McResult R = MC.explore(
+      Opts, ModelChecker::storeNonZero(*Model->Net, "is_failed"));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(R.PropertyViolated);
+  ASSERT_FALSE(R.Witness.empty());
+  int64_t Prev = 0;
+  for (const WitnessStep &W : R.Witness) {
+    EXPECT_GE(W.Time, Prev);
+    Prev = W.Time;
+    EXPECT_FALSE(W.Action.empty());
+  }
+  // The last steps happen at the missed deadline (t == 20).
+  EXPECT_EQ(R.Witness.back().Time, 20);
+  // The violating state matches the predicate.
+  bool AnyFailed = false;
+  int Base = Model->Net->slotOf("is_failed");
+  for (int G = 0; G < 2; ++G)
+    AnyFailed |= R.ViolatingState
+                     .Store[static_cast<size_t>(Base + G)] != 0;
+  EXPECT_TRUE(AnyFailed);
+}
+
+TEST(ModelChecker, NoWitnessWhenPropertyHolds) {
+  auto Model = core::buildModel(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Model.ok());
+  ModelChecker MC(*Model->Net);
+  McOptions Opts;
+  Opts.RecordWitness = true;
+  McResult R = MC.explore(
+      Opts, ModelChecker::storeNonZero(*Model->Net, "is_failed"));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.PropertyViolated);
+  EXPECT_TRUE(R.Witness.empty());
+}
+
+TEST(ModelChecker, StateBudgetIsEnforced) {
+  auto Model = core::buildModel(gen::table1Config(8));
+  ASSERT_TRUE(Model.ok());
+  ModelChecker MC(*Model->Net);
+  McOptions Opts;
+  Opts.MaxStates = 10;
+  McResult R = MC.explore(Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

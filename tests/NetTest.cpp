@@ -1,0 +1,155 @@
+//===- tests/NetTest.cpp - Switched-network delay bound tests ---------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "net/Afdx.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+using namespace swa::net;
+
+namespace {
+
+/// Two end systems connected through one switch; 10 bytes/tick links with
+/// latency 1 each.
+struct StarFixture {
+  Topology Net;
+  int EsA, EsB, EsC, Sw;
+
+  StarFixture() {
+    EsA = Net.addNode("esA", NodeKind::EndSystem);
+    EsB = Net.addNode("esB", NodeKind::EndSystem);
+    EsC = Net.addNode("esC", NodeKind::EndSystem);
+    Sw = Net.addNode("sw", NodeKind::Switch);
+    EXPECT_TRUE(Net.addLink(EsA, Sw, 10, 1).ok());
+    EXPECT_TRUE(Net.addLink(EsB, Sw, 10, 1).ok());
+    EXPECT_TRUE(Net.addLink(EsC, Sw, 10, 1).ok());
+  }
+};
+
+} // namespace
+
+TEST(Afdx, SingleVlDelayIsSerializationPlusLatency) {
+  StarFixture F;
+  // 100-byte frames over 10 bytes/tick: 10 ticks serialization per hop.
+  auto Vl = F.Net.addVirtualLink({F.EsA, F.Sw, F.EsB}, 100, 50);
+  ASSERT_TRUE(Vl.ok()) << Vl.error().message();
+  auto D = F.Net.worstCaseDelay(*Vl);
+  ASSERT_TRUE(D.ok());
+  // Two hops: (10 + 1) + (10 + 1).
+  EXPECT_EQ(*D, 22);
+}
+
+TEST(Afdx, InterferenceAddsOneFramePerCompetingVl) {
+  StarFixture F;
+  auto V1 = F.Net.addVirtualLink({F.EsA, F.Sw, F.EsB}, 100, 50);
+  ASSERT_TRUE(V1.ok());
+  // A competing VL from esC to esB shares only the sw->esB port.
+  auto V2 = F.Net.addVirtualLink({F.EsC, F.Sw, F.EsB}, 50, 50);
+  ASSERT_TRUE(V2.ok());
+
+  auto D1 = F.Net.worstCaseDelay(*V1);
+  ASSERT_TRUE(D1.ok());
+  // 22 + V2's frame on the shared port: ceil(50/10) = 5.
+  EXPECT_EQ(*D1, 27);
+
+  auto D2 = F.Net.worstCaseDelay(*V2);
+  ASSERT_TRUE(D2.ok());
+  // (5+1) + (5+1) + V1's 10-tick frame on the shared port.
+  EXPECT_EQ(*D2, 22);
+}
+
+TEST(Afdx, OppositeDirectionsDoNotInterfere) {
+  StarFixture F;
+  auto V1 = F.Net.addVirtualLink({F.EsA, F.Sw, F.EsB}, 100, 50);
+  auto V2 = F.Net.addVirtualLink({F.EsB, F.Sw, F.EsA}, 100, 50);
+  ASSERT_TRUE(V1.ok());
+  ASSERT_TRUE(V2.ok());
+  // Full-duplex links: reverse traffic shares no directed port.
+  EXPECT_EQ(*F.Net.worstCaseDelay(*V1), 22);
+  EXPECT_EQ(*F.Net.worstCaseDelay(*V2), 22);
+}
+
+TEST(Afdx, RouteFindsFewestHops) {
+  // esA - sw1 - sw2 - esB, plus a longer detour sw1 - sw3 - sw2.
+  Topology Net;
+  int EsA = Net.addNode("esA", NodeKind::EndSystem);
+  int EsB = Net.addNode("esB", NodeKind::EndSystem);
+  int Sw1 = Net.addNode("sw1", NodeKind::Switch);
+  int Sw2 = Net.addNode("sw2", NodeKind::Switch);
+  int Sw3 = Net.addNode("sw3", NodeKind::Switch);
+  ASSERT_TRUE(Net.addLink(EsA, Sw1, 10, 1).ok());
+  ASSERT_TRUE(Net.addLink(Sw1, Sw2, 10, 1).ok());
+  ASSERT_TRUE(Net.addLink(Sw2, EsB, 10, 1).ok());
+  ASSERT_TRUE(Net.addLink(Sw1, Sw3, 10, 1).ok());
+  ASSERT_TRUE(Net.addLink(Sw3, Sw2, 10, 1).ok());
+  auto Vl = Net.routeVirtualLink(EsA, EsB, 10, 100);
+  ASSERT_TRUE(Vl.ok()) << Vl.error().message();
+  // Three hops of (1 + 1) each.
+  EXPECT_EQ(*Net.worstCaseDelay(*Vl), 6);
+}
+
+TEST(Afdx, ValidatesRoutesAndParameters) {
+  StarFixture F;
+  // Must start/end at end systems.
+  EXPECT_FALSE(F.Net.addVirtualLink({F.Sw, F.EsA}, 10, 10).ok());
+  // Intermediate hops must be switches.
+  EXPECT_FALSE(
+      F.Net.addVirtualLink({F.EsA, F.EsB, F.EsC}, 10, 10).ok());
+  // Links must exist.
+  Topology Net2;
+  int A = Net2.addNode("a", NodeKind::EndSystem);
+  int B = Net2.addNode("b", NodeKind::EndSystem);
+  EXPECT_FALSE(Net2.addVirtualLink({A, B}, 10, 10).ok());
+  EXPECT_FALSE(Net2.routeVirtualLink(A, B, 10, 10).ok());
+  // Parameter validation.
+  EXPECT_FALSE(F.Net.addLink(F.EsA, F.EsA, 10, 1).ok());
+  EXPECT_FALSE(F.Net.addLink(F.EsA, F.Sw, 0, 1).ok());
+}
+
+TEST(Afdx, FeedsMessageDelaysIntoTheModel) {
+  // producerConsumer's message gets its NetDelay from the network bound;
+  // the receiver's ready time must move accordingly.
+  StarFixture F;
+  auto Vl = F.Net.addVirtualLink({F.EsA, F.Sw, F.EsB}, 60, 50);
+  ASSERT_TRUE(Vl.ok());
+  // ceil(60/10)+1 per hop = 7+7 = 14.
+  ASSERT_EQ(*F.Net.worstCaseDelay(*Vl), 14);
+
+  cfg::Config C = testcfg::producerConsumer();
+  C.Partitions[1].Tasks[0].Period = 40; // Make room for the delay.
+  C.Partitions[1].Tasks[0].Deadline = 40;
+  C.Partitions[0].Tasks[0].Period = 40;
+  C.Partitions[0].Tasks[0].Deadline = 40;
+  C.Partitions[0].Windows[0] = {0, 40};
+  C.Partitions[1].Windows[0] = {0, 40};
+  ASSERT_FALSE(
+      net::computeMessageDelays(C, F.Net, {*Vl}).isFailure());
+  EXPECT_EQ(C.Messages[0].NetDelay, 14);
+
+  auto Out = analysis::analyzeConfiguration(C);
+  ASSERT_TRUE(Out.ok()) << Out.error().message();
+  // Producer finishes at 4; delivery at 4 + 14 = 18.
+  const analysis::JobStats *Cons = nullptr;
+  for (const analysis::JobStats &J : Out->Analysis.Jobs)
+    if (J.TaskGid == 1)
+      Cons = &J;
+  ASSERT_TRUE(Cons);
+  EXPECT_EQ(Cons->ReadyTime, 18);
+}
+
+TEST(Afdx, MismatchedMappingIsRejected) {
+  StarFixture F;
+  cfg::Config C = testcfg::producerConsumer();
+  EXPECT_TRUE(net::computeMessageDelays(C, F.Net, {}).isFailure());
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

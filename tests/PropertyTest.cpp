@@ -1,0 +1,243 @@
+//===- tests/PropertyTest.cpp - Property sweeps over random configs ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized sweeps over generated configurations checking the model's
+// global invariants on every trace:
+//
+//  * window confinement: all execution happens inside the owning
+//    partition's windows;
+//  * core exclusivity: at most one task of a core executes at any moment;
+//  * WCET exactness: completed jobs execute exactly their WCET, missed
+//    jobs strictly less;
+//  * message precedence: a receiver never starts before its senders'
+//    completions plus the link delay;
+//  * determinism: randomized interleaving orders yield the same job trace;
+//  * verdict agreement between the exhaustive model checker and the
+//    simulator on small configurations;
+//  * XML round-trips reproduce the analysis verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "configio/ConfigXml.h"
+#include "gen/Workload.h"
+#include "mc/ModelChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace swa;
+using namespace swa::analysis;
+
+namespace {
+
+cfg::Config smallConfig(uint64_t Seed, double Utilization = 0.45) {
+  gen::IndustrialParams P;
+  P.Modules = 2;
+  P.CoresPerModule = 1;
+  P.PartitionsPerCore = 2;
+  P.MinTasksPerPartition = 2;
+  P.MaxTasksPerPartition = 4;
+  P.Periods = {50, 100, 200};
+  P.CoreUtilization = Utilization;
+  P.Seed = Seed;
+  return gen::industrialConfig(P);
+}
+
+class RandomConfigProperty : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomConfigProperty, TraceInvariantsHold) {
+  cfg::Config C = smallConfig(GetParam());
+  ASSERT_FALSE(C.validate().isFailure());
+  auto Out = analyzeConfiguration(C);
+  ASSERT_TRUE(Out.ok()) << Out.error().message();
+  const AnalysisResult &R = Out->Analysis;
+  ASSERT_EQ(R.TotalJobs, C.jobCount());
+  EXPECT_TRUE(Out->failureFlagsConsistent());
+
+  cfg::TimeValue L = C.hyperperiod();
+
+  // Window confinement & core exclusivity.
+  struct Busy {
+    int64_t Start, End;
+    int Core;
+  };
+  std::vector<Busy> AllIntervals;
+  for (const JobStats &J : R.Jobs) {
+    cfg::TaskRef Ref = C.taskRefOf(J.TaskGid);
+    const cfg::Partition &P =
+        C.Partitions[static_cast<size_t>(Ref.Partition)];
+    for (const ExecInterval &I : J.Intervals) {
+      ASSERT_LT(I.Start, I.End);
+      ASSERT_GE(I.Start, 0);
+      ASSERT_LE(I.End, L);
+      // Every tick of the interval lies in some window of the partition.
+      for (int64_t T = I.Start; T < I.End; ++T) {
+        bool InWindow = false;
+        for (const cfg::Window &W : P.Windows)
+          if (T >= W.Start && T < W.End)
+            InWindow = true;
+        ASSERT_TRUE(InWindow)
+            << "task " << J.TaskGid << " executed at " << T
+            << " outside its windows";
+      }
+      AllIntervals.push_back({I.Start, I.End, P.Core});
+    }
+  }
+  // No two intervals on one core may overlap.
+  std::sort(AllIntervals.begin(), AllIntervals.end(),
+            [](const Busy &A, const Busy &B) {
+              return std::tie(A.Core, A.Start) < std::tie(B.Core, B.Start);
+            });
+  for (size_t I = 1; I < AllIntervals.size(); ++I)
+    if (AllIntervals[I].Core == AllIntervals[I - 1].Core)
+      ASSERT_GE(AllIntervals[I].Start, AllIntervals[I - 1].End)
+          << "overlapping execution on core " << AllIntervals[I].Core;
+
+  // WCET exactness.
+  for (const JobStats &J : R.Jobs) {
+    cfg::TimeValue Wcet = C.boundWcet(C.taskRefOf(J.TaskGid));
+    if (J.Completed)
+      EXPECT_EQ(J.ExecTotal, Wcet);
+    else
+      EXPECT_LT(J.ExecTotal, Wcet);
+  }
+
+  // Message precedence: receiver job k starts no earlier than sender job
+  // k's finish + the effective delay (when both jobs exist and ran).
+  std::map<std::pair<int, int>, const JobStats *> ByJob;
+  for (const JobStats &J : R.Jobs)
+    ByJob[{J.TaskGid, J.JobIndex}] = &J;
+  for (const cfg::Message &M : C.Messages) {
+    int SG = C.globalTaskId(M.Sender);
+    int RG = C.globalTaskId(M.Receiver);
+    cfg::TimeValue Delay = C.effectiveDelay(M);
+    for (const JobStats &J : R.Jobs) {
+      if (J.TaskGid != RG || J.Intervals.empty())
+        continue;
+      auto It = ByJob.find({SG, J.JobIndex});
+      ASSERT_NE(It, ByJob.end());
+      const JobStats *Sender = It->second;
+      ASSERT_TRUE(Sender->Completed)
+          << "receiver ran although its sender did not complete";
+      EXPECT_GE(J.Intervals.front().Start, Sender->FinishTime + Delay)
+          << "receiver job " << J.JobIndex << " of task " << RG
+          << " started before data from task " << SG;
+    }
+  }
+}
+
+TEST_P(RandomConfigProperty, RandomizedOrdersAreTraceEquivalent) {
+  cfg::Config C = smallConfig(GetParam());
+  auto Ref = analyzeConfiguration(C);
+  ASSERT_TRUE(Ref.ok()) << Ref.error().message();
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    Rng R(GetParam() * 1000 + Seed);
+    nsa::SimOptions Opts;
+    Opts.RandomOrder = &R;
+    auto Out = analyzeConfiguration(C, Opts);
+    ASSERT_TRUE(Out.ok()) << Out.error().message();
+    EXPECT_TRUE(jobTracesEquivalent(Ref->Analysis, Out->Analysis))
+        << "seed " << Seed;
+  }
+}
+
+TEST_P(RandomConfigProperty, XmlRoundTripPreservesVerdict) {
+  cfg::Config C = smallConfig(GetParam());
+  auto Direct = analyzeConfiguration(C);
+  ASSERT_TRUE(Direct.ok());
+  auto Back = configio::parseConfigXml(configio::writeConfigXml(C));
+  ASSERT_TRUE(Back.ok()) << Back.error().message();
+  auto Round = analyzeConfiguration(*Back);
+  ASSERT_TRUE(Round.ok());
+  EXPECT_EQ(Direct->Analysis.Schedulable, Round->Analysis.Schedulable);
+  EXPECT_EQ(Direct->Analysis.MissedJobs, Round->Analysis.MissedJobs);
+  EXPECT_TRUE(jobTracesEquivalent(Direct->Analysis, Round->Analysis));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12));
+
+//===----------------------------------------------------------------------===//
+// Model checker vs simulator on tiny configurations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class McAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+cfg::Config tinyConfig(uint64_t Seed) {
+  // Small enough for exhaustive exploration: one core, 2 partitions,
+  // <= 2 tasks each, short hyperperiod, mixed utilization so both
+  // verdicts occur across seeds.
+  Rng R(Seed);
+  cfg::Config C;
+  C.Name = "tiny";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"c", 0, 0});
+  cfg::TimeValue Minor = 8;
+  for (int PI = 0; PI < 2; ++PI) {
+    cfg::Partition P;
+    P.Name = "p" + std::to_string(PI);
+    P.Core = 0;
+    P.Scheduler =
+        R.chance(0.5) ? cfg::SchedulerKind::FPPS : cfg::SchedulerKind::EDF;
+    cfg::TimeValue Base = PI * Minor / 2;
+    P.Windows.push_back({Base, Base + Minor / 2});
+    P.Windows.push_back({Base + Minor, Base + Minor + Minor / 2});
+    int NT = static_cast<int>(R.uniformInt(1, 2));
+    for (int T = 0; T < NT; ++T) {
+      cfg::Task Task;
+      Task.Name = "t" + std::to_string(T);
+      Task.Period = R.chance(0.5) ? 8 : 16;
+      Task.Deadline = Task.Period;
+      Task.Wcet = {R.uniformInt(1, 3)};
+      Task.Priority = T + 1;
+      P.Tasks.push_back(std::move(Task));
+    }
+    C.Partitions.push_back(std::move(P));
+  }
+  return C;
+}
+
+} // namespace
+
+TEST_P(McAgreement, VerdictsMatch) {
+  cfg::Config C = tinyConfig(GetParam());
+  if (C.validate().isFailure())
+    GTEST_SKIP();
+  auto Out = analyzeConfiguration(C);
+  ASSERT_TRUE(Out.ok()) << Out.error().message();
+
+  auto Model = core::buildModel(C);
+  ASSERT_TRUE(Model.ok());
+  mc::ModelChecker MC(*Model->Net);
+  mc::McOptions Opts;
+  Opts.MaxStates = 2000000;
+  mc::McResult R = MC.explore(
+      Opts, mc::ModelChecker::storeNonZero(*Model->Net, "is_failed"));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.PropertyViolated, !Out->Analysis.Schedulable)
+      << "MC and simulation disagree";
+  // Exploration stops at the first violation, so complete-run statistics
+  // are only meaningful on schedulable configurations.
+  if (!R.PropertyViolated)
+    EXPECT_EQ(R.DistinctFinalStates, 1u) << "nondeterministic final state";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McAgreement,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28,
+                                           29, 30));
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

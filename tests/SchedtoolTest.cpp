@@ -1,0 +1,123 @@
+//===- tests/SchedtoolTest.cpp - Configuration search tests ----------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "gen/Workload.h"
+#include "schedtool/ConfigSearch.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+using namespace swa::schedtool;
+
+namespace {
+
+cfg::Config unboundProblem(double Utilization, uint64_t Seed) {
+  gen::IndustrialParams P;
+  P.Modules = 2;
+  P.CoresPerModule = 2;
+  P.PartitionsPerCore = 2;
+  P.CoreUtilization = Utilization;
+  P.Seed = Seed;
+  cfg::Config C = gen::industrialConfig(P);
+  for (cfg::Partition &Part : C.Partitions) {
+    Part.Core = -1;
+    Part.Windows.clear();
+  }
+  return C;
+}
+
+} // namespace
+
+TEST(FirstFit, BindsAllPartitionsUnderCapacity) {
+  cfg::Config C = unboundProblem(0.4, 1);
+  ASSERT_TRUE(bindFirstFitDecreasing(C));
+  for (const cfg::Partition &P : C.Partitions) {
+    EXPECT_GE(P.Core, 0);
+    EXPECT_LT(P.Core, static_cast<int>(C.Cores.size()));
+  }
+  // No core may end up over unit utilization.
+  for (size_t Core = 0; Core < C.Cores.size(); ++Core) {
+    double U = 0;
+    for (size_t P = 0; P < C.Partitions.size(); ++P)
+      if (C.Partitions[P].Core == static_cast<int>(Core))
+        U += C.partitionUtilization(static_cast<int>(P));
+    EXPECT_LE(U, 1.0) << "core " << Core;
+  }
+}
+
+TEST(FirstFit, FailsWhenDemandExceedsCapacity) {
+  cfg::Config C = testcfg::twoTasksOneCore();
+  // One core, three copies of a 60%-utilization partition.
+  C.Partitions[0].Tasks = {{"t", 1, {6}, 10, 10}};
+  C.Partitions.push_back(C.Partitions[0]);
+  C.Partitions.push_back(C.Partitions[0]);
+  for (cfg::Partition &P : C.Partitions)
+    P.Core = -1;
+  EXPECT_FALSE(bindFirstFitDecreasing(C));
+}
+
+TEST(Windows, SynthesisProducesValidLayouts) {
+  cfg::Config C = unboundProblem(0.5, 2);
+  ASSERT_TRUE(bindFirstFitDecreasing(C));
+  synthesizeWindows(C, std::vector<double>(C.Partitions.size(), 1.5));
+  Error E = C.validate();
+  EXPECT_FALSE(E.isFailure()) << E.message();
+  for (const cfg::Partition &P : C.Partitions)
+    EXPECT_FALSE(P.Windows.empty()) << P.Name;
+}
+
+TEST(Search, FindsScheduleAtModerateUtilization) {
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.35, 3);
+  Problem.Seed = 3;
+  Problem.MaxIterations = 30;
+  auto Res = searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_TRUE(Res->Found);
+  EXPECT_GE(Res->ConfigurationsEvaluated, 1);
+  // The returned configuration must itself re-verify as schedulable.
+  auto Recheck = analysis::analyzeConfiguration(Res->Best);
+  ASSERT_TRUE(Recheck.ok()) << Recheck.error().message();
+  EXPECT_TRUE(Recheck->Analysis.Schedulable);
+}
+
+TEST(Search, DiscardsUnschedulableCandidates) {
+  // At very high utilization the search evaluates and rejects candidates;
+  // whether it succeeds is workload-dependent, but every iteration must be
+  // logged and counted.
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.8, 4);
+  Problem.Seed = 4;
+  Problem.MaxIterations = 6;
+  auto Res = searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_GE(Res->ConfigurationsEvaluated, 1);
+  EXPECT_EQ(Res->Log.empty(), false);
+  if (!Res->Found) {
+    EXPECT_GT(Res->BestMissedJobs, 0);
+  }
+}
+
+TEST(Search, IsDeterministicPerSeed) {
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.5, 5);
+  Problem.Seed = 9;
+  Problem.MaxIterations = 10;
+  auto A = searchConfiguration(Problem);
+  auto B = searchConfiguration(Problem);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  EXPECT_EQ(A->Found, B->Found);
+  EXPECT_EQ(A->ConfigurationsEvaluated, B->ConfigurationsEvaluated);
+  EXPECT_EQ(A->Log, B->Log);
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,163 @@
+//===- tests/SchedulerSweepTest.cpp - Scheduler theory property sweeps ------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Classic scheduling-theory results, checked against the model on random
+// single-partition, full-window, implicit-deadline task sets:
+//
+//  * EDF optimality: a task set is EDF-schedulable iff U <= 1;
+//  * dominance: whatever FPPS schedules, EDF schedules too;
+//  * the Liu & Layland bound: FPPS with rate-monotonic priorities always
+//    succeeds below n(2^(1/n)-1) utilization;
+//  * FPNPS never beats FPPS on worst response times of the highest-
+//    priority task... (blocking): checked as "hi task's worst response
+//    under FPNPS >= under FPPS".
+//
+// These hold only in the restricted setting (one partition, one full
+// window, independent synchronous tasks), which the generator guarantees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "gen/Workload.h"
+#include "support/MathExtras.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace swa;
+using namespace swa::analysis;
+
+namespace {
+
+/// One partition on one core, full window, implicit deadlines.
+cfg::Config taskSet(uint64_t Seed, double Utilization,
+                    cfg::SchedulerKind Kind) {
+  Rng R(Seed);
+  cfg::Config C;
+  C.Name = "sweep";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"c", 0, 0});
+  cfg::Partition P;
+  P.Name = "p";
+  P.Core = 0;
+  P.Scheduler = Kind;
+  int N = static_cast<int>(R.uniformInt(2, 5));
+  std::vector<double> U = gen::uunifast(R, N, Utilization);
+  std::vector<cfg::TimeValue> Periods = {16, 32, 64};
+  for (int I = 0; I < N; ++I) {
+    cfg::Task T;
+    T.Name = "t" + std::to_string(I);
+    T.Period = Periods[R.index(Periods.size())];
+    T.Deadline = T.Period;
+    cfg::TimeValue Cost = static_cast<cfg::TimeValue>(
+        std::llround(U[static_cast<size_t>(I)] *
+                     static_cast<double>(T.Period)));
+    T.Wcet = {std::max<cfg::TimeValue>(1, std::min(Cost, T.Period))};
+    // Rate-monotonic priorities, unique.
+    T.Priority = 1000 - static_cast<int>(T.Period) * 10 + I;
+    P.Tasks.push_back(std::move(T));
+  }
+  cfg::TimeValue L = 1;
+  for (const cfg::Task &T : P.Tasks)
+    L = lcm64(L, T.Period);
+  P.Windows.push_back({0, L});
+  C.Partitions.push_back(std::move(P));
+  return C;
+}
+
+double actualUtilization(const cfg::Config &C) {
+  double U = 0;
+  for (size_t T = 0; T < C.Partitions[0].Tasks.size(); ++T)
+    U += static_cast<double>(C.boundWcet({0, static_cast<int>(T)})) /
+         static_cast<double>(C.Partitions[0].Tasks[T].Period);
+  return U;
+}
+
+bool schedulableUnder(cfg::Config C, cfg::SchedulerKind Kind) {
+  C.Partitions[0].Scheduler = Kind;
+  auto Out = analyzeConfiguration(C);
+  EXPECT_TRUE(Out.ok()) << Out.error().message();
+  return Out.ok() && Out->Analysis.Schedulable;
+}
+
+class SchedulerSweep : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(SchedulerSweep, EdfIsOptimalForImplicitDeadlines) {
+  for (double Target : {0.6, 0.85, 0.99}) {
+    cfg::Config C = taskSet(GetParam() * 7 + 1, Target,
+                            cfg::SchedulerKind::EDF);
+    if (C.validate().isFailure())
+      continue;
+    double U = actualUtilization(C);
+    bool Sched = schedulableUnder(C, cfg::SchedulerKind::EDF);
+    if (U <= 1.0)
+      EXPECT_TRUE(Sched) << "EDF missed at U=" << U;
+    else
+      EXPECT_FALSE(Sched) << "overload schedulable?! U=" << U;
+  }
+}
+
+TEST_P(SchedulerSweep, EdfDominatesFixedPriorities) {
+  cfg::Config C = taskSet(GetParam() * 13 + 3, 0.95,
+                          cfg::SchedulerKind::FPPS);
+  if (C.validate().isFailure())
+    GTEST_SKIP();
+  bool Fpps = schedulableUnder(C, cfg::SchedulerKind::FPPS);
+  bool Edf = schedulableUnder(C, cfg::SchedulerKind::EDF);
+  if (Fpps)
+    EXPECT_TRUE(Edf) << "FPPS schedulable but EDF not";
+}
+
+TEST_P(SchedulerSweep, RateMonotonicBoundHolds) {
+  cfg::Config C =
+      taskSet(GetParam() * 29 + 5, 0.6, cfg::SchedulerKind::FPPS);
+  if (C.validate().isFailure())
+    GTEST_SKIP();
+  double N = static_cast<double>(C.Partitions[0].Tasks.size());
+  double Bound = N * (std::pow(2.0, 1.0 / N) - 1.0);
+  if (actualUtilization(C) <= Bound)
+    EXPECT_TRUE(schedulableUnder(C, cfg::SchedulerKind::FPPS))
+        << "RM bound violated at U=" << actualUtilization(C);
+}
+
+TEST_P(SchedulerSweep, NonPreemptionOnlyDelaysTheUrgentTask) {
+  cfg::Config C =
+      taskSet(GetParam() * 31 + 11, 0.5, cfg::SchedulerKind::FPPS);
+  if (C.validate().isFailure())
+    GTEST_SKIP();
+
+  auto WorstOfBest = [&](cfg::SchedulerKind Kind) -> int64_t {
+    cfg::Config C2 = C;
+    C2.Partitions[0].Scheduler = Kind;
+    auto Out = analyzeConfiguration(C2);
+    EXPECT_TRUE(Out.ok());
+    // The highest-priority task.
+    int Best = 0;
+    for (size_t T = 1; T < C2.Partitions[0].Tasks.size(); ++T)
+      if (C2.Partitions[0].Tasks[T].Priority >
+          C2.Partitions[0].Tasks[static_cast<size_t>(Best)].Priority)
+        Best = static_cast<int>(T);
+    int G = C2.globalTaskId({0, Best});
+    return Out->Analysis.WorstResponse[static_cast<size_t>(G)];
+  };
+
+  int64_t Fpps = WorstOfBest(cfg::SchedulerKind::FPPS);
+  int64_t Fpnps = WorstOfBest(cfg::SchedulerKind::FPNPS);
+  if (Fpps >= 0 && Fpnps >= 0)
+    EXPECT_GE(Fpnps, Fpps)
+        << "non-preemption improved the most urgent task?";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

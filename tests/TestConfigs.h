@@ -1,0 +1,132 @@
+//===- tests/TestConfigs.h - Shared configuration fixtures ------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hand-built configurations shared by the test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_TESTS_TESTCONFIGS_H
+#define SWA_TESTS_TESTCONFIGS_H
+
+#include "config/Config.h"
+
+namespace swa {
+namespace testcfg {
+
+/// One module, one core, one FPPS partition with a full-hyperperiod
+/// window and two tasks:
+///   T1: period 10, wcet 3, deadline 10, priority 2
+///   T2: period 20, wcet 5, deadline 20, priority 1
+/// Hyperperiod 20; classic rate-monotonic example, schedulable.
+inline cfg::Config twoTasksOneCore() {
+  cfg::Config C;
+  C.Name = "two-tasks";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"m0c0", 0, 0});
+  cfg::Partition P;
+  P.Name = "p0";
+  P.Scheduler = cfg::SchedulerKind::FPPS;
+  P.Core = 0;
+  P.Windows.push_back({0, 20});
+  P.Tasks.push_back({"t1", 2, {3}, 10, 10});
+  P.Tasks.push_back({"t2", 1, {5}, 20, 20});
+  C.Partitions.push_back(std::move(P));
+  return C;
+}
+
+/// Same structure but the low-priority task is too long: T2 needs 16
+/// ticks but only 20 - 2*3 = 14 are left in the hyperperiod.
+inline cfg::Config overloadedOneCore() {
+  cfg::Config C = twoTasksOneCore();
+  C.Name = "overloaded";
+  C.Partitions[0].Tasks[1].Wcet[0] = 16;
+  return C;
+}
+
+/// A long low-priority task preempted by a short high-priority one:
+///   hi: period 10, wcet 2, priority 5
+///   lo: period 20, wcet 15, priority 1
+/// FPPS over a full window; lo executes [2,10) and [12,19).
+inline cfg::Config preemptionShowcase() {
+  cfg::Config C;
+  C.Name = "preemption";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"m0c0", 0, 0});
+  cfg::Partition P;
+  P.Name = "p0";
+  P.Scheduler = cfg::SchedulerKind::FPPS;
+  P.Core = 0;
+  P.Windows.push_back({0, 20});
+  P.Tasks.push_back({"hi", 5, {2}, 10, 10});
+  P.Tasks.push_back({"lo", 1, {15}, 20, 20});
+  C.Partitions.push_back(std::move(P));
+  return C;
+}
+
+/// Two partitions on one core with alternating 5-tick windows over a
+/// hyperperiod of 20. Each partition has one task (period 20, wcet 7):
+/// the task needs both of its windows to complete.
+inline cfg::Config twoPartitionsWindows() {
+  cfg::Config C;
+  C.Name = "two-partitions";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"m0c0", 0, 0});
+  for (int I = 0; I < 2; ++I) {
+    cfg::Partition P;
+    P.Name = I == 0 ? "pA" : "pB";
+    P.Scheduler = cfg::SchedulerKind::FPPS;
+    P.Core = 0;
+    cfg::TimeValue Base = I * 5;
+    P.Windows.push_back({Base, Base + 5});
+    P.Windows.push_back({Base + 10, Base + 15});
+    P.Tasks.push_back({"t", 1, {7}, 20, 20});
+    C.Partitions.push_back(std::move(P));
+  }
+  return C;
+}
+
+/// A producer/consumer pair on two cores of different modules, linked by
+/// one message with distinct memory/network delays:
+///   producer: period 20, wcet 4   (partition p0, core 0, module 0)
+///   consumer: period 20, wcet 3   (partition p1, core 1, module 1)
+/// The consumer cannot start its job before the producer's data arrives
+/// (at completion + network delay 5).
+inline cfg::Config producerConsumer() {
+  cfg::Config C;
+  C.Name = "producer-consumer";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"m0c0", 0, 0});
+  C.Cores.push_back({"m1c0", 1, 0});
+  {
+    cfg::Partition P;
+    P.Name = "prod";
+    P.Core = 0;
+    P.Windows.push_back({0, 20});
+    P.Tasks.push_back({"producer", 1, {4}, 20, 20});
+    C.Partitions.push_back(std::move(P));
+  }
+  {
+    cfg::Partition P;
+    P.Name = "cons";
+    P.Core = 1;
+    P.Windows.push_back({0, 20});
+    P.Tasks.push_back({"consumer", 1, {3}, 20, 20});
+    C.Partitions.push_back(std::move(P));
+  }
+  cfg::Message M;
+  M.Sender = {0, 0};
+  M.Receiver = {1, 0};
+  M.MemDelay = 1;
+  M.NetDelay = 5;
+  C.Messages.push_back(M);
+  return C;
+}
+
+} // namespace testcfg
+} // namespace swa
+
+#endif // SWA_TESTS_TESTCONFIGS_H

@@ -1,0 +1,227 @@
+//===- tests/UslSemaTest.cpp - USL type/semantic rule coverage --------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// One test per front-end rule: every rejection the parser/type checker is
+// supposed to make, and the corner acceptances around them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "usl/Decls.h"
+#include "usl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+using namespace swa::usl;
+
+namespace {
+
+/// Parses decls; expects success.
+Declarations &decls(Declarations &D, const std::string &Src) {
+  Error E = parseDeclarations(Src, D, false);
+  EXPECT_FALSE(E) << Src << ": " << E.message();
+  return D;
+}
+
+/// True when the declaration block is rejected.
+bool rejectsDecl(const std::string &Src) {
+  Declarations D;
+  return parseDeclarations(Src, D, false).isFailure();
+}
+
+/// True when the expression is rejected in the given scope.
+bool rejectsExpr(const Declarations &D, const std::string &Src) {
+  return !parseBoolExpr(Src, D).ok() && !parseIntExpr(Src, D).ok();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Types in expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, ArithmeticRequiresInts) {
+  Declarations D;
+  decls(D, "int i; bool b;");
+  EXPECT_TRUE(rejectsExpr(D, "b + 1"));
+  EXPECT_TRUE(rejectsExpr(D, "i * b"));
+  EXPECT_TRUE(rejectsExpr(D, "-b"));
+  EXPECT_TRUE(parseIntExpr("i + 1", D).ok());
+}
+
+TEST(Sema, LogicRequiresBools) {
+  Declarations D;
+  decls(D, "int i; bool b;");
+  EXPECT_TRUE(rejectsExpr(D, "i && b"));
+  EXPECT_TRUE(rejectsExpr(D, "!i"));
+  EXPECT_TRUE(rejectsExpr(D, "b || 3"));
+  EXPECT_TRUE(parseBoolExpr("b && i > 0", D).ok());
+}
+
+TEST(Sema, EqualityNeedsMatchingKinds) {
+  Declarations D;
+  decls(D, "int i; bool b;");
+  EXPECT_TRUE(rejectsExpr(D, "i == b"));
+  EXPECT_TRUE(parseBoolExpr("b == (i > 0)", D).ok());
+}
+
+TEST(Sema, TernaryBranchesMustMatch) {
+  Declarations D;
+  decls(D, "int i; bool b;");
+  EXPECT_TRUE(rejectsExpr(D, "b ? 1 : false"));
+  EXPECT_TRUE(rejectsExpr(D, "i ? 1 : 2")); // Condition must be bool.
+  EXPECT_TRUE(parseIntExpr("b ? 1 : 2", D).ok());
+}
+
+TEST(Sema, ArraysAreNotValues) {
+  Declarations D;
+  decls(D, "int a[3]; int i;");
+  EXPECT_TRUE(rejectsExpr(D, "a + 1"));
+  EXPECT_TRUE(rejectsExpr(D, "i[0]")); // Scalar is not subscriptable.
+  EXPECT_TRUE(rejectsExpr(D, "a[true]"));
+  EXPECT_TRUE(parseIntExpr("a[i]", D).ok());
+}
+
+TEST(Sema, UndeclaredAndMisusedNames) {
+  Declarations D;
+  decls(D, "int i; chan c; int f() { return 1; }");
+  EXPECT_TRUE(rejectsExpr(D, "nothere"));
+  EXPECT_TRUE(rejectsExpr(D, "c + 1")); // Channels are not values.
+  EXPECT_TRUE(rejectsExpr(D, "f"));     // Function without call.
+  EXPECT_TRUE(rejectsExpr(D, "i(1)"));  // Calling a variable.
+}
+
+TEST(Sema, CallArityAndTypes) {
+  Declarations D;
+  decls(D, "int f(int a, bool b) { if (b) return a; return 0; }");
+  EXPECT_TRUE(rejectsExpr(D, "f(1)"));
+  EXPECT_TRUE(rejectsExpr(D, "f(1, 2)"));
+  EXPECT_TRUE(rejectsExpr(D, "f(true, true)"));
+  EXPECT_TRUE(parseIntExpr("f(1, true)", D).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations and functions
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, ConstsMustFold) {
+  EXPECT_TRUE(rejectsDecl("int x; const int N = x;"));
+  EXPECT_FALSE(rejectsDecl("const int N = 2 * 3 + 1;"));
+  EXPECT_TRUE(rejectsDecl("const int N = 1 / 0;"));
+}
+
+TEST(Sema, ArraySizesMustFoldAndBePositive) {
+  EXPECT_TRUE(rejectsDecl("int n; int a[n];"));
+  EXPECT_TRUE(rejectsDecl("int a[0];"));
+  EXPECT_TRUE(rejectsDecl("int a[-3];"));
+  EXPECT_FALSE(rejectsDecl("const int N = 4; int a[N * 2];"));
+}
+
+TEST(Sema, ArrayInitializerLengths) {
+  EXPECT_TRUE(rejectsDecl("int a[2] = {1, 2, 3};"));
+  EXPECT_FALSE(rejectsDecl("int a[3] = {1};")); // Remainder zero-filled.
+  EXPECT_TRUE(rejectsDecl("const int a[2] = {1};")); // Consts are exact.
+}
+
+TEST(Sema, VoidRestrictions) {
+  EXPECT_TRUE(rejectsDecl("void v;"));
+  EXPECT_TRUE(rejectsDecl("void f() { return 1; }"));
+  EXPECT_TRUE(rejectsDecl("int f() { return; }"));
+  Declarations D;
+  decls(D, "int g; void f() { g = 1; }");
+  // A void call is a statement, not a value.
+  EXPECT_TRUE(rejectsExpr(D, "f() + 1"));
+}
+
+TEST(Sema, LocalScopingAndShadowing) {
+  // Locals are block-scoped; using one after its block fails.
+  EXPECT_TRUE(rejectsDecl("int f() { if (true) { int t = 1; } "
+                          "return t; }"));
+  // Shadowing a global inside a function body is allowed.
+  EXPECT_FALSE(rejectsDecl("int g; int f() { int g = 2; return g; }"));
+  // Duplicate locals in one block are not.
+  EXPECT_TRUE(rejectsDecl("int f() { int a; int a; return 0; }"));
+  // Duplicate parameters are not.
+  EXPECT_TRUE(rejectsDecl("int f(int a, int a) { return a; }"));
+}
+
+TEST(Sema, AssignmentRules) {
+  EXPECT_TRUE(rejectsDecl("const int N = 3; void f() { N = 4; }"));
+  EXPECT_TRUE(rejectsDecl("int a[2]; void f() { a = 1; }"));
+  EXPECT_TRUE(rejectsDecl("bool b; void f() { b += true; }"));
+  EXPECT_TRUE(rejectsDecl("int i; void f() { i = true; }"));
+  EXPECT_FALSE(rejectsDecl("int i; void f() { i += 2; i -= 1; i++; }"));
+}
+
+TEST(Sema, RangesParseAndValidate) {
+  EXPECT_TRUE(rejectsDecl("int[5, 2] x;")); // Empty range.
+  EXPECT_TRUE(rejectsDecl("int y; int[0, y] x;"));
+  Declarations D;
+  decls(D, "const int HI = 7; int[0, HI] x;");
+  EXPECT_EQ(D.lookup("x")->RangeHi, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Clock discipline
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, ClocksOnlyInComparisons) {
+  Declarations D;
+  decls(D, "clock c; clock d; int i;");
+  EXPECT_TRUE(rejectsExpr(D, "c + 1"));
+  EXPECT_TRUE(rejectsExpr(D, "c == d"));
+  EXPECT_TRUE(rejectsExpr(D, "c != 3"));
+  // Clock conditions only combine with &&, at a guard's top level.
+  auto Ok = parseEdgeLabels("", "c >= 1 && i == 0 && c <= 9", "", "", D);
+  EXPECT_TRUE(Ok.ok()) << Ok.error().message();
+  EXPECT_FALSE(parseEdgeLabels("", "c >= 1 || i == 0", "", "", D).ok());
+  EXPECT_FALSE(
+      parseEdgeLabels("", "i == 0 ? c >= 1 : false", "", "", D).ok());
+}
+
+TEST(Sema, ClocksForbiddenInsideFunctions) {
+  EXPECT_TRUE(rejectsDecl("clock c; int f() { return c > 1 ? 1 : 0; }"));
+  EXPECT_TRUE(rejectsDecl("clock c; void f() { c = 0; }"));
+}
+
+TEST(Sema, ComparisonNormalizationBothSides) {
+  Declarations D;
+  decls(D, "clock c;");
+  // int-on-the-left comparisons normalize to clock-on-the-left.
+  auto G = parseEdgeLabels("", "5 <= c", "", "", D);
+  ASSERT_TRUE(G.ok()) << G.error().message();
+  ASSERT_EQ(G->Guard.Clocks.size(), 1u);
+  EXPECT_EQ(G->Guard.Clocks[0].Op, BinaryOp::Ge);
+}
+
+TEST(Sema, InvariantRateForms) {
+  Declarations D;
+  decls(D, "clock c; int on;");
+  EXPECT_TRUE(parseInvariant("c' == ((on == 1) ? 1 : 0)", D).ok());
+  EXPECT_FALSE(parseInvariant("c' >= 1", D).ok()); // Only '=='.
+  EXPECT_FALSE(parseInvariant("on' == 1", D).ok()); // Non-clock rate.
+  EXPECT_FALSE(parseInvariant("c >= 1", D).ok());   // Lower bound.
+}
+
+TEST(Sema, SelectRules) {
+  Declarations D;
+  decls(D, "int taken; chan go[4];");
+  // Select shadows nothing and is in scope for guard+sync+update.
+  auto L = parseEdgeLabels("i : int[0, 3], j : int[0, 1]",
+                           "i != j", "go[i]!", "taken = i + j", D);
+  ASSERT_TRUE(L.ok()) << L.error().message();
+  EXPECT_EQ(L->Selects.size(), 2u);
+  // A select may not shadow an existing name.
+  EXPECT_FALSE(parseEdgeLabels("taken : int[0, 1]", "", "", "", D).ok());
+  // Select variables are read-only.
+  EXPECT_FALSE(
+      parseEdgeLabels("i : int[0, 3]", "", "", "i = 2", D).ok());
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

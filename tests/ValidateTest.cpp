@@ -1,0 +1,157 @@
+//===- tests/ValidateTest.cpp - Structural validation and trace XML ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "configio/TraceXml.h"
+#include "core/InstanceBuilder.h"
+#include "analysis/Analyzer.h"
+#include "sa/NetworkBuilder.h"
+#include "sa/Template.h"
+#include "sa/Validate.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+using namespace swa::sa;
+
+namespace {
+
+Result<std::unique_ptr<Network>>
+build(const std::string &Globals,
+      const std::function<void(TemplateBuilder &)> &Define) {
+  NetworkBuilder NB;
+  if (Error E = NB.addGlobals(Globals))
+    return E;
+  TemplateBuilder TB("T", NB.globalDecls());
+  Define(TB);
+  auto T = TB.build();
+  if (!T.ok())
+    return T.takeError();
+  if (auto R = NB.addInstance(**T, "t", {}); !R.ok())
+    return R.takeError();
+  return NB.finish();
+}
+
+bool hasFinding(const std::vector<Finding> &Fs, const std::string &Piece,
+                FindingSeverity Sev) {
+  for (const Finding &F : Fs)
+    if (F.Severity == Sev && F.Message.find(Piece) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Validate, CleanLibraryModelsHaveNoErrors) {
+  auto Model = core::buildModel(testcfg::producerConsumer());
+  ASSERT_TRUE(Model.ok());
+  std::vector<Finding> Fs = validateNetwork(*Model->Net);
+  for (const Finding &F : Fs)
+    EXPECT_NE(F.Severity, FindingSeverity::Error)
+        << F.Automaton << ": " << F.Message;
+  EXPECT_FALSE(checkNetwork(*Model->Net).isFailure());
+}
+
+TEST(Validate, FlagsUnreachableLocations) {
+  auto Net = build("int x;", [](TemplateBuilder &TB) {
+    TB.location("A").location("Orphan").initial("A");
+  });
+  ASSERT_TRUE(Net.ok());
+  EXPECT_TRUE(hasFinding(validateNetwork(**Net), "unreachable",
+                         FindingSeverity::Warning));
+}
+
+TEST(Validate, FlagsDeadEndCommittedLocations) {
+  auto Net = build("int x;", [](TemplateBuilder &TB) {
+    TB.location("A").committed("C").initial("A").edge("A", "C", {});
+  });
+  ASSERT_TRUE(Net.ok());
+  EXPECT_TRUE(hasFinding(validateNetwork(**Net), "no outgoing",
+                         FindingSeverity::Error));
+  EXPECT_TRUE(checkNetwork(**Net).isFailure());
+}
+
+TEST(Validate, FlagsSenderWithoutReceiver) {
+  auto Net = build("chan lonely;", [](TemplateBuilder &TB) {
+    TB.location("A").location("B").initial("A").edge(
+        "A", "B", {.Sync = "lonely!"});
+  });
+  ASSERT_TRUE(Net.ok());
+  EXPECT_TRUE(hasFinding(validateNetwork(**Net), "no receiver",
+                         FindingSeverity::Error));
+}
+
+TEST(Validate, BroadcastSendersNeedNoReceivers) {
+  auto Net = build("broadcast chan shout;", [](TemplateBuilder &TB) {
+    TB.location("A").location("B").initial("A").edge(
+        "A", "B", {.Sync = "shout!"});
+  });
+  ASSERT_TRUE(Net.ok());
+  EXPECT_FALSE(checkNetwork(**Net).isFailure());
+}
+
+TEST(Validate, WarnsOnReceiveOnlyCommittedLocations) {
+  auto Net = build("chan c;", [](TemplateBuilder &TB) {
+    TB.location("A")
+        .committed("W")
+        .location("B")
+        .initial("A")
+        .edge("A", "W", {})
+        .edge("W", "B", {.Sync = "c?"})
+        .edge("B", "A", {.Sync = "c!"}); // Keeps the channel balanced.
+  });
+  ASSERT_TRUE(Net.ok());
+  EXPECT_TRUE(hasFinding(validateNetwork(**Net), "receive actions",
+                         FindingSeverity::Warning));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace XML
+//===----------------------------------------------------------------------===//
+
+TEST(TraceXml, RoundTripsRealTraces) {
+  auto Out = analysis::analyzeConfiguration(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Out.ok());
+  std::string Xml = configio::writeTraceXml(
+      "two-tasks", Out->Model.Config.hyperperiod(), Out->Trace);
+  auto Back = configio::parseTraceXml(Xml);
+  ASSERT_TRUE(Back.ok()) << Back.error().message();
+  EXPECT_EQ(Back->ConfigName, "two-tasks");
+  EXPECT_EQ(Back->Hyperperiod, 20);
+  ASSERT_EQ(Back->Trace.size(), Out->Trace.size());
+  for (size_t I = 0; I < Out->Trace.size(); ++I) {
+    EXPECT_EQ(Back->Trace[I].Type, Out->Trace[I].Type);
+    EXPECT_EQ(Back->Trace[I].TaskGid, Out->Trace[I].TaskGid);
+    EXPECT_EQ(Back->Trace[I].Time, Out->Trace[I].Time);
+  }
+
+  // A parsed trace analyzes identically: the scheduling-tool side of the
+  // Fig. 3 loop.
+  analysis::AnalysisResult FromXml =
+      analysis::analyzeTrace(Out->Model.Config, Back->Trace);
+  EXPECT_TRUE(
+      analysis::jobTracesEquivalent(Out->Analysis, FromXml));
+}
+
+TEST(TraceXml, RejectsMalformedDocuments) {
+  EXPECT_FALSE(configio::parseTraceXml("<nottrace/>").ok());
+  EXPECT_FALSE(configio::parseTraceXml(
+                   "<trace hyperperiod=\"x\"/>")
+                   .ok());
+  EXPECT_FALSE(configio::parseTraceXml(
+                   "<trace hyperperiod=\"10\">"
+                   "<event t=\"1\" type=\"NOPE\" task=\"0\"/></trace>")
+                   .ok());
+  EXPECT_FALSE(configio::parseTraceXml(
+                   "<trace hyperperiod=\"10\">"
+                   "<event type=\"EX\" task=\"0\"/></trace>")
+                   .ok());
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

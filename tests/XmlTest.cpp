@@ -1,0 +1,199 @@
+//===- tests/XmlTest.cpp - XML layer and config/template I/O tests ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "configio/ConfigXml.h"
+#include "configio/TemplateXml.h"
+#include "tests/TestConfigs.h"
+#include "usl/Decls.h"
+#include "usl/Parser.h"
+#include "xml/Xml.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+
+//===----------------------------------------------------------------------===//
+// XML parser
+//===----------------------------------------------------------------------===//
+
+TEST(Xml, ParsesElementsAttributesAndText) {
+  auto Doc = xml::parse("<?xml version=\"1.0\"?>\n"
+                        "<!-- header comment -->\n"
+                        "<root a=\"1\" b='two'>\n"
+                        "  <child>hello <inner/> world</child>\n"
+                        "  <child kind=\"x\"/>\n"
+                        "</root>");
+  ASSERT_TRUE(Doc.ok()) << Doc.error().message();
+  const xml::Node &Root = **Doc;
+  EXPECT_EQ(Root.Tag, "root");
+  EXPECT_EQ(*Root.attr("a"), "1");
+  EXPECT_EQ(*Root.attr("b"), "two");
+  EXPECT_EQ(Root.attr("missing"), nullptr);
+  ASSERT_EQ(Root.children("child").size(), 2u);
+  EXPECT_NE(Root.children("child")[0]->Text.find("hello"),
+            std::string::npos);
+  EXPECT_EQ(Root.children("child")[1]->attrOr("kind", ""), "x");
+}
+
+TEST(Xml, DecodesEntitiesAndCdata) {
+  auto Doc = xml::parse("<t a=\"&lt;&amp;&gt;\">x &quot;y&quot; "
+                        "<![CDATA[<raw & stuff>]]> &#65;&#x42;</t>");
+  ASSERT_TRUE(Doc.ok()) << Doc.error().message();
+  EXPECT_EQ(*(*Doc)->attr("a"), "<&>");
+  EXPECT_NE((*Doc)->Text.find("<raw & stuff>"), std::string::npos);
+  EXPECT_NE((*Doc)->Text.find("AB"), std::string::npos);
+}
+
+TEST(Xml, ReportsMalformedDocuments) {
+  EXPECT_FALSE(xml::parse("<a><b></a></b>").ok());
+  EXPECT_FALSE(xml::parse("<a>").ok());
+  EXPECT_FALSE(xml::parse("<a x=1/>").ok());
+  EXPECT_FALSE(xml::parse("<a>&bogus;</a>").ok());
+  EXPECT_FALSE(xml::parse("<a/><b/>").ok());
+  EXPECT_FALSE(xml::parse("").ok());
+}
+
+TEST(Xml, WriteParsesBack) {
+  xml::Node Root;
+  Root.Tag = "cfg";
+  Root.setAttr("name", "a<b&c");
+  xml::Node *Child = Root.addChild("item");
+  Child->setAttr("v", "42");
+  Child->Text = "some \"text\"";
+  std::string Out = xml::write(Root);
+  auto Back = xml::parse(Out);
+  ASSERT_TRUE(Back.ok()) << Back.error().message();
+  EXPECT_EQ(*(*Back)->attr("name"), "a<b&c");
+  EXPECT_EQ((*Back)->child("item")->Text, "some \"text\"");
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration XML
+//===----------------------------------------------------------------------===//
+
+TEST(ConfigXml, RoundTripsFullConfiguration) {
+  cfg::Config C = testcfg::producerConsumer();
+  std::string Xml = configio::writeConfigXml(C);
+  auto Back = configio::parseConfigXml(Xml);
+  ASSERT_TRUE(Back.ok()) << Back.error().message();
+
+  EXPECT_EQ(Back->Name, C.Name);
+  EXPECT_EQ(Back->NumCoreTypes, C.NumCoreTypes);
+  ASSERT_EQ(Back->Cores.size(), C.Cores.size());
+  EXPECT_EQ(Back->Cores[1].Module, 1);
+  ASSERT_EQ(Back->Partitions.size(), C.Partitions.size());
+  EXPECT_EQ(Back->Partitions[0].Tasks[0].Wcet, C.Partitions[0].Tasks[0].Wcet);
+  EXPECT_EQ(Back->Partitions[0].Windows[0].End, 20);
+  ASSERT_EQ(Back->Messages.size(), 1u);
+  EXPECT_EQ(Back->Messages[0].NetDelay, 5);
+  EXPECT_EQ(Back->Messages[0].Receiver.Partition, 1);
+}
+
+TEST(ConfigXml, RejectsBrokenDocuments) {
+  EXPECT_FALSE(configio::parseConfigXml("<notconfig/>").ok());
+  // Unknown core reference.
+  EXPECT_FALSE(configio::parseConfigXml(
+                   "<configuration name=\"x\" coreTypes=\"1\">"
+                   "<core name=\"c\" module=\"0\" type=\"0\"/>"
+                   "<partition name=\"p\" core=\"nope\">"
+                   "<task name=\"t\" priority=\"1\" period=\"10\" "
+                   "deadline=\"10\" wcet=\"1\"/>"
+                   "<window start=\"0\" end=\"10\"/>"
+                   "</partition></configuration>")
+                   .ok());
+  // Message to an unknown task.
+  cfg::Config C = testcfg::twoTasksOneCore();
+  std::string Xml = configio::writeConfigXml(C);
+  std::string Broken = Xml;
+  Broken.insert(Broken.find("</configuration>"),
+                "<message sender=\"p0/t1\" receiver=\"p0/zzz\" "
+                "memDelay=\"1\" netDelay=\"1\"/>");
+  EXPECT_FALSE(configio::parseConfigXml(Broken).ok());
+}
+
+TEST(ConfigXml, ValidatesSemantics) {
+  // Overlapping windows on one core must be rejected at parse time.
+  std::string Xml =
+      "<configuration name=\"x\" coreTypes=\"1\">"
+      "<core name=\"c\" module=\"0\" type=\"0\"/>"
+      "<partition name=\"p\" core=\"c\" scheduler=\"FPPS\">"
+      "<task name=\"t\" priority=\"1\" period=\"10\" deadline=\"10\" "
+      "wcet=\"1\"/>"
+      "<window start=\"0\" end=\"6\"/>"
+      "<window start=\"5\" end=\"10\"/>"
+      "</partition></configuration>";
+  auto R = configio::parseConfigXml(Xml);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().message().find("overlapping"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Template XML (the UPPAAL translator)
+//===----------------------------------------------------------------------===//
+
+TEST(TemplateXml, ParsesLocationsEdgesAndLabels) {
+  usl::Declarations Globals;
+  ASSERT_FALSE(usl::parseDeclarations("int x; chan go[4]; clock gc;",
+                                      Globals, false)
+                   .isFailure());
+  auto T = configio::parseTemplateXml(
+      "<template name=\"Demo\">"
+      "  <parameter>int k</parameter>"
+      "  <declaration>clock c; int n = 0;</declaration>"
+      "  <location id=\"A\" initial=\"true\" invariant=\"c &lt;= k\"/>"
+      "  <location id=\"B\" committed=\"true\"/>"
+      "  <transition source=\"A\" target=\"B\">"
+      "    <label kind=\"select\">i : int[0, 3]</label>"
+      "    <label kind=\"guard\">c &gt;= k &amp;&amp; i != 2</label>"
+      "    <label kind=\"synchronisation\">go[i]!</label>"
+      "    <label kind=\"assignment\">n = n + 1, c = 0</label>"
+      "  </transition>"
+      "</template>",
+      Globals);
+  ASSERT_TRUE(T.ok()) << T.error().message();
+  EXPECT_EQ((*T)->name(), "Demo");
+  EXPECT_EQ((*T)->locations().size(), 2u);
+  EXPECT_TRUE((*T)->locations()[1].Committed);
+  EXPECT_EQ((*T)->initialLocation(), 0);
+  ASSERT_EQ((*T)->edges().size(), 1u);
+  const sa::Template::EdgeDef &E = (*T)->edges()[0];
+  EXPECT_EQ(E.Labels.Selects.size(), 1u);
+  EXPECT_TRUE(E.Labels.Sync.IsSend);
+  EXPECT_EQ(E.Labels.Update.Stmts.size(), 1u);
+  EXPECT_EQ(E.Labels.Update.ClockResets.size(), 1u);
+}
+
+TEST(TemplateXml, SupportsUppaalInitElement) {
+  usl::Declarations Globals;
+  auto T = configio::parseTemplateXml("<template name=\"T\">"
+                                      "<location id=\"A\"/>"
+                                      "<location id=\"B\"/>"
+                                      "<init ref=\"B\"/>"
+                                      "</template>",
+                                      Globals);
+  ASSERT_TRUE(T.ok()) << T.error().message();
+  EXPECT_EQ((*T)->initialLocation(), 1);
+}
+
+TEST(TemplateXml, ReportsErrorsWithContext) {
+  usl::Declarations Globals;
+  auto NoName = configio::parseTemplateXml("<template/>", Globals);
+  EXPECT_FALSE(NoName.ok());
+  auto BadGuard = configio::parseTemplateXml(
+      "<template name=\"T\"><location id=\"A\" initial=\"true\"/>"
+      "<transition source=\"A\" target=\"A\">"
+      "<label kind=\"guard\">undeclared_var > 0</label>"
+      "</transition></template>",
+      Globals);
+  ASSERT_FALSE(BadGuard.ok());
+  EXPECT_NE(BadGuard.error().message().find("undeclared"),
+            std::string::npos);
+}
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
