@@ -16,6 +16,8 @@
 #include "models/ModelLibrary.h"
 #include "sa/NetworkBuilder.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -64,4 +66,4 @@ static void BM_CompileComponentLibrary(benchmark::State &State) {
 }
 BENCHMARK(BM_CompileComponentLibrary)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

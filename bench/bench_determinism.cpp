@@ -17,6 +17,8 @@
 #include "analysis/Analyzer.h"
 #include "gen/Workload.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -79,4 +81,4 @@ static void BM_RandomizedRunAndEquivalence(benchmark::State &State) {
 }
 BENCHMARK(BM_RandomizedRunAndEquivalence)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

@@ -21,6 +21,8 @@
 #include "usl/Parser.h"
 #include "usl/Vm.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -182,6 +184,7 @@ static void BM_SimTreeInterpreter(benchmark::State &State) {
     benchmark::DoNotOptimize(R.ActionCount);
   }
   State.counters["jobs"] = static_cast<double>(Config.jobCount());
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_SimTreeInterpreter)
     ->Arg(1000)
@@ -209,6 +212,7 @@ static void BM_SimWithReadHints(benchmark::State &State) {
     benchmark::DoNotOptimize(R.ActionCount);
   }
   State.counters["jobs"] = static_cast<double>(Config.jobCount());
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_SimWithReadHints)
     ->Arg(1000)
@@ -248,6 +252,7 @@ static void BM_SimConservativeReads(benchmark::State &State) {
     benchmark::DoNotOptimize(R.ActionCount);
   }
   State.counters["jobs"] = static_cast<double>(Config.jobCount());
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_SimConservativeReads)
     ->Arg(1000)
@@ -255,4 +260,4 @@ BENCHMARK(BM_SimConservativeReads)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

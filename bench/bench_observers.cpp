@@ -14,6 +14,8 @@
 
 #include "verify/Observers.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -81,4 +83,4 @@ static void BM_VerifyFullSuite(benchmark::State &State) {
 }
 BENCHMARK(BM_VerifyFullSuite)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

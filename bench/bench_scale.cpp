@@ -15,6 +15,8 @@
 #include "analysis/Analyzer.h"
 #include "gen/Workload.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -37,6 +39,7 @@ static void BM_FullAnalysis(benchmark::State &State) {
   State.counters["jobs"] = static_cast<double>(Jobs);
   State.counters["tasks"] = Config.numTasks();
   State.counters["missed"] = static_cast<double>(Missed);
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_FullAnalysis)
     ->Arg(500)
@@ -71,6 +74,7 @@ static void BM_SimulationOnly(benchmark::State &State) {
   }
   State.counters["jobs"] = static_cast<double>(Config.jobCount());
   State.counters["actions"] = static_cast<double>(Actions);
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_SimulationOnly)
     ->Arg(500)
@@ -80,4 +84,4 @@ BENCHMARK(BM_SimulationOnly)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

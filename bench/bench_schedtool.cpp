@@ -14,6 +14,8 @@
 #include "gen/Workload.h"
 #include "schedtool/ConfigSearch.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -51,6 +53,7 @@ static void BM_SearchAtUtilization(benchmark::State &State) {
   State.counters["evaluated"] = Evaluated;
   State.counters["found"] = Found;
   State.counters["utilization"] = Utilization;
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_SearchAtUtilization)
     ->Arg(30)
@@ -61,4 +64,4 @@ BENCHMARK(BM_SearchAtUtilization)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

@@ -26,6 +26,8 @@
 #include "mc/ModelChecker.h"
 #include "nsa/Simulator.h"
 
+#include "BenchSupport.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace swa;
@@ -56,6 +58,7 @@ static void BM_ModelChecking(benchmark::State &State) {
   }
   State.counters["states"] = static_cast<double>(States);
   State.counters["jobs"] = Jobs;
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_ModelChecking)
     ->DenseRange(10, 18, 1)
@@ -112,6 +115,7 @@ static void BM_ModelCheckingFullStack(benchmark::State &State) {
   }
   State.counters["states"] = static_cast<double>(States);
   State.counters["jobs"] = Jobs;
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_ModelCheckingFullStack)
     ->DenseRange(2, 6, 1)
@@ -133,9 +137,10 @@ static void BM_ProposedApproachFullStack(benchmark::State &State) {
     benchmark::DoNotOptimize(Out->Analysis.TotalJobs);
   }
   State.counters["jobs"] = Jobs;
+  swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_ProposedApproachFullStack)
     ->DenseRange(10, 18, 1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SWA_BENCH_MAIN();

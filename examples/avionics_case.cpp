@@ -143,6 +143,7 @@ int main() {
     return 1;
   }
 
+  std::printf("NSA run: %s\n\n", Out->Sim.summary().c_str());
   std::printf("%s\n", analysis::renderReport(Config, Out->Analysis).c_str());
   std::printf("gantt (one column per tick):\n%s\n",
               analysis::renderGantt(Config, Out->Analysis).c_str());

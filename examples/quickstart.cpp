@@ -60,10 +60,6 @@ int main() {
                 static_cast<long long>(J.responseTime()));
   }
 
-  std::printf("\nNSA run: %llu action transitions, %llu delays, %zu "
-              "synchronization events\n",
-              static_cast<unsigned long long>(Out->Sim.ActionCount),
-              static_cast<unsigned long long>(Out->Sim.DelayCount),
-              Out->Sim.Events.size());
+  std::printf("\nNSA run: %s\n", Out->Sim.summary().c_str());
   return Out->Analysis.Schedulable ? 0 : 2;
 }

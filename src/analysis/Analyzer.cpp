@@ -6,6 +6,9 @@
 
 #include "analysis/Analyzer.h"
 
+#include "obs/Metrics.h"
+#include "obs/Timer.h"
+
 using namespace swa;
 using namespace swa::analysis;
 
@@ -38,7 +41,15 @@ swa::analysis::analyzeConfiguration(const cfg::Config &Config,
   if (!Out.Sim.ok())
     return Error::failure("simulation failed: " + Out.Sim.Error);
 
-  Out.Trace = core::mapTrace(Out.Model, Out.Sim.Events);
-  Out.Analysis = analyzeTrace(Config, Out.Trace);
+  {
+    obs::ScopedTimer Timer("analyze");
+    {
+      obs::ScopedTimer MapTimer("map_trace");
+      Out.Trace = core::mapTrace(Out.Model, Out.Sim.Events);
+    }
+    Out.Analysis = analyzeTrace(Config, Out.Trace);
+  }
+  if (obs::enabled())
+    obs::Registry::global().counter("analysis.configurations").add(1);
   return Out;
 }

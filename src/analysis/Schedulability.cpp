@@ -6,6 +6,7 @@
 
 #include "analysis/Schedulability.h"
 
+#include "obs/Timer.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -26,6 +27,7 @@ struct TaskScan {
 
 AnalysisResult swa::analysis::analyzeTrace(const cfg::Config &Config,
                                            const core::SystemTrace &Trace) {
+  obs::ScopedTimer Timer("criterion");
   AnalysisResult Res;
   int NT = Config.numTasks();
   cfg::TimeValue L = Config.hyperperiod();

@@ -7,6 +7,8 @@
 #include "core/InstanceBuilder.h"
 
 #include "models/ModelLibrary.h"
+#include "obs/Metrics.h"
+#include "obs/Timer.h"
 #include "sa/Compile.h"
 #include "sa/NetworkBuilder.h"
 #include "sa/Validate.h"
@@ -18,6 +20,7 @@ using namespace swa;
 using namespace swa::core;
 
 Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
+  obs::ScopedTimer Timer("build");
   if (Error E = Config.validate())
     return E.withContext("invalid configuration");
 
@@ -175,6 +178,13 @@ Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
     return E;
   Out.Net->Meta["horizon"] = L;
   Out.Net->Meta["numTasks"] = NT;
+
+  if (obs::enabled()) {
+    obs::Registry &Reg = obs::Registry::global();
+    Reg.counter("core.models.built").add(1);
+    Reg.counter("core.automata.instantiated")
+        .add(static_cast<uint64_t>(Out.Net->Automata.size()));
+  }
 
   Out.ReadyBase = Out.Net->channelId("ready");
   Out.FinishedBase = Out.Net->channelId("finished");

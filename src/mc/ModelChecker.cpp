@@ -6,6 +6,8 @@
 
 #include "mc/ModelChecker.h"
 
+#include "obs/Metrics.h"
+#include "obs/Timer.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -111,10 +113,34 @@ void ModelChecker::forEachStep(
 
 McResult ModelChecker::explore(const McOptions &Options,
                                const StatePredicate &BadState) {
+  obs::ScopedTimer Timer("mc.explore");
   McResult Res;
   int64_t Horizon = Options.Horizon >= 0
                         ? Options.Horizon
                         : Net.metaOr("horizon", TimeInfinity);
+
+  // Publish exploration counters on every exit path (the explorer has
+  // several early returns). Registry instruments have stable addresses,
+  // so the frontier histogram is cached once and fed directly.
+  bool Metrics = obs::enabled();
+  obs::Histogram *FrontierHist =
+      Metrics ? &obs::Registry::global().histogram("mc.frontier.size")
+              : nullptr;
+  uint64_t FrontierPeak = 0;
+  struct Publish {
+    const McResult &Res;
+    const bool &Metrics;
+    const uint64_t &FrontierPeak;
+    ~Publish() {
+      if (!Metrics)
+        return;
+      obs::Registry &Reg = obs::Registry::global();
+      Reg.counter("mc.states.expanded").add(Res.StatesExplored);
+      Reg.counter("mc.transitions.explored").add(Res.TransitionsExplored);
+      Reg.counter("mc.complete.runs").add(Res.CompleteRuns);
+      Reg.counter("mc.frontier.peak").add(FrontierPeak);
+    }
+  } Publisher{Res, Metrics, FrontierPeak};
 
   std::unordered_set<State, StateHash> Visited;
   std::unordered_set<uint64_t> VisitedHashes;
@@ -172,6 +198,11 @@ McResult ModelChecker::explore(const McOptions &Options,
   Frontier.push_back({std::move(Init), 0});
 
   while (!Frontier.empty()) {
+    if (FrontierHist) {
+      FrontierHist->record(Frontier.size());
+      FrontierPeak = std::max(FrontierPeak,
+                              static_cast<uint64_t>(Frontier.size()));
+    }
     auto [S, NodeId] = std::move(Frontier.back());
     Frontier.pop_back();
     ++Res.StatesExplored;

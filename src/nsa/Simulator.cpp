@@ -6,6 +6,9 @@
 
 #include "nsa/Simulator.h"
 
+#include "obs/Metrics.h"
+#include "obs/Timer.h"
+#include "obs/TraceSink.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -39,8 +42,10 @@ void Simulator::markDirty(int Aut) {
 
 void Simulator::refreshAutomaton(int Aut) {
   size_t AI = static_cast<size_t>(Aut);
+  ++Stats.Refreshes;
 
   // Undo previous channel contributions.
+  Stats.RecvErases += RecvContrib[AI].size();
   for (int32_t Chan : RecvContrib[AI])
     ReceiversByChan[static_cast<size_t>(Chan)].erase(
         static_cast<int32_t>(Aut));
@@ -49,6 +54,7 @@ void Simulator::refreshAutomaton(int Aut) {
 
   Enabled[AI].clear();
   Ex.collectEnabled(S, Aut, Enabled[AI]);
+  Stats.EnabledExamined += Enabled[AI].size();
 
   bool IsInitiator = false;
   for (const EnabledInst &Inst : Enabled[AI]) {
@@ -56,8 +62,10 @@ void Simulator::refreshAutomaton(int Aut) {
       IsInitiator = true;
     } else {
       auto &Set = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
-      if (Set.insert(static_cast<int32_t>(Aut)).second)
+      if (Set.insert(static_cast<int32_t>(Aut)).second) {
         RecvContrib[AI].push_back(Inst.ChanId);
+        ++Stats.RecvInserts;
+      }
     }
   }
   if (IsInitiator)
@@ -70,8 +78,10 @@ void Simulator::refreshAutomaton(int Aut) {
 
   int64_t Wake = Ex.wakeTime(S, Aut);
   CurrentWake[AI] = Wake;
-  if (Wake < TimeInfinity)
+  if (Wake < TimeInfinity) {
     WakeHeap.push({Wake, static_cast<int32_t>(Aut)});
+    ++Stats.HeapPushes;
+  }
 }
 
 void Simulator::refreshDirty() {
@@ -216,12 +226,33 @@ bool Simulator::pickStepRandom(Step &Out, Rng &R) {
 }
 
 SimResult Simulator::run(const SimOptions &Options) {
+  obs::ScopedTimer Timer("simulate");
   SimResult Res;
   Ex.initState(S);
+
+  bool Metrics = Options.MetricsEnabled || obs::enabled();
+  if (Metrics)
+    StepsPerAut.assign(Net.Automata.size(), 0);
+
+  // Slot-name table for variable-write events; built only when a sink is
+  // attached (the hot path never touches it).
+  obs::EventSink *Sink = Options.Sink;
+  std::vector<std::string> SlotNames;
+  if (Sink) {
+    SlotNames.resize(Net.InitialStore.size());
+    for (const sa::VarInfo &V : Net.Vars)
+      for (int I = 0; I < V.Size; ++I)
+        if (static_cast<size_t>(V.Base + I) < SlotNames.size())
+          SlotNames[static_cast<size_t>(V.Base + I)] =
+              V.Size == 1 ? V.Name : formatString("%s[%d]", V.Name.c_str(), I);
+  }
 
   int64_t Horizon = Options.Horizon >= 0
                         ? Options.Horizon
                         : Net.metaOr("horizon", TimeInfinity);
+
+  // Last automaton that initiated an applied step (budget diagnostics).
+  int32_t LastStepped = -1;
 
   for (size_t A = 0; A < Net.Automata.size(); ++A)
     markDirty(static_cast<int>(A));
@@ -235,7 +266,17 @@ SimResult Simulator::run(const SimOptions &Options) {
                      : pickStepDeterministic(St);
     if (Found) {
       if (++Res.ActionCount > Options.MaxActions) {
-        Res.Error = "action budget exhausted (livelock in the model?)";
+        const char *LastName =
+            LastStepped >= 0
+                ? Net.Automata[static_cast<size_t>(LastStepped)]->Name.c_str()
+                : "<none>";
+        Res.Error = formatString(
+            "action budget of %llu exhausted at t=%lld (%llu actions "
+            "applied, last automaton stepped: '%s'; livelock in the "
+            "model?)",
+            static_cast<unsigned long long>(Options.MaxActions),
+            static_cast<long long>(S.Now),
+            static_cast<unsigned long long>(Res.ActionCount - 1), LastName);
         break;
       }
       WriteLog.clear();
@@ -246,6 +287,9 @@ SimResult Simulator::run(const SimOptions &Options) {
                 ->Name.c_str());
         break;
       }
+      LastStepped = St.InitiatorAut;
+      if (!StepsPerAut.empty())
+        ++StepsPerAut[static_cast<size_t>(St.InitiatorAut)];
       if (St.Initiator.ChanId >= 0 || Options.RecordInternal) {
         Event E;
         E.Time = S.Now;
@@ -254,6 +298,12 @@ SimResult Simulator::run(const SimOptions &Options) {
         for (const Step::Recv &R : St.Receivers)
           E.Receivers.push_back({R.Aut, R.Inst.Edge});
         Res.Events.push_back(std::move(E));
+      }
+      if (Sink) {
+        emitActionToSink(*Sink, St, S.Now);
+        for (int32_t Slot : WriteLog)
+          Sink->onVarWrite(S.Now, SlotNames[static_cast<size_t>(Slot)], Slot,
+                           S.Store[static_cast<size_t>(Slot)]);
       }
       markDirty(St.InitiatorAut);
       for (const Step::Recv &R : St.Receivers)
@@ -276,6 +326,7 @@ SimResult Simulator::run(const SimOptions &Options) {
       auto [T, A] = WakeHeap.top();
       if (CurrentWake[static_cast<size_t>(A)] != T) {
         WakeHeap.pop();
+        ++Stats.HeapPops;
         continue;
       }
       Next = T;
@@ -308,7 +359,10 @@ SimResult Simulator::run(const SimOptions &Options) {
     // boundary); only strictly later wakes end the run.
     if (Next >= TimeInfinity) {
       if (Horizon < TimeInfinity) {
+        int64_t Prev = S.Now;
         Ex.advanceTime(S, Horizon - S.Now);
+        if (Sink && S.Now != Prev)
+          Sink->onDelay(Prev, S.Now);
         Res.HorizonReached = true;
       } else {
         Res.Quiescent = true;
@@ -316,24 +370,80 @@ SimResult Simulator::run(const SimOptions &Options) {
       break;
     }
     if (Next > Horizon) {
+      int64_t Prev = S.Now;
       Ex.advanceTime(S, Horizon - S.Now);
+      if (Sink && S.Now != Prev)
+        Sink->onDelay(Prev, S.Now);
       Res.HorizonReached = true;
       break;
     }
 
+    int64_t Prev = S.Now;
     Ex.advanceTime(S, Next - S.Now);
     ++Res.DelayCount;
+    if (Sink)
+      Sink->onDelay(Prev, S.Now);
     // Wake every automaton whose deadline arrived.
     while (!WakeHeap.empty()) {
       auto [T, A] = WakeHeap.top();
       if (T > Next)
         break;
       WakeHeap.pop();
+      ++Stats.HeapPops;
       if (CurrentWake[static_cast<size_t>(A)] == T)
         markDirty(A);
     }
   }
 
   Res.Final = S;
+  if (Metrics)
+    publishMetrics(Res);
   return Res;
+}
+
+void Simulator::emitActionToSink(obs::EventSink &Sink, const Step &St,
+                                 int64_t Time) const {
+  obs::EventSink::Participant Init{
+      St.InitiatorAut,
+      Net.Automata[static_cast<size_t>(St.InitiatorAut)]->Name,
+      St.Initiator.Edge};
+  std::vector<obs::EventSink::Participant> Recvs;
+  Recvs.reserve(St.Receivers.size());
+  for (const Step::Recv &R : St.Receivers)
+    Recvs.push_back({R.Aut, Net.Automata[static_cast<size_t>(R.Aut)]->Name,
+                     R.Inst.Edge});
+  std::string ChanName;
+  if (St.Initiator.ChanId >= 0)
+    ChanName = Net.channelIdName(St.Initiator.ChanId);
+  Sink.onAction(Time, St.Initiator.ChanId, ChanName, Init, Recvs);
+}
+
+void Simulator::publishMetrics(const SimResult &Res) const {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("nsa.steps.action").add(Res.ActionCount);
+  Reg.counter("nsa.steps.delay").add(Res.DelayCount);
+  Reg.counter("nsa.events.recorded").add(Res.Events.size());
+  Reg.counter("nsa.refresh.automaton").add(Stats.Refreshes);
+  Reg.counter("nsa.enabled.examined").add(Stats.EnabledExamined);
+  Reg.counter("nsa.heap.pushes").add(Stats.HeapPushes);
+  Reg.counter("nsa.heap.pops").add(Stats.HeapPops);
+  Reg.counter("nsa.recvset.inserts").add(Stats.RecvInserts);
+  Reg.counter("nsa.recvset.erases").add(Stats.RecvErases);
+  Reg.counter("nsa.runs").add(1);
+  obs::Histogram &PerAut = Reg.histogram("nsa.steps.per_automaton");
+  for (uint64_t Steps : StepsPerAut)
+    PerAut.record(Steps);
+}
+
+std::string SimResult::summary() const {
+  if (!ok())
+    return "error: " + Error;
+  const char *Outcome = Quiescent        ? "quiescent"
+                        : HorizonReached ? "horizon reached"
+                                         : "stopped";
+  return formatString(
+      "%s at t=%lld: %llu actions, %llu delays, %zu sync events",
+      Outcome, static_cast<long long>(Final.Now),
+      static_cast<unsigned long long>(ActionCount),
+      static_cast<unsigned long long>(DelayCount), Events.size());
 }

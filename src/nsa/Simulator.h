@@ -34,6 +34,10 @@
 #include <string>
 
 namespace swa {
+namespace obs {
+class EventSink;
+} // namespace obs
+
 namespace nsa {
 
 struct SimOptions {
@@ -47,6 +51,16 @@ struct SimOptions {
   /// When non-null, fireable steps are chosen uniformly at random instead
   /// of by the deterministic order (trace-equivalence testing).
   Rng *RandomOrder = nullptr;
+  /// Publish engine counters (examined instances, dirty refreshes, heap
+  /// traffic, receiver-set churn, per-automaton step counts) into
+  /// obs::Registry::global() after the run. Also implied by the
+  /// process-wide obs::enabled() switch.
+  bool MetricsEnabled = false;
+  /// When non-null, every applied step is streamed to this sink as
+  /// structured action / delay / variable-write events. Sinks are pure
+  /// observers; attaching one never changes the run (see DESIGN.md,
+  /// "Observability").
+  obs::EventSink *Sink = nullptr;
 };
 
 struct SimResult {
@@ -63,6 +77,11 @@ struct SimResult {
   std::string Error;
 
   bool ok() const { return Error.empty(); }
+
+  /// One-line human-readable outcome: how the run ended (quiescent /
+  /// horizon / error), the final model time, and the action/delay/event
+  /// totals. Used by the examples and the profiler.
+  std::string summary() const;
 };
 
 class Simulator {
@@ -114,6 +133,25 @@ private:
       WakeHeap;
 
   std::vector<int32_t> WriteLog;
+
+  /// Engine statistics for the observability layer. Plain local integers
+  /// bumped unconditionally (the adds are noise next to the work they
+  /// count); published to obs::Registry only when metrics are enabled.
+  struct EngineStats {
+    uint64_t Refreshes = 0;       ///< Dirty-automaton re-examinations.
+    uint64_t EnabledExamined = 0; ///< Edge instances collected.
+    uint64_t HeapPushes = 0;
+    uint64_t HeapPops = 0;
+    uint64_t RecvInserts = 0; ///< Receiver-set churn (inserts).
+    uint64_t RecvErases = 0;  ///< Receiver-set churn (erases).
+  };
+  EngineStats Stats;
+  /// Action steps initiated per automaton; sized only when metrics are on.
+  std::vector<uint64_t> StepsPerAut;
+
+  void publishMetrics(const SimResult &Res) const;
+  void emitActionToSink(obs::EventSink &Sink, const Step &St,
+                        int64_t Time) const;
 };
 
 } // namespace nsa

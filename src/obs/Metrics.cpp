@@ -1,0 +1,129 @@
+//===- obs/Metrics.cpp - Process-wide counters and histograms --------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Timer.h"
+#include "support/StringUtils.h"
+
+#include <ostream>
+
+using namespace swa;
+using namespace swa::obs;
+
+namespace {
+bool EnabledFlag = false;
+} // namespace
+
+bool swa::obs::enabled() { return EnabledFlag; }
+void swa::obs::setEnabled(bool On) { EnabledFlag = On; }
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Counter &Registry::counter(std::string_view Name) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), Counter()).first;
+  return It->second;
+}
+
+Histogram &Registry::histogram(std::string_view Name) {
+  auto It = Histograms_.find(Name);
+  if (It == Histograms_.end())
+    It = Histograms_.emplace(std::string(Name), Histogram()).first;
+  return It->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Registry::counterValues() const {
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.push_back({Name, C.value()});
+  return Out;
+}
+
+std::vector<std::pair<std::string, const Histogram *>>
+Registry::histograms() const {
+  std::vector<std::pair<std::string, const Histogram *>> Out;
+  Out.reserve(Histograms_.size());
+  for (const auto &[Name, H] : Histograms_)
+    Out.push_back({Name, &H});
+  return Out;
+}
+
+void Registry::reset() {
+  for (auto &[Name, C] : Counters)
+    C.reset();
+  for (auto &[Name, H] : Histograms_)
+    H.reset();
+}
+
+void swa::obs::report(std::ostream &OS, bool Json) {
+  Registry &Reg = Registry::global();
+  if (!Json) {
+    OS << "phases:\n";
+    PhaseTree::global().render(OS);
+    OS << "counters:\n";
+    for (const auto &[Name, Value] : Reg.counterValues())
+      OS << formatString("  %-36s %llu\n", Name.c_str(),
+                         static_cast<unsigned long long>(Value));
+    OS << "histograms:\n";
+    for (const auto &[Name, H] : Reg.histograms())
+      OS << formatString(
+          "  %-36s n=%llu sum=%llu min=%llu mean=%.1f max=%llu\n",
+          Name.c_str(), static_cast<unsigned long long>(H->count()),
+          static_cast<unsigned long long>(H->sum()),
+          static_cast<unsigned long long>(H->min()), H->mean(),
+          static_cast<unsigned long long>(H->max()));
+    return;
+  }
+
+  // JSON form: {"phases":[...],"counters":{...},"histograms":{...}}.
+  OS << "{\"phases\":[";
+  struct Emit {
+    std::ostream &OS;
+    void node(const PhaseTree::Node &N, bool First) {
+      if (!First)
+        OS << ",";
+      OS << "{\"name\":\"" << N.Name << "\",\"ns\":" << N.Nanos
+         << ",\"count\":" << N.Count << ",\"children\":[";
+      bool F = true;
+      for (const auto &C : N.Children) {
+        node(*C, F);
+        F = false;
+      }
+      OS << "]}";
+    }
+  } E{OS};
+  bool First = true;
+  for (const auto &C : PhaseTree::global().root().Children) {
+    E.node(*C, First);
+    First = false;
+  }
+  OS << "],\"counters\":{";
+  First = true;
+  for (const auto &[Name, Value] : Reg.counterValues()) {
+    if (!First)
+      OS << ",";
+    OS << "\"" << Name << "\":" << Value;
+    First = false;
+  }
+  OS << "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Reg.histograms()) {
+    if (!First)
+      OS << ",";
+    OS << "\"" << Name << "\":{\"n\":" << H->count()
+       << ",\"sum\":" << H->sum() << ",\"min\":" << H->min()
+       << ",\"max\":" << H->max() << "}";
+    First = false;
+  }
+  OS << "}}\n";
+}

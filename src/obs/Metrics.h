@@ -1,0 +1,138 @@
+//===- obs/Metrics.h - Process-wide counters and histograms -----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: named monotonic counters
+/// and log2-bucketed histograms held in a process-wide registry. The hot
+/// layers (simulator, model checker, config search) accumulate into plain
+/// local integers and publish totals here once per run, so the engine's
+/// inner loops never touch the registry; everything is additionally gated
+/// on the global enable flag, making the layer free when observability is
+/// off.
+///
+/// Instruments are registered by name on first use and keep stable
+/// addresses for the life of the process (the registry stores them in a
+/// std::map), so callers may cache Counter*/Histogram* pointers across
+/// runs. reset() zeroes values but keeps registrations.
+///
+/// Counters and histograms are *observers*: nothing in the engine reads
+/// them back, so enabling metrics can never change a verdict or a trace
+/// (see DESIGN.md, "Observability").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_OBS_METRICS_H
+#define SWA_OBS_METRICS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swa {
+namespace obs {
+
+/// Global observability switch. Gates phase timers and the registry
+/// publication of every instrumented layer. Off by default.
+bool enabled();
+void setEnabled(bool On);
+
+/// A monotonic event counter.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value += N; }
+  uint64_t value() const { return Value; }
+  void reset() { Value = 0; }
+
+private:
+  uint64_t Value = 0;
+};
+
+/// A histogram over uint64 samples with power-of-two buckets: bucket B
+/// counts samples V with floor(log2(V)) == B (bucket 0 also holds V == 0).
+/// Tracks count/sum/min/max exactly; the buckets give the shape.
+class Histogram {
+public:
+  static constexpr int NumBuckets = 64;
+
+  void record(uint64_t V) {
+    ++Buckets[bucketOf(V)];
+    ++N;
+    Sum += V;
+    if (V < MinV)
+      MinV = V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Sum; }
+  /// Minimum/maximum recorded sample; 0 when empty.
+  uint64_t min() const { return N ? MinV : 0; }
+  uint64_t max() const { return N ? MaxV : 0; }
+  double mean() const {
+    return N ? static_cast<double>(Sum) / static_cast<double>(N) : 0.0;
+  }
+  uint64_t bucketCount(int B) const {
+    return Buckets[static_cast<size_t>(B)];
+  }
+
+  /// Bucket index of a sample: floor(log2(V)), with 0 mapping to bucket 0.
+  static int bucketOf(uint64_t V) {
+    int B = 0;
+    while (V >>= 1)
+      ++B;
+    return B;
+  }
+
+  void reset() { *this = Histogram(); }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Sum = 0;
+  uint64_t MinV = UINT64_MAX;
+  uint64_t MaxV = 0;
+};
+
+/// The process-wide instrument registry. Lookup is by name ("layer.what"
+/// convention, e.g. "nsa.heap.pops"); first use registers.
+///
+/// Registration is not thread-safe by design: the engines are
+/// single-threaded and publish once per run. Future multi-threaded layers
+/// must publish through per-thread locals.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Name/value pairs of every registered counter, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> counterValues() const;
+
+  /// Every registered histogram, sorted by name.
+  std::vector<std::pair<std::string, const Histogram *>> histograms() const;
+
+  /// Zeroes every instrument; registrations (and cached pointers) survive.
+  void reset();
+
+private:
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Histogram, std::less<>> Histograms_;
+};
+
+/// Dumps the phase tree, counters and histogram summaries. Text form is
+/// for humans; the JSON form is one object with "phases", "counters" and
+/// "histograms" keys.
+void report(std::ostream &OS, bool Json = false);
+
+} // namespace obs
+} // namespace swa
+
+#endif // SWA_OBS_METRICS_H

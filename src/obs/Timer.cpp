@@ -1,0 +1,85 @@
+//===- obs/Timer.cpp - RAII phase timers and the phase tree ----------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Timer.h"
+
+#include "support/StringUtils.h"
+
+#include <ostream>
+
+using namespace swa;
+using namespace swa::obs;
+
+const PhaseTree::Node *
+PhaseTree::Node::child(std::string_view ChildName) const {
+  for (const auto &C : Children)
+    if (C->Name == ChildName)
+      return C.get();
+  return nullptr;
+}
+
+PhaseTree &PhaseTree::global() {
+  static PhaseTree T;
+  return T;
+}
+
+void PhaseTree::push(std::string_view Name) {
+  Node *Cur = Stack.back();
+  for (const auto &C : Cur->Children) {
+    if (C->Name == Name) {
+      Stack.push_back(C.get());
+      return;
+    }
+  }
+  Cur->Children.push_back(std::make_unique<Node>());
+  Cur->Children.back()->Name = std::string(Name);
+  Stack.push_back(Cur->Children.back().get());
+}
+
+void PhaseTree::pop(uint64_t Nanos) {
+  if (Stack.size() <= 1)
+    return; // Unbalanced pop; ignore rather than corrupt the root.
+  Node *Cur = Stack.back();
+  Stack.pop_back();
+  Cur->Nanos += Nanos;
+  ++Cur->Count;
+}
+
+uint64_t PhaseTree::totalNanos() const {
+  uint64_t Total = 0;
+  for (const auto &C : Root.Children)
+    Total += C->Nanos;
+  return Total;
+}
+
+namespace {
+
+void renderNode(std::ostream &OS, const PhaseTree::Node &N, int Depth) {
+  OS << formatString("%*s%-*s %9.3f ms  x%llu\n", Depth * 2, "",
+                     30 - Depth * 2, N.Name.c_str(),
+                     static_cast<double>(N.Nanos) / 1e6,
+                     static_cast<unsigned long long>(N.Count));
+  for (const auto &C : N.Children)
+    renderNode(OS, *C, Depth + 1);
+}
+
+} // namespace
+
+void PhaseTree::render(std::ostream &OS) const {
+  if (Root.Children.empty()) {
+    OS << "  (no phases recorded)\n";
+    return;
+  }
+  for (const auto &C : Root.Children)
+    renderNode(OS, *C, 1);
+}
+
+void PhaseTree::reset() {
+  Root.Children.clear();
+  Root.Nanos = 0;
+  Root.Count = 0;
+  Stack.assign(1, &Root);
+}

@@ -1,0 +1,103 @@
+//===- obs/Timer.h - RAII phase timers and the phase tree -------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hierarchical phase timing: a ScopedTimer pushes a named phase onto the
+/// process-wide PhaseTree on construction and records the elapsed
+/// steady-clock nanoseconds on destruction. Nested timers build a tree
+/// (build -> compile, simulate, analyze -> criterion, ...), so a report
+/// shows where a pipeline's wall time went.
+///
+/// When obs::enabled() is false a ScopedTimer is a single branch and no
+/// clock read — the instrumented code paths cost nothing in production
+/// runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_OBS_TIMER_H
+#define SWA_OBS_TIMER_H
+
+#include "obs/Metrics.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace obs {
+
+/// The tree of timed phases. One global instance; phases with the same
+/// name under the same parent accumulate (Nanos summed, Count bumped).
+class PhaseTree {
+public:
+  struct Node {
+    std::string Name;
+    uint64_t Nanos = 0;
+    uint64_t Count = 0;
+    std::vector<std::unique_ptr<Node>> Children;
+
+    /// Child with the given name, or null.
+    const Node *child(std::string_view ChildName) const;
+  };
+
+  static PhaseTree &global();
+
+  /// Enters a phase as a child of the current one.
+  void push(std::string_view Name);
+  /// Leaves the current phase, attributing \p Nanos to it.
+  void pop(uint64_t Nanos);
+
+  const Node &root() const { return Root; }
+  /// Sum over the top-level phases (what a "coverage" check compares
+  /// against wall time).
+  uint64_t totalNanos() const;
+
+  /// Indented text rendering ("name  12.3ms  x4").
+  void render(std::ostream &OS) const;
+
+  /// Clears all phases (back to an empty root). Must not be called while
+  /// timers are open.
+  void reset();
+
+private:
+  Node Root;
+  std::vector<Node *> Stack{&Root};
+};
+
+/// RAII phase timer. Inactive (and free apart from one branch) when
+/// obs::enabled() is false at construction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(std::string_view Phase) {
+    if (!enabled())
+      return;
+    Active = true;
+    PhaseTree::global().push(Phase);
+    Start = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() {
+    if (!Active)
+      return;
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    PhaseTree::global().pop(static_cast<uint64_t>(Ns));
+  }
+
+private:
+  bool Active = false;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace obs
+} // namespace swa
+
+#endif // SWA_OBS_TIMER_H

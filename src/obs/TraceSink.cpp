@@ -1,0 +1,91 @@
+//===- obs/TraceSink.cpp - Structured simulator event sinks ----------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceSink.h"
+
+#include "support/StringUtils.h"
+
+#include <ostream>
+
+using namespace swa;
+using namespace swa::obs;
+
+EventSink::~EventSink() = default;
+
+void EventSink::onAction(int64_t, int32_t, std::string_view,
+                         const Participant &,
+                         const std::vector<Participant> &) {}
+void EventSink::onDelay(int64_t, int64_t) {}
+void EventSink::onVarWrite(int64_t, std::string_view, int32_t, int64_t) {}
+
+std::string swa::obs::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    unsigned char U = static_cast<unsigned char>(Ch);
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (U < 0x20)
+        Out += formatString("\\u%04x", U);
+      else
+        Out += Ch;
+    }
+  }
+  return Out;
+}
+
+void JsonlSink::onAction(int64_t Time, int32_t Channel,
+                         std::string_view ChannelName,
+                         const Participant &Initiator,
+                         const std::vector<Participant> &Receivers) {
+  OS << "{\"k\":\"action\",\"t\":" << Time;
+  if (Channel >= 0)
+    OS << ",\"chan\":\"" << jsonEscape(ChannelName) << "\"";
+  OS << ",\"init\":\"" << jsonEscape(Initiator.Name)
+     << "\",\"edge\":" << Initiator.Edge << ",\"recv\":[";
+  bool First = true;
+  for (const Participant &R : Receivers) {
+    if (!First)
+      OS << ",";
+    OS << "\"" << jsonEscape(R.Name) << "\"";
+    First = false;
+  }
+  OS << "]}\n";
+  ++Lines;
+}
+
+void JsonlSink::onDelay(int64_t From, int64_t To) {
+  OS << "{\"k\":\"delay\",\"from\":" << From << ",\"to\":" << To << "}\n";
+  ++Lines;
+}
+
+void JsonlSink::onVarWrite(int64_t Time, std::string_view Var, int32_t Slot,
+                           int64_t Value) {
+  OS << "{\"k\":\"write\",\"t\":" << Time << ",\"var\":\"" << jsonEscape(Var)
+     << "\",\"slot\":" << Slot << ",\"val\":" << Value << "}\n";
+  ++Lines;
+}

@@ -1,0 +1,92 @@
+//===- obs/TraceSink.h - Structured simulator event sinks -------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pluggable observer interface for the simulator's step stream: action
+/// steps (internal / binary / broadcast synchronizations), delay steps,
+/// and shared-variable writes. Sinks receive fully resolved names so they
+/// need no access to the network.
+///
+/// Sinks are strictly *observers*: the simulator hands them copies of what
+/// it already decided and never reads anything back, so attaching a sink
+/// cannot perturb the deterministic run (the overhead-guard test in
+/// tests/ObsTest.cpp proves traces are byte-identical with a sink on).
+///
+/// JsonlSink streams one JSON object per line, suitable for jq/pandas
+/// style offline inspection:
+///
+///   {"k":"action","t":12,"chan":"exec[1]","init":"ts_p0","recv":["t1"]}
+///   {"k":"delay","from":12,"to":20}
+///   {"k":"write","t":20,"var":"is_ready[3]","slot":17,"val":1}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_OBS_TRACESINK_H
+#define SWA_OBS_TRACESINK_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swa {
+namespace obs {
+
+/// Observer of simulator steps. Default implementations ignore
+/// everything, so a sink overrides only what it cares about.
+class EventSink {
+public:
+  struct Participant {
+    int32_t Aut = -1;
+    std::string_view Name;
+    int32_t Edge = -1;
+  };
+
+  virtual ~EventSink();
+
+  /// An action step was applied at model time \p Time. \p Channel is the
+  /// flat channel id (-1 for internal steps, with \p ChannelName empty).
+  virtual void onAction(int64_t Time, int32_t Channel,
+                        std::string_view ChannelName,
+                        const Participant &Initiator,
+                        const std::vector<Participant> &Receivers);
+
+  /// Model time advanced from \p From to \p To.
+  virtual void onDelay(int64_t From, int64_t To);
+
+  /// A store slot was written (by the action step reported just before).
+  virtual void onVarWrite(int64_t Time, std::string_view Var, int32_t Slot,
+                          int64_t Value);
+};
+
+/// Streams events as JSON Lines to an ostream.
+class JsonlSink : public EventSink {
+public:
+  explicit JsonlSink(std::ostream &OS) : OS(OS) {}
+
+  void onAction(int64_t Time, int32_t Channel, std::string_view ChannelName,
+                const Participant &Initiator,
+                const std::vector<Participant> &Receivers) override;
+  void onDelay(int64_t From, int64_t To) override;
+  void onVarWrite(int64_t Time, std::string_view Var, int32_t Slot,
+                  int64_t Value) override;
+
+  uint64_t linesWritten() const { return Lines; }
+
+private:
+  std::ostream &OS;
+  uint64_t Lines = 0;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes, backslash,
+/// control characters; everything else passes through).
+std::string jsonEscape(std::string_view S);
+
+} // namespace obs
+} // namespace swa
+
+#endif // SWA_OBS_TRACESINK_H

@@ -6,12 +6,14 @@
 
 #include "sa/Compile.h"
 
+#include "obs/Timer.h"
 #include "usl/Compiler.h"
 
 using namespace swa;
 using namespace swa::sa;
 
 Error swa::sa::compileNetwork(Network &Net) {
+  obs::ScopedTimer Timer("compile");
   Net.FuncCode.clear();
   Net.FuncCode.reserve(Net.Bind.FuncTable.size());
   for (const usl::FuncDecl *F : Net.Bind.FuncTable) {

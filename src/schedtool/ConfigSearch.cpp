@@ -7,6 +7,8 @@
 #include "schedtool/ConfigSearch.h"
 
 #include "analysis/Analyzer.h"
+#include "obs/Metrics.h"
+#include "obs/Timer.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
@@ -109,8 +111,19 @@ void swa::schedtool::synthesizeWindows(cfg::Config &Config,
 
 Result<SearchResult>
 swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
+  obs::ScopedTimer Timer("schedtool.search");
   SearchResult Res;
   Rng R(Problem.Seed);
+
+  // Counters live in the registry (stable addresses), cached here so the
+  // loop pays one pointer test per event when metrics are off.
+  obs::Counter *CandC = nullptr, *SimC = nullptr, *SchedC = nullptr;
+  if (obs::enabled()) {
+    obs::Registry &Reg = obs::Registry::global();
+    CandC = &Reg.counter("schedtool.candidates.evaluated");
+    SimC = &Reg.counter("schedtool.simulations.run");
+    SchedC = &Reg.counter("schedtool.schedulable.seen");
+  }
 
   cfg::Config Current = Problem.Base;
   if (!bindFirstFitDecreasing(Current)) {
@@ -137,6 +150,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     if (!Out.ok())
       return Out.takeError();
     ++Res.ConfigurationsEvaluated;
+    if (CandC) {
+      CandC->add(1);
+      SimC->add(1); // One simulated run per candidate.
+    }
 
     const analysis::AnalysisResult &A = Out->Analysis;
     Res.Log.push_back(formatString(
@@ -147,14 +164,18 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
 
     if (A.Schedulable) {
       ++Res.SchedulableSeen;
+      if (SchedC)
+        SchedC->add(1);
       Res.Found = true;
       Res.Best = Current;
       Res.BestMissedJobs = 0;
+      Res.BestTrajectory.push_back({Iter, 0});
       return Res;
     }
     if (Res.BestMissedJobs < 0 || A.MissedJobs < Res.BestMissedJobs) {
       Res.BestMissedJobs = A.MissedJobs;
       Res.Best = Current;
+      Res.BestTrajectory.push_back({Iter, A.MissedJobs});
     }
 
     // Moves: grow the windows of partitions with missed jobs; occasionally

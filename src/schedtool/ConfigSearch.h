@@ -48,6 +48,10 @@ struct SearchResult {
   int SchedulableSeen = 0;
   /// Missed-job count of the best candidate seen (0 when Found).
   int64_t BestMissedJobs = 0;
+  /// Best-so-far trajectory: (iteration, missed jobs of the best candidate
+  /// seen up to then), appended whenever the best improves. The last entry
+  /// is (finding iteration, 0) when Found.
+  std::vector<std::pair<int, int64_t>> BestTrajectory;
   std::vector<std::string> Log;
 };
 

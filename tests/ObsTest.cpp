@@ -1,0 +1,542 @@
+//===- tests/ObsTest.cpp - Observability layer tests -----------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the src/obs layer (counters, histograms, registry, phase tree,
+// JSONL sink) and its engine integration: the overhead guard proving that
+// attaching metrics and a JSONL sink never perturbs the deterministic
+// run, the enriched action-budget diagnostics, and the config-search
+// best-so-far trajectory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "core/InstanceBuilder.h"
+#include "nsa/Simulator.h"
+#include "obs/Metrics.h"
+#include "obs/Timer.h"
+#include "obs/TraceSink.h"
+#include "schedtool/ConfigSearch.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+using namespace swa;
+
+namespace {
+
+/// Enables the observability layer for one test and restores a clean
+/// global state (flag, registry values, phase tree) afterwards.
+struct ObsScope {
+  explicit ObsScope(bool On = true) {
+    obs::Registry::global().reset();
+    obs::PhaseTree::global().reset();
+    obs::setEnabled(On);
+  }
+  ~ObsScope() {
+    obs::setEnabled(false);
+    obs::Registry::global().reset();
+    obs::PhaseTree::global().reset();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Counters and histograms
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetrics, CounterArithmetic) {
+  obs::Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndMoments) {
+  obs::Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 4ull, 1024ull})
+    H.record(V);
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_EQ(H.sum(), 1034u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1024u);
+  EXPECT_NEAR(H.mean(), 1034.0 / 6.0, 1e-9);
+
+  // Bucket layout: floor(log2(V)) with 0 in bucket 0.
+  EXPECT_EQ(obs::Histogram::bucketOf(0), 0);
+  EXPECT_EQ(obs::Histogram::bucketOf(1), 0);
+  EXPECT_EQ(obs::Histogram::bucketOf(2), 1);
+  EXPECT_EQ(obs::Histogram::bucketOf(3), 1);
+  EXPECT_EQ(obs::Histogram::bucketOf(4), 2);
+  EXPECT_EQ(obs::Histogram::bucketOf(1024), 10);
+  EXPECT_EQ(H.bucketCount(0), 2u); // 0 and 1.
+  EXPECT_EQ(H.bucketCount(1), 2u); // 2 and 3.
+  EXPECT_EQ(H.bucketCount(2), 1u); // 4.
+  EXPECT_EQ(H.bucketCount(10), 1u); // 1024.
+
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+}
+
+TEST(ObsMetrics, RegistryStableAddressesAndReset) {
+  ObsScope Scope;
+  obs::Registry &Reg = obs::Registry::global();
+  obs::Counter &A = Reg.counter("test.a");
+  A.add(7);
+  // Same name -> same instrument.
+  EXPECT_EQ(&Reg.counter("test.a"), &A);
+  EXPECT_EQ(Reg.counter("test.a").value(), 7u);
+
+  obs::Histogram &H = Reg.histogram("test.h");
+  H.record(5);
+  EXPECT_EQ(&Reg.histogram("test.h"), &H);
+
+  // Reset zeroes values but keeps registrations (cached pointers stay
+  // valid between runs).
+  Reg.reset();
+  EXPECT_EQ(A.value(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+  bool FoundA = false;
+  for (const auto &[Name, Value] : Reg.counterValues())
+    if (Name == "test.a") {
+      FoundA = true;
+      EXPECT_EQ(Value, 0u);
+    }
+  EXPECT_TRUE(FoundA);
+  A.add(3);
+  EXPECT_EQ(Reg.counter("test.a").value(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase tree
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTimer, PhaseTreeNesting) {
+  ObsScope Scope;
+  {
+    obs::ScopedTimer Outer("outer");
+    {
+      obs::ScopedTimer Inner("inner");
+    }
+    {
+      obs::ScopedTimer Inner("inner"); // Same name accumulates.
+    }
+    {
+      obs::ScopedTimer Other("other");
+    }
+  }
+  {
+    obs::ScopedTimer Outer("outer"); // Re-entering accumulates too.
+  }
+
+  const obs::PhaseTree::Node &Root = obs::PhaseTree::global().root();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const obs::PhaseTree::Node *Outer = Root.child("outer");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->Count, 2u);
+  ASSERT_EQ(Outer->Children.size(), 2u);
+  const obs::PhaseTree::Node *Inner = Outer->child("inner");
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Count, 2u);
+  EXPECT_NE(Outer->child("other"), nullptr);
+  EXPECT_EQ(Outer->child("missing"), nullptr);
+
+  // Total is the sum over top-level phases only.
+  EXPECT_EQ(obs::PhaseTree::global().totalNanos(), Outer->Nanos);
+
+  std::ostringstream OS;
+  obs::PhaseTree::global().render(OS);
+  EXPECT_NE(OS.str().find("outer"), std::string::npos);
+  EXPECT_NE(OS.str().find("inner"), std::string::npos);
+}
+
+TEST(ObsTimer, DisabledTimersRecordNothing) {
+  ObsScope Scope(/*On=*/false);
+  {
+    obs::ScopedTimer T("should-not-appear");
+  }
+  EXPECT_TRUE(obs::PhaseTree::global().root().Children.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// JSONL sink
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTraceSink, JsonEscaping) {
+  EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(obs::jsonEscape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+/// A minimal JSON syntax checker: accepts objects/arrays/strings/numbers/
+/// true/false/null; rejects trailing garbage. Enough to prove each JSONL
+/// line is well-formed without a JSON library.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return P == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t P = 0;
+
+  void skipWs() {
+    while (P < S.size() && std::isspace(static_cast<unsigned char>(S[P])))
+      ++P;
+  }
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(P, N, L) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+  bool string() {
+    if (P >= S.size() || S[P] != '"')
+      return false;
+    ++P;
+    while (P < S.size() && S[P] != '"') {
+      if (S[P] == '\\') {
+        ++P;
+        if (P >= S.size())
+          return false;
+        if (S[P] == 'u') {
+          for (int I = 0; I < 4; ++I)
+            if (++P >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[P])))
+              return false;
+        }
+      }
+      ++P;
+    }
+    if (P >= S.size())
+      return false;
+    ++P; // Closing quote.
+    return true;
+  }
+  bool number() {
+    size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+      ++P;
+    return P > Start && S[P - 1] != '-';
+  }
+  bool value() {
+    skipWs();
+    if (P >= S.size())
+      return false;
+    switch (S[P]) {
+    case '{': {
+      ++P;
+      skipWs();
+      if (P < S.size() && S[P] == '}') {
+        ++P;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (P >= S.size() || S[P] != ':')
+          return false;
+        ++P;
+        if (!value())
+          return false;
+        skipWs();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        break;
+      }
+      if (P >= S.size() || S[P] != '}')
+        return false;
+      ++P;
+      return true;
+    }
+    case '[': {
+      ++P;
+      skipWs();
+      if (P < S.size() && S[P] == ']') {
+        ++P;
+        return true;
+      }
+      for (;;) {
+        if (!value())
+          return false;
+        skipWs();
+        if (P < S.size() && S[P] == ',') {
+          ++P;
+          continue;
+        }
+        break;
+      }
+      if (P >= S.size() || S[P] != ']')
+        return false;
+      ++P;
+      return true;
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+TEST(ObsTraceSink, JsonlLinesAreWellFormed) {
+  auto Model = core::buildModel(testcfg::producerConsumer());
+  ASSERT_TRUE(Model.ok()) << Model.error().message();
+
+  std::ostringstream OS;
+  obs::JsonlSink Sink(OS);
+  nsa::SimOptions Opt;
+  Opt.Sink = &Sink;
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimResult R = Sim.run(Opt);
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  std::istringstream In(OS.str());
+  std::string Line;
+  size_t Lines = 0;
+  size_t Actions = 0, Delays = 0, Writes = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(JsonChecker(Line).valid()) << "bad JSONL line: " << Line;
+    if (Line.find("\"k\":\"action\"") != std::string::npos)
+      ++Actions;
+    else if (Line.find("\"k\":\"delay\"") != std::string::npos)
+      ++Delays;
+    else if (Line.find("\"k\":\"write\"") != std::string::npos)
+      ++Writes;
+  }
+  EXPECT_EQ(Lines, Sink.linesWritten());
+  EXPECT_GT(Lines, 0u);
+  // Every applied action step is streamed (internal ones included), so the
+  // sink must have seen at least the recorded sync events and every delay.
+  EXPECT_GE(Actions, R.Events.size());
+  EXPECT_EQ(Delays, R.DelayCount);
+  EXPECT_GT(Writes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine integration
+//===----------------------------------------------------------------------===//
+
+/// Byte-exact rendering of a trace (and the run totals) for the overhead
+/// guard: two runs are equivalent iff these strings match exactly.
+std::string renderRun(const nsa::SimResult &R) {
+  std::ostringstream OS;
+  OS << "actions=" << R.ActionCount << " delays=" << R.DelayCount
+     << " quiescent=" << R.Quiescent << " horizon=" << R.HorizonReached
+     << " now=" << R.Final.Now << "\n";
+  for (const nsa::Event &E : R.Events) {
+    OS << E.Time << " ch" << E.Channel << " i" << E.Initiator.Automaton
+       << ":" << E.Initiator.Edge;
+    for (const nsa::EventParticipant &P : E.Receivers)
+      OS << " r" << P.Automaton << ":" << P.Edge;
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+TEST(ObsOverheadGuard, MetricsAndSinkNeverPerturbTheRun) {
+  for (const cfg::Config &Config :
+       {testcfg::twoTasksOneCore(), testcfg::preemptionShowcase(),
+        testcfg::twoPartitionsWindows(), testcfg::producerConsumer()}) {
+    auto Model = core::buildModel(Config);
+    ASSERT_TRUE(Model.ok()) << Model.error().message();
+
+    // Plain run: observability fully off.
+    nsa::Simulator Plain(*Model->Net);
+    nsa::SimResult Base = Plain.run();
+    ASSERT_TRUE(Base.ok()) << Base.Error;
+
+    // Observed run: global metrics on, per-run metrics on, JSONL sink
+    // attached.
+    ObsScope Scope;
+    std::ostringstream OS;
+    obs::JsonlSink Sink(OS);
+    nsa::SimOptions Opt;
+    Opt.MetricsEnabled = true;
+    Opt.Sink = &Sink;
+    nsa::Simulator Observed(*Model->Net);
+    nsa::SimResult WithObs = Observed.run(Opt);
+    ASSERT_TRUE(WithObs.ok()) << WithObs.Error;
+
+    EXPECT_EQ(renderRun(Base), renderRun(WithObs)) << Config.Name;
+    EXPECT_EQ(Base.ActionCount, WithObs.ActionCount) << Config.Name;
+    EXPECT_TRUE(nsa::syncTracesEqual(Base.Events, WithObs.Events))
+        << Config.Name;
+    EXPECT_GT(Sink.linesWritten(), 0u) << Config.Name;
+  }
+}
+
+TEST(ObsEngine, SimulatorPublishesCounters) {
+  ObsScope Scope;
+  auto Model = core::buildModel(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Model.ok()) << Model.error().message();
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimResult R = Sim.run();
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  obs::Registry &Reg = obs::Registry::global();
+  EXPECT_EQ(Reg.counter("nsa.steps.action").value(), R.ActionCount);
+  EXPECT_EQ(Reg.counter("nsa.steps.delay").value(), R.DelayCount);
+  EXPECT_EQ(Reg.counter("nsa.events.recorded").value(), R.Events.size());
+  EXPECT_GT(Reg.counter("nsa.refresh.automaton").value(), 0u);
+  EXPECT_GT(Reg.counter("nsa.enabled.examined").value(), 0u);
+  EXPECT_GT(Reg.counter("nsa.heap.pushes").value(), 0u);
+  EXPECT_EQ(Reg.counter("nsa.runs").value(), 1u);
+  // One per-automaton sample per automaton of the network.
+  EXPECT_EQ(Reg.histogram("nsa.steps.per_automaton").count(),
+            Model->Net->Automata.size());
+  // Build-side counters.
+  EXPECT_EQ(Reg.counter("core.models.built").value(), 1u);
+  EXPECT_EQ(Reg.counter("core.automata.instantiated").value(),
+            Model->Net->Automata.size());
+}
+
+TEST(ObsEngine, PhaseTreeCoversPipeline) {
+  ObsScope Scope;
+  Result<analysis::AnalyzeOutcome> Out =
+      analysis::analyzeConfiguration(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Out.ok()) << Out.error().message();
+
+  const obs::PhaseTree::Node &Root = obs::PhaseTree::global().root();
+  const obs::PhaseTree::Node *Build = Root.child("build");
+  ASSERT_NE(Build, nullptr);
+  EXPECT_NE(Build->child("compile"), nullptr);
+  EXPECT_NE(Root.child("simulate"), nullptr);
+  const obs::PhaseTree::Node *Analyze = Root.child("analyze");
+  ASSERT_NE(Analyze, nullptr);
+  EXPECT_NE(Analyze->child("map_trace"), nullptr);
+  EXPECT_NE(Analyze->child("criterion"), nullptr);
+  EXPECT_GT(obs::PhaseTree::global().totalNanos(), 0u);
+}
+
+TEST(ObsEngine, ActionBudgetExhaustionIsDiagnosable) {
+  auto Model = core::buildModel(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Model.ok()) << Model.error().message();
+  nsa::SimOptions Opt;
+  Opt.MaxActions = 5;
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimResult R = Sim.run(Opt);
+  ASSERT_FALSE(R.ok());
+  // The message names the budget, the model time, the applied-action count
+  // and the last automaton stepped.
+  EXPECT_NE(R.Error.find("action budget of 5"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find("t="), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("5 actions applied"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find("last automaton stepped"), std::string::npos)
+      << R.Error;
+  // Summary surfaces the error uniformly.
+  EXPECT_NE(R.summary().find("error:"), std::string::npos);
+}
+
+TEST(ObsEngine, SummaryDescribesOutcome) {
+  auto Model = core::buildModel(testcfg::twoTasksOneCore());
+  ASSERT_TRUE(Model.ok()) << Model.error().message();
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimResult R = Sim.run();
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string S = R.summary();
+  // The two-task config runs to its 20-tick hyperperiod horizon.
+  EXPECT_NE(S.find("horizon reached"), std::string::npos) << S;
+  EXPECT_NE(S.find("t=20"), std::string::npos) << S;
+  EXPECT_NE(S.find("actions"), std::string::npos) << S;
+}
+
+TEST(ObsEngine, SearchRecordsBestTrajectory) {
+  ObsScope Scope;
+  schedtool::SearchProblem Problem;
+  Problem.Base = testcfg::twoTasksOneCore();
+  // Let the search choose binding and windows.
+  for (cfg::Partition &P : Problem.Base.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+  Problem.MaxIterations = 10;
+  Result<schedtool::SearchResult> Res =
+      schedtool::searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  ASSERT_FALSE(Res->BestTrajectory.empty());
+  // Strictly improving, iterations increasing; ends at 0 when Found.
+  for (size_t I = 1; I < Res->BestTrajectory.size(); ++I) {
+    EXPECT_LT(Res->BestTrajectory[I].second,
+              Res->BestTrajectory[I - 1].second);
+    EXPECT_GT(Res->BestTrajectory[I].first,
+              Res->BestTrajectory[I - 1].first);
+  }
+  if (Res->Found)
+    EXPECT_EQ(Res->BestTrajectory.back().second, 0);
+  EXPECT_EQ(obs::Registry::global()
+                .counter("schedtool.candidates.evaluated")
+                .value(),
+            static_cast<uint64_t>(Res->ConfigurationsEvaluated));
+}
+
+TEST(ObsReport, TextAndJsonForms) {
+  ObsScope Scope;
+  obs::Registry::global().counter("report.test").add(3);
+  obs::Registry::global().histogram("report.hist").record(8);
+  {
+    obs::ScopedTimer T("report-phase");
+  }
+
+  std::ostringstream Text;
+  obs::report(Text, /*Json=*/false);
+  EXPECT_NE(Text.str().find("report.test"), std::string::npos);
+  EXPECT_NE(Text.str().find("report-phase"), std::string::npos);
+  EXPECT_NE(Text.str().find("report.hist"), std::string::npos);
+
+  std::ostringstream Json;
+  obs::report(Json, /*Json=*/true);
+  std::string Line = Json.str();
+  // Strip the trailing newline and check the whole report parses.
+  if (!Line.empty() && Line.back() == '\n')
+    Line.pop_back();
+  EXPECT_TRUE(JsonChecker(Line).valid()) << Line;
+  EXPECT_NE(Line.find("\"report.test\":3"), std::string::npos);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
