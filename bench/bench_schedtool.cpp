@@ -22,6 +22,7 @@ using namespace swa;
 
 static void BM_SearchAtUtilization(benchmark::State &State) {
   double Utilization = static_cast<double>(State.range(0)) / 100.0;
+  int Workers = static_cast<int>(State.range(1));
   gen::IndustrialParams Params;
   Params.Modules = 2;
   Params.CoresPerModule = 2;
@@ -35,12 +36,14 @@ static void BM_SearchAtUtilization(benchmark::State &State) {
   }
 
   int Evaluated = 0;
+  int64_t TotalEvaluated = 0;
   int Found = 0;
   for (auto _ : State) {
     schedtool::SearchProblem Problem;
     Problem.Base = Base;
     Problem.Seed = 11;
     Problem.MaxIterations = 25;
+    Problem.Workers = Workers;
     Result<schedtool::SearchResult> Res =
         schedtool::searchConfiguration(Problem);
     if (!Res.ok()) {
@@ -48,20 +51,32 @@ static void BM_SearchAtUtilization(benchmark::State &State) {
       return;
     }
     Evaluated = Res->ConfigurationsEvaluated;
+    TotalEvaluated += Res->ConfigurationsEvaluated;
     Found += Res->Found ? 1 : 0;
   }
   State.counters["evaluated"] = Evaluated;
   State.counters["found"] = Found;
   State.counters["utilization"] = Utilization;
+  State.counters["workers"] = Workers;
+  // Candidate-evaluation throughput: the metric the worker count scales.
+  State.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(TotalEvaluated), benchmark::Counter::kIsRate);
   swa::benchsupport::exportObsCounters(State);
 }
 BENCHMARK(BM_SearchAtUtilization)
-    ->Arg(30)
-    ->Arg(45)
-    ->Arg(60)
-    ->Arg(75)
-    ->Arg(90)
+    ->ArgsProduct({{30, 45, 60, 75, 90}, {1}})
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// Worker-scaling axis at the utilization knee (the search iterates there,
+// so batches are full). Throughput should scale with physical cores; on a
+// single-core host the 2/4-worker rows only confirm that threading adds
+// no more than scheduling overhead.
+BENCHMARK(BM_SearchAtUtilization)
+    ->ArgsProduct({{75}, {2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
     ->Iterations(1);
 
 SWA_BENCH_MAIN();

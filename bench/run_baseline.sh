@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+#===- bench/run_baseline.sh - Record a perf baseline ---------------------===#
+#
+# Part of the swa-sched project.
+#
+# Runs the perf-relevant benchmark binaries with --metrics (so engine
+# counters land next to each wall-time point) and merges the per-binary
+# --benchmark_out JSON into one baseline file at the repo root. Each
+# benchmark entry is tagged with the binary it came from.
+#
+#   $ bench/run_baseline.sh [build-dir] [out-file]
+#
+# Defaults: build-dir = build, out-file = BENCH_PR2.json. Commit the output
+# so later PRs can compare against a recorded trajectory.
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_PR2.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCHES=(bench_table1 bench_engine bench_scale bench_schedtool)
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for B in "${BENCHES[@]}"; do
+  BIN="$ROOT/$BUILD/bench/$B"
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run: cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+  echo "== $B ==" >&2
+  "$BIN" --metrics --benchmark_out="$TMP/$B.json" \
+    --benchmark_out_format=json >&2
+  jq --arg bin "$B" \
+    '.benchmarks = [.benchmarks[]? + {binary: $bin}]' \
+    "$TMP/$B.json" > "$TMP/$B.tagged.json"
+done
+
+TAGGED=()
+for B in "${BENCHES[@]}"; do
+  TAGGED+=("$TMP/$B.tagged.json")
+done
+jq -s '{context: .[0].context, benchmarks: (map(.benchmarks) | add)}' \
+  "${TAGGED[@]}" > "$ROOT/$OUT"
+echo "wrote $ROOT/$OUT" >&2

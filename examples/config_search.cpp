@@ -8,7 +8,10 @@
 // candidate configurations (bindings + window layouts) for a task set and
 // uses the stopwatch-automata model as its schedulability oracle.
 //
-//   $ ./config_search [seed]
+//   $ ./config_search [seed] [--workers N]
+//
+// --workers evaluates candidate batches on N threads; the result is
+// byte-identical for every N.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,11 +21,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace swa;
 
 int main(int argc, char **argv) {
-  uint64_t Seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  uint64_t Seed = 7;
+  int Workers = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--workers") == 0 && I + 1 < argc)
+      Workers = std::atoi(argv[++I]);
+    else
+      Seed = std::strtoull(argv[I], nullptr, 10);
+  }
 
   // A generated task set whose bindings and windows we discard: the search
   // must find a feasible layout on its own.
@@ -47,6 +58,7 @@ int main(int argc, char **argv) {
   Problem.Base = Base;
   Problem.Seed = Seed;
   Problem.MaxIterations = 40;
+  Problem.Workers = Workers;
   Result<schedtool::SearchResult> Res =
       schedtool::searchConfiguration(Problem);
   if (!Res.ok()) {

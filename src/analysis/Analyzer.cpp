@@ -53,3 +53,48 @@ swa::analysis::analyzeConfiguration(const cfg::Config &Config,
     obs::Registry::global().counter("analysis.configurations").add(1);
   return Out;
 }
+
+Result<VerdictOutcome>
+swa::analysis::analyzeVerdictOnly(const cfg::Config &Config) {
+  Result<core::BuiltModel> Model = core::buildModel(Config);
+  if (!Model.ok())
+    return Model.takeError();
+
+  int NT = static_cast<int>(Model->TaskAutomaton.size());
+  VerdictOutcome Out;
+  Out.TaskFailed.assign(static_cast<size_t>(NT), 0);
+
+  if (Model->IsFailedSlot < 0) {
+    // No failure flags in this model: take the full pipeline and derive
+    // the per-task flags from the job statistics.
+    Result<AnalyzeOutcome> Full = analyzeConfiguration(Config);
+    if (!Full.ok())
+      return Full.takeError();
+    Out.Schedulable = Full->Analysis.Schedulable;
+    Out.ActionCount = Full->Sim.ActionCount;
+    for (const JobStats &J : Full->Analysis.Jobs)
+      if (!J.Completed && J.TaskGid >= 0 && J.TaskGid < NT)
+        Out.TaskFailed[static_cast<size_t>(J.TaskGid)] = 1;
+    for (char F : Out.TaskFailed)
+      Out.FailedTasks += F ? 1 : 0;
+    return Out;
+  }
+
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimOptions Opt;
+  Opt.RecordTrace = false;
+  nsa::SimResult R = Sim.run(Opt);
+  if (!R.ok())
+    return Error::failure("simulation failed: " + R.Error);
+  Out.ActionCount = R.ActionCount;
+  for (int G = 0; G < NT; ++G) {
+    if (R.Final.Store[static_cast<size_t>(Model->IsFailedSlot + G)] != 0) {
+      Out.TaskFailed[static_cast<size_t>(G)] = 1;
+      ++Out.FailedTasks;
+    }
+  }
+  Out.Schedulable = Out.FailedTasks == 0;
+  if (obs::enabled())
+    obs::Registry::global().counter("analysis.configurations").add(1);
+  return Out;
+}

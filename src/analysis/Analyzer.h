@@ -39,6 +39,26 @@ Result<AnalyzeOutcome>
 analyzeConfiguration(const cfg::Config &Config,
                      const nsa::SimOptions &SimOptions = {});
 
+/// Verdict-only analysis: no synchronization trace is materialized and no
+/// per-job statistics are computed.
+struct VerdictOutcome {
+  bool Schedulable = false;
+  /// Tasks whose is_failed flag tripped (0 when schedulable).
+  int64_t FailedTasks = 0;
+  /// Per-task-gid failure flags.
+  std::vector<char> TaskFailed;
+  uint64_t ActionCount = 0;
+};
+
+/// The config-search inner loop: simulates with SimOptions::RecordTrace
+/// off and reads the verdict from the model's is_failed flags in the
+/// final state. Over a full hyperperiod the deadline-miss edges make the
+/// flags agree with the trace criterion (the invariant
+/// AnalyzeOutcome::failureFlagsConsistent checks), so this is the same
+/// verdict as analyzeConfiguration at a fraction of the cost. Falls back
+/// to the full pipeline for models without failure flags.
+Result<VerdictOutcome> analyzeVerdictOnly(const cfg::Config &Config);
+
 } // namespace analysis
 } // namespace swa
 

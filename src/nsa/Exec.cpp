@@ -37,6 +37,29 @@ bool swa::nsa::syncTracesEqual(const Trace &A, const Trace &B) {
   return KA == KB;
 }
 
+namespace {
+
+/// Folds a bound expression that is a literal (or a bound-to-constant
+/// reference) into its value. Returns false for dynamic expressions.
+bool foldConstExpr(const usl::Expr &E, int64_t &Out) {
+  switch (E.Kind) {
+  case usl::ExprKind::IntLit:
+  case usl::ExprKind::BoolLit:
+    Out = E.Literal;
+    return true;
+  case usl::ExprKind::VarRef:
+    if (E.Ref == usl::RefKind::Const) {
+      Out = E.ConstValue;
+      return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
 Exec::Exec(const sa::Network &Net) : Net(Net) {
   Ctx.ConstArrays = &Net.Bind.ConstArrays;
   Ctx.FuncTable = &Net.Bind.FuncTable;
@@ -44,6 +67,58 @@ Exec::Exec(const sa::Network &Net) : Net(Net) {
   for (size_t A = 0; A < Net.Automata.size(); ++A)
     for (int C : Net.Automata[A]->Clocks)
       ClockOwner[static_cast<size_t>(C)] = static_cast<int32_t>(A);
+
+  Folded.resize(Net.Automata.size());
+  for (size_t A = 0; A < Net.Automata.size(); ++A) {
+    const sa::Automaton &Aut = *Net.Automata[A];
+    FoldedAut &F = Folded[A];
+    F.UpperBounds.resize(Aut.Locations.size());
+    F.LocHasRates.resize(Aut.Locations.size(), 0);
+    F.LocRates.resize(Aut.Locations.size());
+    for (size_t L = 0; L < Aut.Locations.size(); ++L) {
+      const sa::Location &Loc = Aut.Locations[L];
+      F.LocHasRates[L] = Loc.Rates.empty() ? 0 : 1;
+      F.LocRates[L].reserve(Loc.Rates.size());
+      for (const sa::RateCond &R : Loc.Rates) {
+        FoldedAut::FoldedRate FR{R.Clock, DynamicBound, &R};
+        foldConstExpr(*R.Rate, FR.Value);
+        F.LocRates[L].push_back(FR);
+      }
+      F.UpperBounds[L].resize(Loc.Uppers.size(), DynamicBound);
+      for (size_t I = 0; I < Loc.Uppers.size(); ++I)
+        foldConstExpr(*Loc.Uppers[I].Bound, F.UpperBounds[L][I]);
+    }
+    F.GuardBounds.resize(Aut.Edges.size());
+    for (size_t E = 0; E < Aut.Edges.size(); ++E) {
+      const sa::Edge &Ed = Aut.Edges[E];
+      F.GuardBounds[E].resize(Ed.ClockGuards.size(), DynamicBound);
+      for (size_t I = 0; I < Ed.ClockGuards.size(); ++I)
+        foldConstExpr(*Ed.ClockGuards[I].Bound, F.GuardBounds[E][I]);
+    }
+  }
+}
+
+int64_t Exec::upperBound(State &S, int Aut, const sa::Location &L,
+                         size_t I) {
+  int64_t V = Folded[static_cast<size_t>(Aut)]
+                  .UpperBounds[static_cast<size_t>(
+                      S.Locs[static_cast<size_t>(Aut)])][I];
+  if (V != DynamicBound)
+    return V;
+  const sa::ClockUpper &U = L.Uppers[I];
+  return evalSite(S, *U.Bound, U.BoundCode, {});
+}
+
+int64_t Exec::guardBound(State &S, int Aut, int Edge, size_t I) {
+  int64_t V = Folded[static_cast<size_t>(Aut)]
+                  .GuardBounds[static_cast<size_t>(Edge)][I];
+  if (V != DynamicBound)
+    return V;
+  const sa::ClockGuard &CG =
+      Net.Automata[static_cast<size_t>(Aut)]
+          ->Edges[static_cast<size_t>(Edge)]
+          .ClockGuards[I];
+  return evalSite(S, *CG.Bound, CG.BoundCode, {});
 }
 
 void Exec::initState(State &S) {
@@ -84,9 +159,12 @@ int64_t Exec::evalSite(State &S, const usl::Expr &E, const usl::Code &C,
   return usl::runCode(C, Net.FuncCode, Ctx, 0);
 }
 
-bool Exec::clockGuardsHold(State &S, const sa::Edge &E) {
-  for (const sa::ClockGuard &CG : E.ClockGuards) {
-    int64_t Bound = evalSite(S, *CG.Bound, CG.BoundCode, {});
+bool Exec::clockGuardsHold(State &S, int Aut, int Edge) {
+  const sa::Edge &E = Net.Automata[static_cast<size_t>(Aut)]
+                          ->Edges[static_cast<size_t>(Edge)];
+  for (size_t I = 0; I < E.ClockGuards.size(); ++I) {
+    const sa::ClockGuard &CG = E.ClockGuards[I];
+    int64_t Bound = guardBound(S, Aut, Edge, I);
     int64_t C = S.Clocks[static_cast<size_t>(CG.Clock)];
     bool Ok = false;
     switch (CG.Op) {
@@ -121,10 +199,10 @@ void Exec::collectEnabled(const State &SIn, int Aut,
   const sa::Location &L =
       A.Locations[static_cast<size_t>(S.Locs[static_cast<size_t>(Aut)])];
 
-  std::vector<int64_t> Frame;
+  std::vector<int64_t> &Frame = FrameScratch;
   for (int EI : L.OutEdges) {
     const sa::Edge &E = A.Edges[static_cast<size_t>(EI)];
-    if (!clockGuardsHold(S, E))
+    if (!clockGuardsHold(S, Aut, EI))
       continue;
 
     // Enumerate select combinations in ascending order.
@@ -180,8 +258,9 @@ bool Exec::invariantHolds(const State &SIn, int Aut) {
   if (L.DataInvariant &&
       evalSite(S, *L.DataInvariant, L.DataInvariantCode, {}) == 0)
     return false;
-  for (const sa::ClockUpper &U : L.Uppers) {
-    int64_t Bound = evalSite(S, *U.Bound, U.BoundCode, {});
+  for (size_t I = 0; I < L.Uppers.size(); ++I) {
+    const sa::ClockUpper &U = L.Uppers[I];
+    int64_t Bound = upperBound(S, Aut, L, I);
     int64_t C = S.Clocks[static_cast<size_t>(U.Clock)];
     if (U.Strict ? (C >= Bound) : (C > Bound))
       return false;
@@ -235,12 +314,15 @@ bool Exec::applyStep(State &S, const Step &St,
 
 int Exec::rateOf(const State &SIn, int Aut, int ClockIdx) {
   State &S = const_cast<State &>(SIn);
-  const sa::Automaton &A = *Net.Automata[static_cast<size_t>(Aut)];
-  const sa::Location &L =
-      A.Locations[static_cast<size_t>(S.Locs[static_cast<size_t>(Aut)])];
-  for (const sa::RateCond &R : L.Rates)
-    if (R.Clock == ClockIdx)
-      return evalSite(S, *R.Rate, R.RateCode, {}) != 0 ? 1 : 0;
+  for (const FoldedAut::FoldedRate &R :
+       Folded[static_cast<size_t>(Aut)].LocRates[static_cast<size_t>(
+           S.Locs[static_cast<size_t>(Aut)])]) {
+    if (R.Clock != ClockIdx)
+      continue;
+    if (R.Value != DynamicBound)
+      return R.Value != 0 ? 1 : 0;
+    return evalSite(S, *R.Cond->Rate, R.Cond->RateCode, {}) != 0 ? 1 : 0;
+  }
   return 1;
 }
 
@@ -251,12 +333,18 @@ int64_t Exec::wakeTime(const State &SIn, int Aut) {
       A.Locations[static_cast<size_t>(S.Locs[static_cast<size_t>(Aut)])];
 
   int64_t Best = TimeInfinity;
+  // Stopped clocks never reach a bound; the rate check is skipped entirely
+  // for the common rate-free locations.
+  bool HasRates =
+      Folded[static_cast<size_t>(Aut)].LocHasRates[static_cast<size_t>(
+          S.Locs[static_cast<size_t>(Aut)])] != 0;
 
   // Invariant expiry forces an action at the bound.
-  for (const sa::ClockUpper &U : L.Uppers) {
-    if (rateOf(S, Aut, U.Clock) == 0)
+  for (size_t I = 0; I < L.Uppers.size(); ++I) {
+    const sa::ClockUpper &U = L.Uppers[I];
+    if (HasRates && rateOf(S, Aut, U.Clock) == 0)
       continue;
-    int64_t Bound = evalSite(S, *U.Bound, U.BoundCode, {});
+    int64_t Bound = upperBound(S, Aut, L, I);
     int64_t C = S.Clocks[static_cast<size_t>(U.Clock)];
     int64_t Rem = Bound - C - (U.Strict ? 1 : 0);
     if (Rem < 0)
@@ -267,10 +355,11 @@ int64_t Exec::wakeTime(const State &SIn, int Aut) {
   // Clock guards becoming enabled.
   for (int EI : L.OutEdges) {
     const sa::Edge &E = A.Edges[static_cast<size_t>(EI)];
-    for (const sa::ClockGuard &CG : E.ClockGuards) {
-      if (rateOf(S, Aut, CG.Clock) == 0)
+    for (size_t I = 0; I < E.ClockGuards.size(); ++I) {
+      const sa::ClockGuard &CG = E.ClockGuards[I];
+      if (HasRates && rateOf(S, Aut, CG.Clock) == 0)
         continue;
-      int64_t Bound = evalSite(S, *CG.Bound, CG.BoundCode, {});
+      int64_t Bound = guardBound(S, Aut, EI, I);
       int64_t C = S.Clocks[static_cast<size_t>(CG.Clock)];
       int64_t D = TimeInfinity;
       switch (CG.Op) {
@@ -298,15 +387,20 @@ void Exec::advanceTime(State &S, int64_t Delta) {
   S.Now += Delta;
   if (Delta == 0)
     return;
-  // Advance everything, then roll back stopped clocks.
+  // Advance everything, then roll back stopped clocks. Only automata
+  // whose current location carries rate conditions are examined (the
+  // folded LocHasRates table avoids touching the automaton IR at all for
+  // the rate-free majority).
   for (int64_t &C : S.Clocks)
     C += Delta;
   for (size_t A = 0; A < Net.Automata.size(); ++A) {
-    const sa::Automaton &Aut = *Net.Automata[A];
-    const sa::Location &L =
-        Aut.Locations[static_cast<size_t>(S.Locs[A])];
-    for (const sa::RateCond &R : L.Rates) {
-      if (evalSite(S, *R.Rate, R.RateCode, {}) == 0)
+    const std::vector<FoldedAut::FoldedRate> &Rates =
+        Folded[A].LocRates[static_cast<size_t>(S.Locs[A])];
+    for (const FoldedAut::FoldedRate &R : Rates) {
+      int64_t V = R.Value;
+      if (V == DynamicBound)
+        V = evalSite(S, *R.Cond->Rate, R.Cond->RateCode, {});
+      if (V == 0)
         S.Clocks[static_cast<size_t>(R.Clock)] -= Delta;
     }
   }

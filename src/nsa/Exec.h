@@ -129,7 +129,7 @@ private:
   /// tree interpreter.
   int64_t evalSite(State &S, const usl::Expr &E, const usl::Code &C,
                    const std::vector<int64_t> &Frame);
-  bool clockGuardsHold(State &S, const sa::Edge &E);
+  bool clockGuardsHold(State &S, int Aut, int Edge);
   void runUpdate(State &S, const sa::Edge &E,
                  const std::vector<int64_t> &Selects,
                  std::vector<int32_t> *WriteLog);
@@ -138,6 +138,42 @@ private:
   usl::EvalContext Ctx;
   /// Owner automaton of each clock; -1 for global clocks.
   std::vector<int32_t> ClockOwner;
+
+  /// Sentinel in the folded-bound tables: the bound is a dynamic
+  /// expression and must be evaluated.
+  static constexpr int64_t DynamicBound =
+      std::numeric_limits<int64_t>::min();
+
+  /// Clock-bound expressions are overwhelmingly literals after template
+  /// instantiation (periods, window edges); folding them at construction
+  /// removes an interpreter/VM dispatch from every guard check and wake
+  /// computation on the hot path.
+  struct FoldedAut {
+    /// [Loc][I]: folded Location::Uppers[I] bound, or DynamicBound.
+    std::vector<std::vector<int64_t>> UpperBounds;
+    /// [Edge][I]: folded Edge::ClockGuards[I] bound, or DynamicBound.
+    std::vector<std::vector<int64_t>> GuardBounds;
+    /// [Loc]: location has stopwatch rate conditions.
+    std::vector<char> LocHasRates;
+    /// One rate condition with its expression pre-folded. The model
+    /// library's rates are almost all the literal 0 ("clock stopped
+    /// here"), so delay steps mostly reduce to a subtraction per stopped
+    /// clock with no expression evaluation at all.
+    struct FoldedRate {
+      int32_t Clock;
+      int64_t Value;            ///< Folded rate, or DynamicBound.
+      const sa::RateCond *Cond; ///< For dynamic evaluation.
+    };
+    /// [Loc]: the location's rate conditions, folded.
+    std::vector<std::vector<FoldedRate>> LocRates;
+  };
+  std::vector<FoldedAut> Folded;
+
+  /// Scratch select frame for collectEnabled (steady-state allocation-free).
+  std::vector<int64_t> FrameScratch;
+
+  int64_t upperBound(State &S, int Aut, const sa::Location &L, size_t I);
+  int64_t guardBound(State &S, int Aut, int Edge, size_t I);
 };
 
 } // namespace nsa

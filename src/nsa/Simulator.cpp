@@ -23,7 +23,10 @@ Simulator::Simulator(const sa::Network &Net) : Net(Net), Ex(Net) {
   RecvContrib.resize(N);
   ReceiversByChan.resize(static_cast<size_t>(Net.NumChannelIds));
   Dirty.assign(N, 0);
-  CurrentWake.assign(N, TimeInfinity);
+  DirtyStack.reserve(N);
+  Initiators.reset(N);
+  Committed.reset(N);
+  WakeHeap.reset(N);
 
   WatchersBySlot.resize(Net.InitialStore.size());
   for (size_t A = 0; A < N; ++A)
@@ -31,6 +34,24 @@ Simulator::Simulator(const sa::Network &Net) : Net(Net), Ex(Net) {
       if (Slot >= 0 && static_cast<size_t>(Slot) < WatchersBySlot.size())
         WatchersBySlot[static_cast<size_t>(Slot)].push_back(
             static_cast<int32_t>(A));
+}
+
+void Simulator::reset() {
+  Ex.initState(S);
+  for (std::vector<EnabledInst> &E : Enabled)
+    E.clear();
+  for (std::vector<int32_t> &RC : RecvContrib)
+    RC.clear();
+  for (SortedIdVec &R : ReceiversByChan)
+    R.clear();
+  Initiators.clear();
+  Committed.clear();
+  std::fill(Dirty.begin(), Dirty.end(), 0);
+  DirtyStack.clear();
+  WakeHeap.clear();
+  WriteLog.clear();
+  Stats = EngineStats();
+  StepsPerAut.clear();
 }
 
 void Simulator::markDirty(int Aut) {
@@ -44,43 +65,66 @@ void Simulator::refreshAutomaton(int Aut) {
   size_t AI = static_cast<size_t>(Aut);
   ++Stats.Refreshes;
 
-  // Undo previous channel contributions.
-  Stats.RecvErases += RecvContrib[AI].size();
-  for (int32_t Chan : RecvContrib[AI])
-    ReceiversByChan[static_cast<size_t>(Chan)].erase(
-        static_cast<int32_t>(Aut));
-  RecvContrib[AI].clear();
-  Initiators.erase(static_cast<int32_t>(Aut));
-
   Enabled[AI].clear();
   Ex.collectEnabled(S, Aut, Enabled[AI]);
   Stats.EnabledExamined += Enabled[AI].size();
 
+  // Receive offers usually survive a refresh (a task keeps listening on
+  // its dispatch channel while other automata move), so diff the sorted
+  // old/new channel lists and touch ReceiversByChan only where membership
+  // actually changed, instead of erase-all / reinsert-all.
+  std::vector<int32_t> &NewContrib = RecvContribScratch;
+  NewContrib.clear();
   bool IsInitiator = false;
   for (const EnabledInst &Inst : Enabled[AI]) {
-    if (Inst.ChanId < 0 || Inst.IsSend) {
+    if (Inst.ChanId < 0 || Inst.IsSend)
       IsInitiator = true;
-    } else {
-      auto &Set = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
-      if (Set.insert(static_cast<int32_t>(Aut)).second) {
-        RecvContrib[AI].push_back(Inst.ChanId);
+    else
+      NewContrib.push_back(Inst.ChanId);
+  }
+  std::sort(NewContrib.begin(), NewContrib.end());
+  NewContrib.erase(std::unique(NewContrib.begin(), NewContrib.end()),
+                   NewContrib.end());
+
+  std::vector<int32_t> &Old = RecvContrib[AI];
+  if (Old != NewContrib) {
+    size_t I = 0, J = 0;
+    while (I < Old.size() || J < NewContrib.size()) {
+      if (J == NewContrib.size() ||
+          (I < Old.size() && Old[I] < NewContrib[J])) {
+        ReceiversByChan[static_cast<size_t>(Old[I])].erase(
+            static_cast<int32_t>(Aut));
+        ++Stats.RecvErases;
+        ++I;
+      } else if (I == Old.size() || NewContrib[J] < Old[I]) {
+        ReceiversByChan[static_cast<size_t>(NewContrib[J])].insert(
+            static_cast<int32_t>(Aut));
         ++Stats.RecvInserts;
+        ++J;
+      } else {
+        ++I;
+        ++J;
       }
     }
+    Old.swap(NewContrib);
   }
+
   if (IsInitiator)
-    Initiators.insert(static_cast<int32_t>(Aut));
+    Initiators.insert(AI);
+  else
+    Initiators.erase(AI);
 
   if (Ex.inCommitted(S, Aut))
-    Committed.insert(static_cast<int32_t>(Aut));
+    Committed.insert(AI);
   else
-    Committed.erase(static_cast<int32_t>(Aut));
+    Committed.erase(AI);
 
   int64_t Wake = Ex.wakeTime(S, Aut);
-  CurrentWake[AI] = Wake;
   if (Wake < TimeInfinity) {
-    WakeHeap.push({Wake, static_cast<int32_t>(Aut)});
-    ++Stats.HeapPushes;
+    if (WakeHeap.update(static_cast<int32_t>(Aut), Wake))
+      ++Stats.HeapPushes;
+  } else {
+    WakeHeap.erase(static_cast<int32_t>(Aut));
   }
 }
 
@@ -96,10 +140,10 @@ void Simulator::refreshDirty() {
 bool Simulator::committedOk(const Step &St) const {
   if (Committed.empty())
     return true;
-  if (Committed.count(St.InitiatorAut))
+  if (Committed.test(static_cast<size_t>(St.InitiatorAut)))
     return true;
   for (const Step::Recv &R : St.Receivers)
-    if (Committed.count(R.Aut))
+    if (Committed.test(static_cast<size_t>(R.Aut)))
       return true;
   return false;
 }
@@ -109,10 +153,12 @@ bool Simulator::attachReceivers(int Aut, const EnabledInst &Inst, Step &Out,
   if (Inst.ChanId < 0)
     return true; // Internal step.
   assert(Inst.IsSend && "initiators must send");
-  const auto &Recvs = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+  const SortedIdVec &Recvs =
+      ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
 
   auto FirstRecvInst = [&](int32_t R) -> const EnabledInst * {
-    std::vector<const EnabledInst *> Options;
+    std::vector<const EnabledInst *> &Options = RecvOptionScratch;
+    Options.clear();
     for (const EnabledInst &RI : Enabled[static_cast<size_t>(R)])
       if (RI.ChanId == Inst.ChanId && !RI.IsSend)
         Options.push_back(&RI);
@@ -158,14 +204,16 @@ bool Simulator::buildStepFrom(int Aut, const EnabledInst &Inst, Step &Out,
 }
 
 bool Simulator::pickStepDeterministic(Step &Out) {
-  for (int32_t A : Initiators) {
+  for (int32_t A = Initiators.findFirst(); A >= 0;
+       A = Initiators.findNext(A)) {
     for (const EnabledInst &Inst : Enabled[static_cast<size_t>(A)]) {
       if (Inst.ChanId >= 0 && !Inst.IsSend)
         continue;
       if (Inst.ChanId >= 0 && !Inst.Broadcast) {
         // Try every partner in order (a later partner may satisfy the
         // committed-participation rule when an earlier one does not).
-        const auto &Recvs = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+        const SortedIdVec &Recvs =
+            ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
         for (int32_t R : Recvs) {
           if (R == A)
             continue;
@@ -191,12 +239,14 @@ bool Simulator::pickStepDeterministic(Step &Out) {
 
 bool Simulator::pickStepRandom(Step &Out, Rng &R) {
   std::vector<Step> All;
-  for (int32_t A : Initiators) {
+  for (int32_t A = Initiators.findFirst(); A >= 0;
+       A = Initiators.findNext(A)) {
     for (const EnabledInst &Inst : Enabled[static_cast<size_t>(A)]) {
       if (Inst.ChanId >= 0 && !Inst.IsSend)
         continue;
       if (Inst.ChanId >= 0 && !Inst.Broadcast) {
-        const auto &Recvs = ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
+        const SortedIdVec &Recvs =
+            ReceiversByChan[static_cast<size_t>(Inst.ChanId)];
         for (int32_t Partner : Recvs) {
           if (Partner == A)
             continue;
@@ -228,7 +278,7 @@ bool Simulator::pickStepRandom(Step &Out, Rng &R) {
 SimResult Simulator::run(const SimOptions &Options) {
   obs::ScopedTimer Timer("simulate");
   SimResult Res;
-  Ex.initState(S);
+  reset();
 
   bool Metrics = Options.MetricsEnabled || obs::enabled();
   if (Metrics)
@@ -260,7 +310,7 @@ SimResult Simulator::run(const SimOptions &Options) {
   for (;;) {
     refreshDirty();
 
-    Step St;
+    Step &St = StepScratch;
     bool Found = Options.RandomOrder
                      ? pickStepRandom(St, *Options.RandomOrder)
                      : pickStepDeterministic(St);
@@ -290,11 +340,13 @@ SimResult Simulator::run(const SimOptions &Options) {
       LastStepped = St.InitiatorAut;
       if (!StepsPerAut.empty())
         ++StepsPerAut[static_cast<size_t>(St.InitiatorAut)];
-      if (St.Initiator.ChanId >= 0 || Options.RecordInternal) {
+      if (Options.RecordTrace &&
+          (St.Initiator.ChanId >= 0 || Options.RecordInternal)) {
         Event E;
         E.Time = S.Now;
         E.Channel = St.Initiator.ChanId;
         E.Initiator = {St.InitiatorAut, St.Initiator.Edge};
+        E.Receivers.reserve(St.Receivers.size());
         for (const Step::Recv &R : St.Receivers)
           E.Receivers.push_back({R.Aut, R.Inst.Edge});
         Res.Events.push_back(std::move(E));
@@ -320,25 +372,17 @@ SimResult Simulator::run(const SimOptions &Options) {
       break;
     }
 
-    // Find the next valid wake time (lazy heap cleanup).
-    int64_t Next = TimeInfinity;
-    while (!WakeHeap.empty()) {
-      auto [T, A] = WakeHeap.top();
-      if (CurrentWake[static_cast<size_t>(A)] != T) {
-        WakeHeap.pop();
-        ++Stats.HeapPops;
-        continue;
-      }
-      Next = T;
-      break;
-    }
+    // The next wake time; every heap entry is live (re-arming re-keys in
+    // place), so the top needs no staleness cleanup.
+    int64_t Next = WakeHeap.empty() ? TimeInfinity : WakeHeap.top().Key;
 
     if (Next <= S.Now) {
       if (Next == S.Now) {
         // Name the automata whose bounds expired to ease model debugging.
         std::string Stuck;
         for (size_t A = 0; A < Net.Automata.size(); ++A) {
-          if (CurrentWake[A] != Next)
+          if (!WakeHeap.contains(static_cast<int32_t>(A)) ||
+              WakeHeap.keyOf(static_cast<int32_t>(A)) != Next)
             continue;
           const sa::Automaton &Aut = *Net.Automata[A];
           if (!Stuck.empty())
@@ -384,14 +428,11 @@ SimResult Simulator::run(const SimOptions &Options) {
     if (Sink)
       Sink->onDelay(Prev, S.Now);
     // Wake every automaton whose deadline arrived.
-    while (!WakeHeap.empty()) {
-      auto [T, A] = WakeHeap.top();
-      if (T > Next)
-        break;
+    while (!WakeHeap.empty() && WakeHeap.top().Key <= Next) {
+      int32_t A = WakeHeap.top().Id;
       WakeHeap.pop();
       ++Stats.HeapPops;
-      if (CurrentWake[static_cast<size_t>(A)] == T)
-        markDirty(A);
+      markDirty(A);
     }
   }
 

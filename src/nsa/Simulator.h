@@ -16,9 +16,16 @@
 /// The engine is event-driven: automata are re-examined only when they
 /// moved, when a shared variable they watch changed (slot watch lists built
 /// from static read sets), or when model time reaches their next clock
-/// bound (min-heap of wake times). Work is therefore proportional to the
-/// number of events, which is what makes 12500-job configurations simulate
-/// in seconds (paper §4).
+/// bound (indexed min-heap of wake times). Work is therefore proportional
+/// to the number of events, which is what makes 12500-job configurations
+/// simulate in seconds (paper §4).
+///
+/// Hot data structures are dense and sized once at construction — bitsets
+/// for the initiator/committed sets, sorted flat vectors for per-channel
+/// receiver sets, an indexed heap for wake times — so the steady-state
+/// loop is allocation-free and a Simulator can be reset() and re-run
+/// without reconstructing anything (see DESIGN.md, "Engine data
+/// structures").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,11 +33,11 @@
 #define SWA_NSA_SIMULATOR_H
 
 #include "nsa/Exec.h"
+#include "support/BitSet.h"
+#include "support/IndexedHeap.h"
 #include "support/Rng.h"
 
 #include <memory>
-#include <queue>
-#include <set>
 #include <string>
 
 namespace swa {
@@ -46,6 +53,10 @@ struct SimOptions {
   int64_t Horizon = -1;
   /// Safety valve on the number of action transitions.
   uint64_t MaxActions = 100000000ULL;
+  /// Materialize the synchronization trace in SimResult::Events. Callers
+  /// that only need the verdict/final state (e.g. the config-search inner
+  /// loop) turn this off to skip the per-event allocations entirely.
+  bool RecordTrace = true;
   /// Record internal (unsynchronized) transitions in the trace.
   bool RecordInternal = false;
   /// When non-null, fireable steps are chosen uniformly at random instead
@@ -88,15 +99,18 @@ class Simulator {
 public:
   explicit Simulator(const sa::Network &Net);
 
-  /// Runs from the initial state to the horizon.
+  /// Runs from the initial state to the horizon. Restartable: each call
+  /// first reset()s, so one Simulator (and its allocations) can be reused
+  /// for repeated runs over the same network.
   SimResult run(const SimOptions &Options = {});
 
-private:
-  struct Cand {
-    int32_t Aut;
-    EnabledInst Inst;
-  };
+  /// Returns the simulator to the network's initial state, keeping every
+  /// allocation (enabled lists, receiver sets, heap, scratch buffers).
+  /// run() calls this itself; it is public so callers can drop transient
+  /// state eagerly between runs.
+  void reset();
 
+private:
   void markDirty(int Aut);
   void refreshAutomaton(int Aut);
   void refreshDirty();
@@ -114,25 +128,33 @@ private:
   State S;
 
   std::vector<std::vector<EnabledInst>> Enabled;
-  /// Automata currently offering a receive on each channel id.
-  std::vector<std::set<int32_t>> ReceiversByChan;
-  /// Channels each automaton currently contributes receives to (undo list).
+  /// Automata currently offering a receive on each channel id. Tiny sorted
+  /// vectors (ascending ids — the deterministic partner order).
+  std::vector<SortedIdVec> ReceiversByChan;
+  /// Channels each automaton currently contributes receives to, sorted
+  /// ascending (diffed against the fresh offer list on refresh).
   std::vector<std::vector<int32_t>> RecvContrib;
+  /// Scratch for the fresh offer list built during refreshAutomaton.
+  std::vector<int32_t> RecvContribScratch;
   /// Automata that currently have an internal or send instance enabled.
-  std::set<int32_t> Initiators;
-  std::set<int32_t> Committed;
+  DenseBitSet Initiators;
+  DenseBitSet Committed;
 
   std::vector<std::vector<int32_t>> WatchersBySlot;
   std::vector<char> Dirty;
   std::vector<int32_t> DirtyStack;
 
-  std::vector<int64_t> CurrentWake;
-  std::priority_queue<std::pair<int64_t, int32_t>,
-                      std::vector<std::pair<int64_t, int32_t>>,
-                      std::greater<>>
-      WakeHeap;
+  /// Wake deadlines: one live heap entry per time-bounded automaton;
+  /// re-arming a timer re-keys the entry in place instead of pushing a
+  /// stale duplicate.
+  IndexedMinHeap WakeHeap;
 
   std::vector<int32_t> WriteLog;
+
+  /// Per-step scratch reused across the whole run (steady state is
+  /// allocation-free).
+  Step StepScratch;
+  std::vector<const EnabledInst *> RecvOptionScratch;
 
   /// Engine statistics for the observability layer. Plain local integers
   /// bumped unconditionally (the adds are noise next to the work they
@@ -140,7 +162,7 @@ private:
   struct EngineStats {
     uint64_t Refreshes = 0;       ///< Dirty-automaton re-examinations.
     uint64_t EnabledExamined = 0; ///< Edge instances collected.
-    uint64_t HeapPushes = 0;
+    uint64_t HeapPushes = 0;      ///< New heap entries (re-keys excluded).
     uint64_t HeapPops = 0;
     uint64_t RecvInserts = 0; ///< Receiver-set churn (inserts).
     uint64_t RecvErases = 0;  ///< Receiver-set churn (erases).

@@ -16,10 +16,14 @@ using namespace swa::obs;
 
 namespace {
 bool EnabledFlag = false;
+thread_local int SuppressDepth = 0;
 } // namespace
 
-bool swa::obs::enabled() { return EnabledFlag; }
+bool swa::obs::enabled() { return EnabledFlag && SuppressDepth == 0; }
 void swa::obs::setEnabled(bool On) { EnabledFlag = On; }
+
+ThreadSuppressGuard::ThreadSuppressGuard() { ++SuppressDepth; }
+ThreadSuppressGuard::~ThreadSuppressGuard() { --SuppressDepth; }
 
 Registry &Registry::global() {
   static Registry R;

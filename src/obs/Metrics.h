@@ -38,9 +38,25 @@ namespace swa {
 namespace obs {
 
 /// Global observability switch. Gates phase timers and the registry
-/// publication of every instrumented layer. Off by default.
+/// publication of every instrumented layer. Off by default. Returns false
+/// on threads where observability is suppressed (see ThreadSuppressGuard),
+/// regardless of the global switch.
 bool enabled();
 void setEnabled(bool On);
+
+/// RAII thread-local observability suppression. While alive, enabled()
+/// returns false *on this thread only*: instrumented code running on the
+/// thread publishes nothing and starts no phase timers. The registry and
+/// phase tree are single-threaded by design; worker threads (config-search
+/// candidate evaluation) hold one of these so they never touch either, and
+/// so registry contents are identical for every worker count. Nestable.
+class ThreadSuppressGuard {
+public:
+  ThreadSuppressGuard();
+  ~ThreadSuppressGuard();
+  ThreadSuppressGuard(const ThreadSuppressGuard &) = delete;
+  ThreadSuppressGuard &operator=(const ThreadSuppressGuard &) = delete;
+};
 
 /// A monotonic event counter.
 class Counter {

@@ -11,6 +11,7 @@
 #include "obs/Timer.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -109,6 +110,35 @@ void swa::schedtool::synthesizeWindows(cfg::Config &Config,
   }
 }
 
+namespace {
+
+/// One candidate of a round: a concrete binding + window layout plus the
+/// boost vector that produced it.
+struct Candidate {
+  cfg::Config Config;
+  std::vector<double> Boost;
+  bool Valid = false;
+  std::string InvalidReason;
+};
+
+/// Evaluation slot; written by exactly one worker, read only after the
+/// whole batch finished.
+struct Eval {
+  bool Ok = false;
+  std::string ErrMsg;
+  analysis::VerdictOutcome V;
+};
+
+/// Per-candidate perturbation seed: a pure function of (Seed, Round, J),
+/// never of the thread that evaluates the candidate.
+uint64_t candidateSeed(uint64_t Seed, int Round, int J) {
+  uint64_t X = static_cast<uint64_t>(Round) * 0x100000001b3ULL +
+               static_cast<uint64_t>(J) + 1;
+  return Seed ^ (X * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
 Result<SearchResult>
 swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   obs::ScopedTimer Timer("schedtool.search");
@@ -116,7 +146,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   Rng R(Problem.Seed);
 
   // Counters live in the registry (stable addresses), cached here so the
-  // loop pays one pointer test per event when metrics are off.
+  // loop pays one pointer test per event when metrics are off. Only the
+  // calling thread touches them; workers run with observability
+  // suppressed, so registry contents are identical for every Workers
+  // value.
   obs::Counter *CandC = nullptr, *SimC = nullptr, *SchedC = nullptr;
   if (obs::enabled()) {
     obs::Registry &Reg = obs::Registry::global();
@@ -132,67 +165,140 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   }
   std::vector<double> Boost(Current.Partitions.size(), 1.5);
 
+  const int Batch = std::max(1, Problem.BatchSize);
+  ThreadPool Pool(std::max(1, Problem.Workers));
+
+  std::vector<Candidate> Cands;
+  std::vector<Eval> Evals;
+
   Res.BestMissedJobs = -1;
-  for (int Iter = 0; Iter < Problem.MaxIterations; ++Iter) {
-    synthesizeWindows(Current, Boost);
-    if (Error E = Current.validate()) {
-      // A move produced an invalid layout; perturb and retry.
-      Res.Log.push_back(formatString("iter %d: invalid candidate (%s)",
-                                     Iter, E.message().c_str()));
+  int Iter = 0;
+  for (int Round = 0; Iter < Problem.MaxIterations; ++Round) {
+    int N = std::min(Batch, Problem.MaxIterations - Iter);
+
+    // Candidate 0 is the current adaptive state; candidates 1..N-1 are
+    // seeded perturbations of it (boost resampling, an occasional random
+    // rebind). Generation is serial and depends only on (Seed, Round, J).
+    Cands.assign(static_cast<size_t>(N), Candidate());
+    Evals.assign(static_cast<size_t>(N), Eval());
+    for (int J = 0; J < N; ++J) {
+      Candidate &C = Cands[static_cast<size_t>(J)];
+      C.Config = Current;
+      C.Boost = Boost;
+      if (J > 0) {
+        Rng PJ(candidateSeed(Problem.Seed, Round, J));
+        for (double &B : C.Boost)
+          if (PJ.chance(0.4))
+            B = Problem.MinBoost +
+                PJ.uniformDouble() * (Problem.MaxBoost - Problem.MinBoost);
+        if (!C.Config.Partitions.empty() && !C.Config.Cores.empty() &&
+            PJ.chance(0.3)) {
+          size_t P = PJ.index(C.Config.Partitions.size());
+          C.Config.Partitions[P].Core =
+              static_cast<int>(PJ.index(C.Config.Cores.size()));
+        }
+      }
+      synthesizeWindows(C.Config, C.Boost);
+      if (Error E = C.Config.validate())
+        C.InvalidReason = E.message();
+      else
+        C.Valid = true;
+    }
+
+    // Evaluate the batch. Each worker builds its own model and simulator
+    // (no shared mutable state) and suppresses observability for the
+    // duration, so attaching more workers can neither race on the
+    // registry nor change what gets published.
+    Pool.parallelFor(N, [&](int J) {
+      obs::ThreadSuppressGuard Guard;
+      Candidate &C = Cands[static_cast<size_t>(J)];
+      if (!C.Valid)
+        return;
+      Result<analysis::VerdictOutcome> Out =
+          analysis::analyzeVerdictOnly(C.Config);
+      Eval &E = Evals[static_cast<size_t>(J)];
+      if (Out.ok()) {
+        E.Ok = true;
+        E.V = std::move(*Out);
+      } else {
+        E.ErrMsg = Out.error().message();
+      }
+    });
+
+    // Reduce in candidate order: logs, counters, best-so-far and the
+    // returned error (if any) are those of the lowest-index candidate,
+    // independent of evaluation order.
+    int RoundBest = -1;
+    for (int J = 0; J < N; ++J) {
+      int IterJ = Iter + J;
+      const Candidate &C = Cands[static_cast<size_t>(J)];
+      if (!C.Valid) {
+        Res.Log.push_back(formatString("iter %d: invalid candidate (%s)",
+                                       IterJ, C.InvalidReason.c_str()));
+        continue;
+      }
+      Eval &E = Evals[static_cast<size_t>(J)];
+      if (!E.Ok)
+        return Error::failure(E.ErrMsg);
+      ++Res.ConfigurationsEvaluated;
+      if (CandC) {
+        CandC->add(1);
+        SimC->add(1); // One simulated run per candidate.
+      }
+      Res.Log.push_back(formatString(
+          "iter %d: %s (%lld failed tasks)", IterJ,
+          E.V.Schedulable ? "schedulable" : "unschedulable",
+          static_cast<long long>(E.V.FailedTasks)));
+
+      if (E.V.Schedulable) {
+        ++Res.SchedulableSeen;
+        if (SchedC)
+          SchedC->add(1);
+        Res.Found = true;
+        Res.Best = C.Config;
+        Res.BestMissedJobs = 0;
+        Res.BestTrajectory.push_back({IterJ, 0});
+        return Res;
+      }
+      if (Res.BestMissedJobs < 0 || E.V.FailedTasks < Res.BestMissedJobs) {
+        Res.BestMissedJobs = E.V.FailedTasks;
+        Res.Best = C.Config;
+        Res.BestTrajectory.push_back({IterJ, E.V.FailedTasks});
+      }
+      if (RoundBest < 0 ||
+          E.V.FailedTasks < Evals[static_cast<size_t>(RoundBest)].V.FailedTasks)
+        RoundBest = J;
+    }
+    Iter += N;
+
+    if (RoundBest < 0) {
+      // Every candidate in the round was invalid; resample all boosts.
       for (double &B : Boost)
         B = Problem.MinBoost +
             R.uniformDouble() * (Problem.MaxBoost - Problem.MinBoost);
       continue;
     }
 
-    Result<analysis::AnalyzeOutcome> Out =
-        analysis::analyzeConfiguration(Current);
-    if (!Out.ok())
-      return Out.takeError();
-    ++Res.ConfigurationsEvaluated;
-    if (CandC) {
-      CandC->add(1);
-      SimC->add(1); // One simulated run per candidate.
-    }
-
-    const analysis::AnalysisResult &A = Out->Analysis;
-    Res.Log.push_back(formatString(
-        "iter %d: %s (%lld missed of %lld jobs)", Iter,
-        A.Schedulable ? "schedulable" : "unschedulable",
-        static_cast<long long>(A.MissedJobs),
-        static_cast<long long>(A.TotalJobs)));
-
-    if (A.Schedulable) {
-      ++Res.SchedulableSeen;
-      if (SchedC)
-        SchedC->add(1);
-      Res.Found = true;
-      Res.Best = Current;
-      Res.BestMissedJobs = 0;
-      Res.BestTrajectory.push_back({Iter, 0});
-      return Res;
-    }
-    if (Res.BestMissedJobs < 0 || A.MissedJobs < Res.BestMissedJobs) {
-      Res.BestMissedJobs = A.MissedJobs;
-      Res.Best = Current;
-      Res.BestTrajectory.push_back({Iter, A.MissedJobs});
-    }
-
-    // Moves: grow the windows of partitions with missed jobs; occasionally
-    // rebind the worst partition to the least-loaded core.
-    std::vector<int64_t> MissedPerPartition(Current.Partitions.size(), 0);
-    for (const analysis::JobStats &J : A.Jobs)
-      if (!J.Completed)
-        ++MissedPerPartition[static_cast<size_t>(
-            Current.taskRefOf(J.TaskGid).Partition)];
+    // Adapt from the round's best candidate: grow the windows of its
+    // failed partitions; occasionally rebind the worst partition to the
+    // least-loaded core.
+    Current = Cands[static_cast<size_t>(RoundBest)].Config;
+    Boost = Cands[static_cast<size_t>(RoundBest)].Boost;
+    const analysis::VerdictOutcome &V =
+        Evals[static_cast<size_t>(RoundBest)].V;
+    std::vector<int64_t> FailedPerPartition(Current.Partitions.size(), 0);
+    for (size_t G = 0; G < V.TaskFailed.size(); ++G)
+      if (V.TaskFailed[G])
+        ++FailedPerPartition[static_cast<size_t>(
+            Current.taskRefOf(static_cast<int>(G)).Partition)];
 
     int Worst = -1;
-    for (size_t P = 0; P < MissedPerPartition.size(); ++P) {
-      if (MissedPerPartition[P] == 0)
+    for (size_t P = 0; P < FailedPerPartition.size(); ++P) {
+      if (FailedPerPartition[P] == 0)
         continue;
       Boost[P] = std::min(Problem.MaxBoost, Boost[P] * 1.25);
-      if (Worst < 0 || MissedPerPartition[P] >
-                           MissedPerPartition[static_cast<size_t>(Worst)])
+      if (Worst < 0 || FailedPerPartition[P] >
+                           FailedPerPartition[static_cast<size_t>(Worst)])
         Worst = static_cast<int>(P);
     }
     if (Worst >= 0 && R.chance(0.3)) {

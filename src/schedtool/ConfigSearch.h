@@ -39,6 +39,15 @@ struct SearchProblem {
   /// Window over-provisioning range explored by the search.
   double MinBoost = 1.1;
   double MaxBoost = 2.5;
+  /// Threads used to evaluate each candidate batch (1 = fully serial, no
+  /// threads spawned). The result is byte-identical for every value: the
+  /// candidate sequence is fixed by (Seed, BatchSize) alone and batch
+  /// results are reduced in candidate order.
+  int Workers = 1;
+  /// Candidates generated and evaluated per round. Deliberately
+  /// independent of Workers so changing the thread count never changes
+  /// which configurations are explored.
+  int BatchSize = 4;
 };
 
 struct SearchResult {
@@ -46,7 +55,8 @@ struct SearchResult {
   cfg::Config Best;              ///< Schedulable configuration when Found.
   int ConfigurationsEvaluated = 0;
   int SchedulableSeen = 0;
-  /// Missed-job count of the best candidate seen (0 when Found).
+  /// Badness (failed-task count) of the best candidate seen (0 when
+  /// Found).
   int64_t BestMissedJobs = 0;
   /// Best-so-far trajectory: (iteration, missed jobs of the best candidate
   /// seen up to then), appended whenever the best improves. The last entry

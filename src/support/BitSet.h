@@ -1,0 +1,142 @@
+//===- support/BitSet.h - Dense fixed-capacity bit sets ---------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense set containers for small integer keys, sized once at construction
+/// and reused across runs. They back the NSA simulator's hot sets
+/// (Initiators, Committed, per-channel receiver sets), replacing
+/// node-based std::set: membership updates are O(1) bit operations with no
+/// allocation in the steady state, and iteration is an ascending word scan
+/// — the same visit order a std::set<int32_t> gives, which is what keeps
+/// the deterministic step choice (and therefore the trace) unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_BITSET_H
+#define SWA_SUPPORT_BITSET_H
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace swa {
+
+/// A set of integers in [0, capacity) stored as a bitmap with a member
+/// count. insert/erase/test are O(1); iteration visits members in
+/// ascending order skipping zero words 64 keys at a time.
+class DenseBitSet {
+public:
+  DenseBitSet() = default;
+
+  /// Sets the capacity and empties the set.
+  void reset(size_t Capacity) {
+    Words.assign((Capacity + 63) / 64, 0);
+    N = 0;
+  }
+
+  /// Empties the set, keeping capacity (no allocation).
+  void clear() {
+    std::fill(Words.begin(), Words.end(), 0);
+    N = 0;
+  }
+
+  bool empty() const { return N == 0; }
+  size_t size() const { return N; }
+
+  bool test(size_t I) const {
+    return (Words[I >> 6] >> (I & 63)) & 1;
+  }
+
+  /// Adds \p I; returns true when it was not already a member.
+  bool insert(size_t I) {
+    uint64_t &W = Words[I >> 6];
+    uint64_t Bit = 1ULL << (I & 63);
+    if (W & Bit)
+      return false;
+    W |= Bit;
+    ++N;
+    return true;
+  }
+
+  /// Removes \p I; returns true when it was a member.
+  bool erase(size_t I) {
+    uint64_t &W = Words[I >> 6];
+    uint64_t Bit = 1ULL << (I & 63);
+    if (!(W & Bit))
+      return false;
+    W &= ~Bit;
+    --N;
+    return true;
+  }
+
+  /// Smallest member, or -1 when empty.
+  int32_t findFirst() const {
+    for (size_t WI = 0; WI < Words.size(); ++WI)
+      if (Words[WI])
+        return static_cast<int32_t>(
+            WI * 64 + static_cast<size_t>(std::countr_zero(Words[WI])));
+    return -1;
+  }
+
+  /// Smallest member strictly greater than \p Prev, or -1.
+  int32_t findNext(int32_t Prev) const {
+    size_t I = static_cast<size_t>(Prev) + 1;
+    size_t WI = I >> 6;
+    if (WI >= Words.size())
+      return -1;
+    uint64_t W = Words[WI] & (~0ULL << (I & 63));
+    for (;;) {
+      if (W)
+        return static_cast<int32_t>(
+            WI * 64 + static_cast<size_t>(std::countr_zero(W)));
+      if (++WI == Words.size())
+        return -1;
+      W = Words[WI];
+    }
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t N = 0;
+};
+
+/// A sorted flat vector of int32 keys: the receiver sets are tiny (usually
+/// zero or one automaton per channel), where a sorted vector beats any
+/// tree or bitmap on both updates and the ascending iteration the
+/// deterministic partner choice requires.
+class SortedIdVec {
+public:
+  bool insert(int32_t V) {
+    auto It = std::lower_bound(Ids.begin(), Ids.end(), V);
+    if (It != Ids.end() && *It == V)
+      return false;
+    Ids.insert(It, V);
+    return true;
+  }
+
+  bool erase(int32_t V) {
+    auto It = std::lower_bound(Ids.begin(), Ids.end(), V);
+    if (It == Ids.end() || *It != V)
+      return false;
+    Ids.erase(It);
+    return true;
+  }
+
+  void clear() { Ids.clear(); }
+  bool empty() const { return Ids.empty(); }
+  size_t size() const { return Ids.size(); }
+
+  std::vector<int32_t>::const_iterator begin() const { return Ids.begin(); }
+  std::vector<int32_t>::const_iterator end() const { return Ids.end(); }
+
+private:
+  std::vector<int32_t> Ids;
+};
+
+} // namespace swa
+
+#endif // SWA_SUPPORT_BITSET_H

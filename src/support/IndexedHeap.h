@@ -1,0 +1,160 @@
+//===- support/IndexedHeap.h - Indexed binary min-heap ----------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A binary min-heap over (key, id) pairs with an id -> heap-position
+/// index, so each id appears at most once and re-keying an id sifts the
+/// existing entry instead of pushing a duplicate. This replaces the NSA
+/// simulator's lazy-deletion std::priority_queue wake heap: re-arming an
+/// automaton's timer is one sift of a live entry rather than a push that
+/// leaves a stale pair to be popped and discarded later, so heap size is
+/// bounded by the automaton count and the "next wake" query never has to
+/// skip garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_INDEXEDHEAP_H
+#define SWA_SUPPORT_INDEXEDHEAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace swa {
+
+/// Min-heap keyed by int64 with int32 ids in [0, capacity).
+class IndexedMinHeap {
+public:
+  struct Entry {
+    int64_t Key;
+    int32_t Id;
+  };
+
+  /// Sets the id capacity and empties the heap.
+  void reset(size_t Capacity) {
+    Pos.assign(Capacity, -1);
+    Heap.clear();
+    Heap.reserve(Capacity);
+  }
+
+  /// Empties the heap, keeping capacity (no allocation).
+  void clear() {
+    for (const Entry &E : Heap)
+      Pos[static_cast<size_t>(E.Id)] = -1;
+    Heap.clear();
+  }
+
+  bool empty() const { return Heap.empty(); }
+  size_t size() const { return Heap.size(); }
+
+  bool contains(int32_t Id) const {
+    return Pos[static_cast<size_t>(Id)] >= 0;
+  }
+
+  /// Current key of \p Id; the id must be present.
+  int64_t keyOf(int32_t Id) const {
+    assert(contains(Id) && "keyOf() on absent id");
+    return Heap[static_cast<size_t>(Pos[static_cast<size_t>(Id)])].Key;
+  }
+
+  const Entry &top() const {
+    assert(!Heap.empty() && "top() on empty heap");
+    return Heap.front();
+  }
+
+  void pop() {
+    assert(!Heap.empty() && "pop() on empty heap");
+    removeAt(0);
+  }
+
+  /// Inserts \p Id with \p Key, or re-keys it when already present.
+  /// Returns true when the id was newly inserted.
+  bool update(int32_t Id, int64_t Key) {
+    int32_t P = Pos[static_cast<size_t>(Id)];
+    if (P < 0) {
+      Heap.push_back({Key, Id});
+      Pos[static_cast<size_t>(Id)] = static_cast<int32_t>(Heap.size() - 1);
+      siftUp(Heap.size() - 1);
+      return true;
+    }
+    size_t I = static_cast<size_t>(P);
+    if (Key == Heap[I].Key)
+      return false;
+    bool Decreased = Key < Heap[I].Key;
+    Heap[I].Key = Key;
+    if (Decreased)
+      siftUp(I);
+    else
+      siftDown(I);
+    return false;
+  }
+
+  /// Removes \p Id when present; returns true when it was.
+  bool erase(int32_t Id) {
+    int32_t P = Pos[static_cast<size_t>(Id)];
+    if (P < 0)
+      return false;
+    removeAt(static_cast<size_t>(P));
+    return true;
+  }
+
+private:
+  void place(size_t I, Entry E) {
+    Heap[I] = E;
+    Pos[static_cast<size_t>(E.Id)] = static_cast<int32_t>(I);
+  }
+
+  void removeAt(size_t I) {
+    Pos[static_cast<size_t>(Heap[I].Id)] = -1;
+    Entry Last = Heap.back();
+    Heap.pop_back();
+    if (I == Heap.size())
+      return;
+    int64_t Old = Heap[I].Key;
+    place(I, Last);
+    if (Last.Key < Old)
+      siftUp(I);
+    else
+      siftDown(I);
+  }
+
+  void siftUp(size_t I) {
+    Entry E = Heap[I];
+    while (I > 0) {
+      size_t Parent = (I - 1) / 2;
+      if (Heap[Parent].Key <= E.Key)
+        break;
+      place(I, Heap[Parent]);
+      I = Parent;
+    }
+    place(I, E);
+  }
+
+  void siftDown(size_t I) {
+    Entry E = Heap[I];
+    size_t N = Heap.size();
+    for (;;) {
+      size_t Child = 2 * I + 1;
+      if (Child >= N)
+        break;
+      if (Child + 1 < N && Heap[Child + 1].Key < Heap[Child].Key)
+        ++Child;
+      if (E.Key <= Heap[Child].Key)
+        break;
+      place(I, Heap[Child]);
+      I = Child;
+    }
+    place(I, E);
+  }
+
+  std::vector<Entry> Heap;
+  /// Heap position of each id; -1 when absent.
+  std::vector<int32_t> Pos;
+};
+
+} // namespace swa
+
+#endif // SWA_SUPPORT_INDEXEDHEAP_H

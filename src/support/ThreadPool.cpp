@@ -1,0 +1,98 @@
+//===- support/ThreadPool.cpp - Fixed worker pool with parallelFor ---------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace swa;
+
+ThreadPool::ThreadPool(int Threads) {
+  int NWorkers = Threads > 1 ? Threads - 1 : 0;
+  Workers.reserve(static_cast<size_t>(NWorkers));
+  for (int I = 0; I < NWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runIndices(const Job &J) {
+  for (;;) {
+    int I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (I >= J.N)
+      return;
+    (*J.Fn)(I);
+    if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last item: wake the caller (lock so the notify cannot slip between
+      // the caller's predicate check and its wait).
+      std::lock_guard<std::mutex> L(M);
+      DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGen = 0;
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> L(M);
+      WakeCv.wait(L, [&] { return Stopping || JobGen != SeenGen; });
+      if (Stopping)
+        return;
+      SeenGen = JobGen;
+      J = Current;
+      ++ActiveWorkers;
+    }
+    runIndices(J);
+    {
+      std::lock_guard<std::mutex> L(M);
+      --ActiveWorkers;
+    }
+    DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
+  if (N <= 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    for (int I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  Job J{&Fn, N};
+  {
+    std::unique_lock<std::mutex> L(M);
+    assert(ActiveWorkers == 0 && Pending.load() == 0 &&
+           "parallelFor re-entered");
+    Current = J;
+    Pending.store(N, std::memory_order_relaxed);
+    NextIndex.store(0, std::memory_order_relaxed);
+    ++JobGen;
+  }
+  WakeCv.notify_all();
+
+  // The caller is a full participant.
+  runIndices(J);
+
+  // Wait until every item ran and every worker left the job, so the next
+  // parallelFor can safely republish the shared job description.
+  std::unique_lock<std::mutex> L(M);
+  DoneCv.wait(L, [&] {
+    return Pending.load(std::memory_order_acquire) == 0 &&
+           ActiveWorkers == 0;
+  });
+}

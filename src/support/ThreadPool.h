@@ -1,0 +1,88 @@
+//===- support/ThreadPool.h - Fixed worker pool with parallelFor *- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for embarrassingly parallel index ranges. The
+/// config search evaluates candidate batches with parallelFor: workers
+/// (and the calling thread) grab indices from a shared atomic cursor, so
+/// the *assignment* of items to threads is nondeterministic while the
+/// item set and every per-item result slot are fixed up front — callers
+/// write results by index and reduce in index order, which is how the
+/// search stays byte-identical for any thread count.
+///
+/// A pool constructed with <= 1 threads spawns nothing and runs
+/// parallelFor inline on the caller; the parallel and serial paths are the
+/// same code.
+///
+/// parallelFor returns only after every item ran *and* every worker left
+/// the job (quiescence), so consecutive jobs can never race on the shared
+/// job description; workers copy the job under the mutex when they wake.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_THREADPOOL_H
+#define SWA_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swa {
+
+class ThreadPool {
+public:
+  /// Creates a pool whose parallelFor uses up to \p Threads threads in
+  /// total (the caller counts as one; Threads - 1 workers are spawned).
+  explicit ThreadPool(int Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads parallelFor can use (>= 1).
+  int threadCount() const {
+    return static_cast<int>(Workers.size()) + 1;
+  }
+
+  /// Runs Fn(I) for every I in [0, N), distributing indices over the
+  /// workers and the calling thread; returns when all N calls finished.
+  /// Fn must be safe to call concurrently for distinct indices. Must not
+  /// be re-entered from inside Fn.
+  void parallelFor(int N, const std::function<void(int)> &Fn);
+
+private:
+  /// One published job: workers copy this under the mutex when they wake.
+  struct Job {
+    const std::function<void(int)> *Fn = nullptr;
+    int N = 0;
+  };
+
+  void workerLoop();
+  void runIndices(const Job &J);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WakeCv;
+  std::condition_variable DoneCv;
+  /// Generation counter; bumped under M when a job is published.
+  uint64_t JobGen = 0;
+  bool Stopping = false;
+  Job Current;
+  /// Workers currently inside runIndices for the published job.
+  int ActiveWorkers = 0;
+
+  std::atomic<int> NextIndex{0};
+  /// Items not yet completed; the job is done at zero.
+  std::atomic<int> Pending{0};
+};
+
+} // namespace swa
+
+#endif // SWA_SUPPORT_THREADPOOL_H

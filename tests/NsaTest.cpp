@@ -383,6 +383,68 @@ TEST(Simulator, RandomizedOrderYieldsEquivalentTraces) {
   }
 }
 
+TEST(Simulator, ResetRerunIsByteIdentical) {
+  // One Simulator, run repeatedly: every rerun must reproduce the first
+  // run exactly — same events field by field, same counters, same final
+  // state. This is what lets the config search reuse a simulator (and its
+  // allocations) across candidate evaluations.
+  auto Net = buildTicker(7, 70);
+  ASSERT_TRUE(Net.ok()) << Net.error().message();
+  Simulator Sim(**Net);
+  SimResult First = Sim.run();
+  ASSERT_TRUE(First.ok()) << First.Error;
+  ASSERT_FALSE(First.Events.empty());
+
+  for (int Rerun = 0; Rerun < 3; ++Rerun) {
+    SimResult Again = Sim.run();
+    ASSERT_TRUE(Again.ok()) << Again.Error;
+    EXPECT_EQ(Again.ActionCount, First.ActionCount);
+    EXPECT_EQ(Again.DelayCount, First.DelayCount);
+    EXPECT_EQ(Again.HorizonReached, First.HorizonReached);
+    EXPECT_EQ(Again.Quiescent, First.Quiescent);
+    ASSERT_EQ(Again.Events.size(), First.Events.size());
+    for (size_t I = 0; I < First.Events.size(); ++I) {
+      const Event &A = First.Events[I];
+      const Event &B = Again.Events[I];
+      EXPECT_EQ(A.Time, B.Time) << "event " << I;
+      EXPECT_EQ(A.Channel, B.Channel) << "event " << I;
+      EXPECT_EQ(A.Initiator.Automaton, B.Initiator.Automaton);
+      EXPECT_EQ(A.Initiator.Edge, B.Initiator.Edge);
+      ASSERT_EQ(A.Receivers.size(), B.Receivers.size());
+      for (size_t RI = 0; RI < A.Receivers.size(); ++RI) {
+        EXPECT_EQ(A.Receivers[RI].Automaton, B.Receivers[RI].Automaton);
+        EXPECT_EQ(A.Receivers[RI].Edge, B.Receivers[RI].Edge);
+      }
+    }
+    EXPECT_EQ(Again.Final.Now, First.Final.Now);
+    EXPECT_EQ(Again.Final.Locs, First.Final.Locs);
+    EXPECT_EQ(Again.Final.Clocks, First.Final.Clocks);
+    EXPECT_EQ(Again.Final.Store, First.Final.Store);
+  }
+}
+
+TEST(Simulator, RecordTraceOffSkipsEventsOnly) {
+  // Turning trace recording off must change nothing but Events: same
+  // action/delay counts and the same final state.
+  auto Net = buildTicker(7, 70);
+  ASSERT_TRUE(Net.ok()) << Net.error().message();
+  Simulator Sim(**Net);
+  SimResult Full = Sim.run();
+  ASSERT_TRUE(Full.ok()) << Full.Error;
+
+  SimOptions NoTrace;
+  NoTrace.RecordTrace = false;
+  SimResult Bare = Sim.run(NoTrace);
+  ASSERT_TRUE(Bare.ok()) << Bare.Error;
+  EXPECT_TRUE(Bare.Events.empty());
+  EXPECT_EQ(Bare.ActionCount, Full.ActionCount);
+  EXPECT_EQ(Bare.DelayCount, Full.DelayCount);
+  EXPECT_EQ(Bare.Final.Now, Full.Final.Now);
+  EXPECT_EQ(Bare.Final.Locs, Full.Final.Locs);
+  EXPECT_EQ(Bare.Final.Clocks, Full.Final.Clocks);
+  EXPECT_EQ(Bare.Final.Store, Full.Final.Store);
+}
+
 int main(int argc, char **argv) {
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

@@ -117,6 +117,74 @@ TEST(Search, IsDeterministicPerSeed) {
   EXPECT_EQ(A->Log, B->Log);
 }
 
+namespace {
+
+void expectSameResult(const SearchResult &A, const SearchResult &B) {
+  EXPECT_EQ(A.Found, B.Found);
+  EXPECT_EQ(A.ConfigurationsEvaluated, B.ConfigurationsEvaluated);
+  EXPECT_EQ(A.SchedulableSeen, B.SchedulableSeen);
+  EXPECT_EQ(A.BestMissedJobs, B.BestMissedJobs);
+  EXPECT_EQ(A.BestTrajectory, B.BestTrajectory);
+  EXPECT_EQ(A.Log, B.Log);
+  // The chosen configuration must be identical, not merely equivalent.
+  ASSERT_EQ(A.Best.Partitions.size(), B.Best.Partitions.size());
+  for (size_t P = 0; P < A.Best.Partitions.size(); ++P) {
+    EXPECT_EQ(A.Best.Partitions[P].Core, B.Best.Partitions[P].Core);
+    ASSERT_EQ(A.Best.Partitions[P].Windows.size(),
+              B.Best.Partitions[P].Windows.size());
+    for (size_t W = 0; W < A.Best.Partitions[P].Windows.size(); ++W) {
+      EXPECT_EQ(A.Best.Partitions[P].Windows[W].Start,
+                B.Best.Partitions[P].Windows[W].Start);
+      EXPECT_EQ(A.Best.Partitions[P].Windows[W].End,
+                B.Best.Partitions[P].Windows[W].End);
+    }
+  }
+}
+
+} // namespace
+
+TEST(Search, ResultIndependentOfWorkerCount) {
+  // The candidate sequence is fixed by (Seed, BatchSize) and batches are
+  // reduced in candidate order, so every Workers value must produce the
+  // byte-identical SearchResult — including at a utilization where the
+  // search has to iterate.
+  for (double Util : {0.45, 0.8}) {
+    SearchProblem Problem;
+    Problem.Base = unboundProblem(Util, 6);
+    Problem.Seed = 13;
+    Problem.MaxIterations = 12;
+
+    Problem.Workers = 1;
+    auto Serial = searchConfiguration(Problem);
+    ASSERT_TRUE(Serial.ok()) << Serial.error().message();
+
+    for (int Workers : {2, 4}) {
+      Problem.Workers = Workers;
+      auto Parallel = searchConfiguration(Problem);
+      ASSERT_TRUE(Parallel.ok()) << Parallel.error().message();
+      expectSameResult(*Serial, *Parallel);
+    }
+  }
+}
+
+TEST(Search, VerdictOnlyAgreesWithFullAnalysis) {
+  // The fast verdict path used inside the search must agree with the full
+  // trace-based criterion for both schedulable and unschedulable layouts.
+  for (double Util : {0.35, 0.85}) {
+    cfg::Config C = unboundProblem(Util, 8);
+    ASSERT_TRUE(bindFirstFitDecreasing(C));
+    synthesizeWindows(C, std::vector<double>(C.Partitions.size(), 1.5));
+    ASSERT_FALSE(C.validate().isFailure());
+
+    auto Full = analysis::analyzeConfiguration(C);
+    ASSERT_TRUE(Full.ok()) << Full.error().message();
+    auto Fast = analysis::analyzeVerdictOnly(C);
+    ASSERT_TRUE(Fast.ok()) << Fast.error().message();
+    EXPECT_EQ(Fast->Schedulable, Full->Analysis.Schedulable);
+    EXPECT_EQ(Fast->Schedulable, Fast->FailedTasks == 0);
+  }
+}
+
 int main(int argc, char **argv) {
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
