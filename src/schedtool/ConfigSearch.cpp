@@ -171,7 +171,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   std::vector<Candidate> Cands;
   std::vector<Eval> Evals;
 
-  Res.BestMissedJobs = -1;
+  Res.BestBadness = -1;
   int Iter = 0;
   for (int Round = 0; Iter < Problem.MaxIterations; ++Round) {
     int N = std::min(Batch, Problem.MaxIterations - Iter);
@@ -256,12 +256,12 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           SchedC->add(1);
         Res.Found = true;
         Res.Best = C.Config;
-        Res.BestMissedJobs = 0;
+        Res.BestBadness = 0;
         Res.BestTrajectory.push_back({IterJ, 0});
         return Res;
       }
-      if (Res.BestMissedJobs < 0 || E.V.FailedTasks < Res.BestMissedJobs) {
-        Res.BestMissedJobs = E.V.FailedTasks;
+      if (Res.BestBadness < 0 || E.V.FailedTasks < Res.BestBadness) {
+        Res.BestBadness = E.V.FailedTasks;
         Res.Best = C.Config;
         Res.BestTrajectory.push_back({IterJ, E.V.FailedTasks});
       }

@@ -55,10 +55,12 @@ struct SearchResult {
   cfg::Config Best;              ///< Schedulable configuration when Found.
   int ConfigurationsEvaluated = 0;
   int SchedulableSeen = 0;
-  /// Badness (failed-task count) of the best candidate seen (0 when
-  /// Found).
-  int64_t BestMissedJobs = 0;
-  /// Best-so-far trajectory: (iteration, missed jobs of the best candidate
+  /// Badness — the failed-task count — of the best candidate seen (0 when
+  /// Found). Note: this is NOT a missed-job count; earlier revisions
+  /// exposed AnalysisResult::MissedJobs here under the name
+  /// BestMissedJobs, so the field was renamed when the metric changed.
+  int64_t BestBadness = 0;
+  /// Best-so-far trajectory: (iteration, badness of the best candidate
   /// seen up to then), appended whenever the best improves. The last entry
   /// is (finding iteration, 0) when Found.
   std::vector<std::pair<int, int64_t>> BestTrajectory;

@@ -6,8 +6,6 @@
 
 #include "support/ThreadPool.h"
 
-#include <cassert>
-
 using namespace swa;
 
 ThreadPool::ThreadPool(int Threads) {
@@ -27,13 +25,20 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::runIndices(const Job &J) {
+void ThreadPool::runIndices(JobState &S) {
   for (;;) {
-    int I = NextIndex.fetch_add(1, std::memory_order_relaxed);
-    if (I >= J.N)
+    int I = S.NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (I >= S.N)
       return;
-    (*J.Fn)(I);
-    if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    try {
+      S.Fn(I);
+    } catch (...) {
+      // Keep the first exception; the item still counts as completed so
+      // Pending reaches zero and the pool stays usable.
+      if (!S.HaveExc.exchange(true, std::memory_order_acq_rel))
+        S.Exc = std::current_exception();
+    }
+    if (S.Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last item: wake the caller (lock so the notify cannot slip between
       // the caller's predicate check and its wait).
       std::lock_guard<std::mutex> L(M);
@@ -45,22 +50,20 @@ void ThreadPool::runIndices(const Job &J) {
 void ThreadPool::workerLoop() {
   uint64_t SeenGen = 0;
   for (;;) {
-    Job J;
+    std::shared_ptr<JobState> S;
     {
       std::unique_lock<std::mutex> L(M);
       WakeCv.wait(L, [&] { return Stopping || JobGen != SeenGen; });
       if (Stopping)
         return;
       SeenGen = JobGen;
-      J = Current;
-      ++ActiveWorkers;
+      S = Current;
     }
-    runIndices(J);
-    {
-      std::lock_guard<std::mutex> L(M);
-      --ActiveWorkers;
-    }
-    DoneCv.notify_all();
+    // If this worker was notified for an earlier generation but only got
+    // scheduled now, S is the newest job: either it still has indices (the
+    // worker helps) or its cursor is exhausted (the loop no-ops). The
+    // shared_ptr keeps the state alive past the caller's return either way.
+    runIndices(*S);
   }
 }
 
@@ -73,26 +76,29 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
     return;
   }
 
-  Job J{&Fn, N};
+  auto S = std::make_shared<JobState>();
+  S->Fn = Fn;
+  S->N = N;
+  S->Pending.store(N, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> L(M);
-    assert(ActiveWorkers == 0 && Pending.load() == 0 &&
-           "parallelFor re-entered");
-    Current = J;
-    Pending.store(N, std::memory_order_relaxed);
-    NextIndex.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> L(M);
+    Current = S;
     ++JobGen;
   }
   WakeCv.notify_all();
 
   // The caller is a full participant.
-  runIndices(J);
+  runIndices(*S);
 
-  // Wait until every item ran and every worker left the job, so the next
-  // parallelFor can safely republish the shared job description.
-  std::unique_lock<std::mutex> L(M);
-  DoneCv.wait(L, [&] {
-    return Pending.load(std::memory_order_acquire) == 0 &&
-           ActiveWorkers == 0;
-  });
+  // Wait until every item ran. Workers still inside runIndices after that
+  // hold their own shared_ptr to S and find an exhausted cursor, so the
+  // next parallelFor can publish immediately.
+  {
+    std::unique_lock<std::mutex> L(M);
+    DoneCv.wait(L, [&] {
+      return S->Pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (S->HaveExc.load(std::memory_order_acquire))
+    std::rethrow_exception(S->Exc);
 }

@@ -17,9 +17,16 @@
 /// parallelFor inline on the caller; the parallel and serial paths are the
 /// same code.
 ///
-/// parallelFor returns only after every item ran *and* every worker left
-/// the job (quiescence), so consecutive jobs can never race on the shared
-/// job description; workers copy the job under the mutex when they wake.
+/// Each parallelFor call publishes its own heap-allocated job state (a
+/// copy of the callable plus private index/pending cursors) held by
+/// shared_ptr. A worker that was notified for a job but only gets
+/// scheduled after that job finished either joins the *current* job or
+/// finds an exhausted cursor and no-ops; it can never run a stale
+/// callable or touch a later job's counters.
+///
+/// If the callable throws, the first exception is captured and rethrown
+/// on the calling thread after every item ran; remaining items still
+/// execute, and the pool stays usable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,7 +35,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -53,18 +62,27 @@ public:
   /// Runs Fn(I) for every I in [0, N), distributing indices over the
   /// workers and the calling thread; returns when all N calls finished.
   /// Fn must be safe to call concurrently for distinct indices. Must not
-  /// be re-entered from inside Fn.
+  /// be re-entered from inside Fn. If Fn throws, the first exception is
+  /// rethrown here after the whole range ran.
   void parallelFor(int N, const std::function<void(int)> &Fn);
 
 private:
-  /// One published job: workers copy this under the mutex when they wake.
-  struct Job {
-    const std::function<void(int)> *Fn = nullptr;
+  /// One job's complete state, shared by the caller and every worker that
+  /// picks it up. Heap-allocated per parallelFor call so a late-scheduled
+  /// worker holding a previous job keeps valid (exhausted) state instead
+  /// of racing on reused members.
+  struct JobState {
+    std::function<void(int)> Fn; ///< Owned copy; outlives the caller's arg.
     int N = 0;
+    std::atomic<int> NextIndex{0};
+    /// Items not yet completed; the job is done at zero.
+    std::atomic<int> Pending{0};
+    std::atomic<bool> HaveExc{false};
+    std::exception_ptr Exc; ///< First exception; read after Pending == 0.
   };
 
   void workerLoop();
-  void runIndices(const Job &J);
+  void runIndices(JobState &S);
 
   std::vector<std::thread> Workers;
 
@@ -74,13 +92,8 @@ private:
   /// Generation counter; bumped under M when a job is published.
   uint64_t JobGen = 0;
   bool Stopping = false;
-  Job Current;
-  /// Workers currently inside runIndices for the published job.
-  int ActiveWorkers = 0;
-
-  std::atomic<int> NextIndex{0};
-  /// Items not yet completed; the job is done at zero.
-  std::atomic<int> Pending{0};
+  /// The most recently published job; workers copy the shared_ptr under M.
+  std::shared_ptr<JobState> Current;
 };
 
 } // namespace swa

@@ -99,7 +99,7 @@ TEST(Search, DiscardsUnschedulableCandidates) {
   EXPECT_GE(Res->ConfigurationsEvaluated, 1);
   EXPECT_EQ(Res->Log.empty(), false);
   if (!Res->Found) {
-    EXPECT_GT(Res->BestMissedJobs, 0);
+    EXPECT_GT(Res->BestBadness, 0);
   }
 }
 
@@ -123,7 +123,7 @@ void expectSameResult(const SearchResult &A, const SearchResult &B) {
   EXPECT_EQ(A.Found, B.Found);
   EXPECT_EQ(A.ConfigurationsEvaluated, B.ConfigurationsEvaluated);
   EXPECT_EQ(A.SchedulableSeen, B.SchedulableSeen);
-  EXPECT_EQ(A.BestMissedJobs, B.BestMissedJobs);
+  EXPECT_EQ(A.BestBadness, B.BestBadness);
   EXPECT_EQ(A.BestTrajectory, B.BestTrajectory);
   EXPECT_EQ(A.Log, B.Log);
   // The chosen configuration must be identical, not merely equivalent.
