@@ -8,10 +8,12 @@
 // candidate configurations (bindings + window layouts) for a task set and
 // uses the stopwatch-automata model as its schedulability oracle.
 //
-//   $ ./config_search [seed] [--workers N]
+//   $ ./config_search [seed] [--workers N] [--budget-ms MS]
 //
 // --workers evaluates candidate batches on N threads; the result is
-// byte-identical for every N.
+// byte-identical for every N. --budget-ms caps each candidate's
+// simulation wall-clock time: a candidate that exceeds it is logged as
+// skipped and the search keeps going.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,9 +30,12 @@ using namespace swa;
 int main(int argc, char **argv) {
   uint64_t Seed = 7;
   int Workers = 1;
+  int64_t BudgetMs = -1;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--workers") == 0 && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
+    else if (std::strcmp(argv[I], "--budget-ms") == 0 && I + 1 < argc)
+      BudgetMs = std::strtoll(argv[++I], nullptr, 10);
     else
       Seed = std::strtoull(argv[I], nullptr, 10);
   }
@@ -59,6 +64,7 @@ int main(int argc, char **argv) {
   Problem.Seed = Seed;
   Problem.MaxIterations = 40;
   Problem.Workers = Workers;
+  Problem.CandidateBudgetMs = BudgetMs;
   Result<schedtool::SearchResult> Res =
       schedtool::searchConfiguration(Problem);
   if (!Res.ok()) {
@@ -68,8 +74,8 @@ int main(int argc, char **argv) {
 
   for (const std::string &Line : Res->Log)
     std::printf("  %s\n", Line.c_str());
-  std::printf("\nevaluated %d configurations; %s\n",
-              Res->ConfigurationsEvaluated,
+  std::printf("\nevaluated %d configurations (%d skipped by budget); %s\n",
+              Res->ConfigurationsEvaluated, Res->CandidatesSkipped,
               Res->Found ? "found a schedulable one"
                          : "no schedulable configuration found");
 

@@ -55,7 +55,8 @@ swa::analysis::analyzeConfiguration(const cfg::Config &Config,
 }
 
 Result<VerdictOutcome>
-swa::analysis::analyzeVerdictOnly(const cfg::Config &Config) {
+swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
+                                  const nsa::SimOptions &SimOptions) {
   Result<core::BuiltModel> Model = core::buildModel(Config);
   if (!Model.ok())
     return Model.takeError();
@@ -64,36 +65,46 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config) {
   VerdictOutcome Out;
   Out.TaskFailed.assign(static_cast<size_t>(NT), 0);
 
-  if (Model->IsFailedSlot < 0) {
-    // No failure flags in this model: take the full pipeline and derive
-    // the per-task flags from the job statistics.
-    Result<AnalyzeOutcome> Full = analyzeConfiguration(Config);
-    if (!Full.ok())
-      return Full.takeError();
-    Out.Schedulable = Full->Analysis.Schedulable;
-    Out.ActionCount = Full->Sim.ActionCount;
-    for (const JobStats &J : Full->Analysis.Jobs)
+  // With failure flags the trace is never needed; without them the trace
+  // feeds the criterion fallback. Either way the run is executed here so
+  // a guard-rail stop (budget/cancel) surfaces structurally instead of as
+  // an opaque error string.
+  const bool HasFlags = Model->IsFailedSlot >= 0;
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimOptions Opt = SimOptions;
+  Opt.RecordTrace = !HasFlags;
+  nsa::SimResult R = Sim.run(Opt);
+  Out.ActionCount = R.ActionCount;
+  if (!R.ok()) {
+    if (R.Stop == nsa::StopReason::Cancelled ||
+        R.Stop == nsa::StopReason::BudgetExceeded) {
+      Out.Stop = R.Stop;
+      return Out; // No verdict: decided() == false.
+    }
+    return Error::failure("simulation failed: " + R.Error);
+  }
+
+  if (HasFlags) {
+    for (int G = 0; G < NT; ++G) {
+      if (R.Final.Store[static_cast<size_t>(Model->IsFailedSlot + G)] !=
+          0) {
+        Out.TaskFailed[static_cast<size_t>(G)] = 1;
+        ++Out.FailedTasks;
+      }
+    }
+    Out.Schedulable = Out.FailedTasks == 0;
+  } else {
+    // No failure flags in this model: run the criterion on the mapped
+    // trace and derive the per-task flags from the job statistics.
+    core::SystemTrace Trace = core::mapTrace(*Model, R.Events);
+    AnalysisResult Analysis = analyzeTrace(Config, Trace);
+    Out.Schedulable = Analysis.Schedulable;
+    for (const JobStats &J : Analysis.Jobs)
       if (!J.Completed && J.TaskGid >= 0 && J.TaskGid < NT)
         Out.TaskFailed[static_cast<size_t>(J.TaskGid)] = 1;
     for (char F : Out.TaskFailed)
       Out.FailedTasks += F ? 1 : 0;
-    return Out;
   }
-
-  nsa::Simulator Sim(*Model->Net);
-  nsa::SimOptions Opt;
-  Opt.RecordTrace = false;
-  nsa::SimResult R = Sim.run(Opt);
-  if (!R.ok())
-    return Error::failure("simulation failed: " + R.Error);
-  Out.ActionCount = R.ActionCount;
-  for (int G = 0; G < NT; ++G) {
-    if (R.Final.Store[static_cast<size_t>(Model->IsFailedSlot + G)] != 0) {
-      Out.TaskFailed[static_cast<size_t>(G)] = 1;
-      ++Out.FailedTasks;
-    }
-  }
-  Out.Schedulable = Out.FailedTasks == 0;
   if (obs::enabled())
     obs::Registry::global().counter("analysis.configurations").add(1);
   return Out;

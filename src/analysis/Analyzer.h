@@ -48,6 +48,14 @@ struct VerdictOutcome {
   /// Per-task-gid failure flags.
   std::vector<char> TaskFailed;
   uint64_t ActionCount = 0;
+  /// Why the underlying run stopped. Cancelled/BudgetExceeded mean the
+  /// guard rails ended the run before a verdict existed: Schedulable is
+  /// false and TaskFailed is all-clear, but neither is a judgement on the
+  /// configuration.
+  nsa::StopReason Stop = nsa::StopReason::Completed;
+
+  /// True when the run finished and the verdict fields are meaningful.
+  bool decided() const { return Stop == nsa::StopReason::Completed; }
 };
 
 /// The config-search inner loop: simulates with SimOptions::RecordTrace
@@ -57,7 +65,14 @@ struct VerdictOutcome {
 /// AnalyzeOutcome::failureFlagsConsistent checks), so this is the same
 /// verdict as analyzeConfiguration at a fraction of the cost. Falls back
 /// to the full pipeline for models without failure flags.
-Result<VerdictOutcome> analyzeVerdictOnly(const cfg::Config &Config);
+///
+/// \p SimOptions carries the guard rails (wall-clock budget, cancel
+/// token); RecordTrace is forced internally. A run the guard rails ended
+/// returns *success* with VerdictOutcome::decided() == false — callers
+/// distinguish "no verdict" from a model error without string matching.
+Result<VerdictOutcome>
+analyzeVerdictOnly(const cfg::Config &Config,
+                   const nsa::SimOptions &SimOptions = {});
 
 } // namespace analysis
 } // namespace swa

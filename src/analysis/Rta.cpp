@@ -29,24 +29,45 @@ RtaResult swa::analysis::responseTimeAnalysis(const cfg::Config &Config,
     const cfg::Task &TI = P.Tasks[I];
     int64_t CI = Config.boundWcet({Partition, static_cast<int>(I)});
     int64_t R = CI;
-    for (int Iter = 0; Iter < 1000; ++Iter) {
+    // The fixpoint either converges (Next == R), provably misses
+    // (R > deadline), overflows int64 (which can only happen on a path to
+    // a miss, since deadlines are int64), or exhausts the iteration cap.
+    // Only the first outcome may report the task schedulable: a capped
+    // exit used to silently return the last (under-)estimate.
+    bool Converged = false;
+    bool Overflowed = false;
+    for (int Iter = 0; Iter < 1000 && !Overflowed; ++Iter) {
       int64_t Next = CI;
       for (size_t J = 0; J < N; ++J) {
         if (J == I)
           continue;
         const cfg::Task &TJ = P.Tasks[J];
-        if (TJ.Priority <= TI.Priority)
+        // Equal-priority tasks interfere: with FIFO tie-breaking a
+        // same-priority job admitted first delays this one just like a
+        // higher-priority job would, so classical RTA counts ties in
+        // hp(i). Skipping them (the old `<=`) under-estimated R.
+        if (TJ.Priority < TI.Priority)
           continue;
-        Next += ceilDiv64(R, TJ.Period) *
-                Config.boundWcet({Partition, static_cast<int>(J)});
+        int64_t Interference;
+        if (mulOverflow64(ceilDiv64(R, TJ.Period),
+                          Config.boundWcet({Partition, static_cast<int>(J)}),
+                          Interference) ||
+            addOverflow64(Next, Interference, Next)) {
+          Overflowed = true;
+          break;
+        }
       }
-      if (Next == R)
+      if (Overflowed)
         break;
+      if (Next == R) {
+        Converged = true;
+        break;
+      }
       R = Next;
       if (R > TI.Deadline)
         break;
     }
-    if (R > TI.Deadline) {
+    if (!Converged || R > TI.Deadline) {
       Res.Schedulable = false;
       Res.Response[I] = -1;
     } else {

@@ -7,10 +7,17 @@
 /// \file
 /// Classic fixed-point response-time analysis (Joseph & Pandya) for the
 /// restricted case the theory covers: one FPPS partition with a
-/// full-hyperperiod window, independent tasks, deadline <= period, and
-/// distinct priorities:
+/// full-hyperperiod window, independent tasks, and deadline <= period:
 ///
 ///   R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j
+///
+/// hp(i) includes *equal*-priority tasks: with FIFO tie-breaking a
+/// same-priority job admitted first delays task i exactly like a
+/// higher-priority one, so counting ties keeps the bound safe. The
+/// iteration is fully guarded: an un-converged fixpoint (iteration cap)
+/// or an int64 overflow of the interference sum reports the task
+/// unschedulable (Response = -1) instead of returning an under-estimate
+/// or invoking undefined behaviour.
 ///
 /// The simulation engine is the system under test here, not this formula:
 /// property tests cross-validate that the model's worst observed response
@@ -33,12 +40,13 @@ namespace analysis {
 struct RtaResult {
   bool Schedulable = false;
   /// Response-time bound per task of the partition (-1: diverged past the
-  /// deadline).
+  /// deadline, failed to converge within the iteration cap, or overflowed
+  /// int64 — all reported unschedulable).
   std::vector<int64_t> Response;
 };
 
 /// Runs RTA on partition \p Partition of \p Config. Preconditions (FPPS,
-/// full window, distinct priorities) are asserted.
+/// full window) are asserted.
 RtaResult responseTimeAnalysis(const cfg::Config &Config, int Partition);
 
 } // namespace analysis

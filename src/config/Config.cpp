@@ -32,7 +32,28 @@ TimeValue Config::hyperperiod() const {
   for (const Partition &P : Partitions)
     for (const Task &T : P.Tasks)
       if (T.Period > 0)
-        L = lcm64(L, T.Period);
+        L = lcm64(L, T.Period); // Saturates on overflow; validate() rejects.
+  return L;
+}
+
+Result<TimeValue> Config::checkedHyperperiod() const {
+  TimeValue L = 1;
+  for (size_t P = 0; P < Partitions.size(); ++P) {
+    const Partition &Part = Partitions[P];
+    for (size_t T = 0; T < Part.Tasks.size(); ++T) {
+      const Task &Tk = Part.Tasks[T];
+      if (Tk.Period <= 0)
+        continue;
+      Result<int64_t> Next = checkedLcm(L, Tk.Period);
+      if (!Next.ok())
+        return Error::failure(formatString(
+            "hyperperiod overflows int64 folding period %lld of task '%s' "
+            "(partition '%s') into accumulated lcm %lld",
+            static_cast<long long>(Tk.Period), Tk.Name.c_str(),
+            Part.Name.c_str(), static_cast<long long>(L)));
+      L = *Next;
+    }
+  }
   return L;
 }
 
@@ -42,7 +63,24 @@ int64_t Config::jobCount() const {
   for (const Partition &P : Partitions)
     for (const Task &T : P.Tasks)
       if (T.Period > 0)
-        Jobs += L / T.Period;
+        Jobs = saturatingAdd(Jobs, L / T.Period);
+  return Jobs;
+}
+
+Result<int64_t> Config::checkedJobCount() const {
+  Result<TimeValue> L = checkedHyperperiod();
+  if (!L.ok())
+    return L.takeError();
+  int64_t Jobs = 0;
+  for (const Partition &P : Partitions)
+    for (const Task &T : P.Tasks) {
+      if (T.Period <= 0)
+        continue;
+      Result<int64_t> Next = checkedAdd(Jobs, *L / T.Period);
+      if (!Next.ok())
+        return Error::failure("job count overflows int64");
+      Jobs = *Next;
+    }
   return Jobs;
 }
 
@@ -118,7 +156,7 @@ double Config::windowShare(int Partition) const {
   return L > 0 ? static_cast<double>(Sum) / static_cast<double>(L) : 0.0;
 }
 
-Error Config::validate() const {
+Error Config::validate(ValidationPolicy Policy) const {
   auto Fail = [](const std::string &Msg) { return Error::failure(Msg); };
 
   if (NumCoreTypes <= 0)
@@ -137,8 +175,8 @@ Error Config::validate() const {
       return Fail(formatString("core %zu has negative module id", C));
   }
 
-  TimeValue L = hyperperiod();
-
+  // Pass 1: per-task structural checks. The hyperperiod fold below assumes
+  // positive periods, so those come first.
   for (size_t P = 0; P < Partitions.size(); ++P) {
     const Partition &Part = Partitions[P];
     auto Where = [&](const std::string &What) {
@@ -147,7 +185,9 @@ Error Config::validate() const {
     };
     if (Part.Tasks.empty())
       return Fail(Where("has no tasks"));
-    if (Part.Core < 0 || static_cast<size_t>(Part.Core) >= Cores.size())
+    bool Bound =
+        Part.Core >= 0 && static_cast<size_t>(Part.Core) < Cores.size();
+    if (!Bound && (Policy == ValidationPolicy::Strict || Part.Core >= 0))
       return Fail(Where("is not bound to a valid core"));
     for (size_t T = 0; T < Part.Tasks.size(); ++T) {
       const Task &Tk = Part.Tasks[T];
@@ -165,6 +205,23 @@ Error Config::validate() const {
         if (C <= 0 || C > Tk.Deadline)
           return Fail(TWhere("needs 0 < WCET <= deadline"));
     }
+  }
+
+  // The hyperperiod must be representable before anything downstream is
+  // allowed to compute with it (the checked fold names the period that
+  // overflowed the accumulated lcm).
+  Result<TimeValue> CheckedL = checkedHyperperiod();
+  if (!CheckedL.ok())
+    return CheckedL.takeError();
+  TimeValue L = *CheckedL;
+
+  // Pass 2: windows against the (now known-good) hyperperiod.
+  for (size_t P = 0; P < Partitions.size(); ++P) {
+    const Partition &Part = Partitions[P];
+    auto Where = [&](const std::string &What) {
+      return formatString("partition %zu ('%s'): %s", P, Part.Name.c_str(),
+                          What.c_str());
+    };
     for (const Window &W : Part.Windows) {
       if (W.Start < 0 || W.End > L || W.Start >= W.End)
         return Fail(

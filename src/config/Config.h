@@ -94,6 +94,17 @@ struct Message {
   TimeValue NetDelay = 0; ///< Worst case through the switched network.
 };
 
+/// How strictly Config::validate checks the binding layer.
+enum class ValidationPolicy {
+  /// Every partition must be bound to a valid core (the simulation and
+  /// analysis paths require this).
+  Strict,
+  /// Partitions may be unbound (Core == -1): the shape of a search-input
+  /// Base configuration whose bindings and windows the scheduling tool
+  /// will choose. Everything else is still checked.
+  AllowUnbound,
+};
+
 class Config {
 public:
   std::string Name;
@@ -102,11 +113,21 @@ public:
   std::vector<Partition> Partitions;
   std::vector<Message> Messages;
 
-  /// L: the least common multiple of all task periods.
+  /// L: the least common multiple of all task periods. Saturates at int64
+  /// max if the lcm overflows — validate() rejects such configurations, so
+  /// downstream code only ever sees real hyperperiods.
   TimeValue hyperperiod() const;
 
+  /// Checked variant: an overflowing hyperperiod is a structured Error
+  /// naming the offending period, in every build mode.
+  Result<TimeValue> checkedHyperperiod() const;
+
   /// Total number of jobs in one hyperperiod (sum over tasks of L/P).
+  /// Saturates on overflow, like hyperperiod().
   int64_t jobCount() const;
+
+  /// Checked variant of jobCount().
+  Result<int64_t> checkedJobCount() const;
 
   /// Total number of tasks.
   int numTasks() const;
@@ -129,8 +150,10 @@ public:
   /// Fraction of the hyperperiod covered by the partition's windows.
   double windowShare(int Partition) const;
 
-  /// Structural validation; returns the first problem found.
-  Error validate() const;
+  /// Structural validation; returns the first problem found. An
+  /// overflowing hyperperiod is rejected here (with a message naming the
+  /// offending periods), so every accepted configuration has a real L.
+  Error validate(ValidationPolicy Policy = ValidationPolicy::Strict) const;
 };
 
 } // namespace cfg

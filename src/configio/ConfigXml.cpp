@@ -31,10 +31,15 @@ std::string swa::configio::writeConfigXml(const cfg::Config &Config) {
     xml::Node *P = Root.addChild("partition");
     P->setAttr("name", Part.Name);
     P->setAttr("scheduler", cfg::schedulerKindName(Part.Scheduler));
+    // An unbound partition (the shape of search-input Base configs) is
+    // written as the explicit marker core="unbound" — silently dropping
+    // the attribute used to make read(write(C)) fail on the read side.
     if (Part.Core >= 0 &&
         static_cast<size_t>(Part.Core) < Config.Cores.size())
       P->setAttr("core",
                  Config.Cores[static_cast<size_t>(Part.Core)].Name);
+    else
+      P->setAttr("core", "unbound");
     for (const cfg::Task &T : Part.Tasks) {
       xml::Node *TN = P->addChild("task");
       TN->setAttr("name", T.Name);
@@ -121,6 +126,10 @@ Result<cfg::Config> swa::configio::parseConfigXml(std::string_view Source) {
       return Type.takeError();
     Core.Module = static_cast<int>(*Module);
     Core.CoreType = static_cast<int>(*Type);
+    if (Core.Name == "unbound")
+      return Error::failure(
+          "'unbound' is a reserved core name (it marks partitions without "
+          "a binding)");
     if (!CoreIndex.emplace(Core.Name, static_cast<int>(C.Cores.size()))
              .second)
       return Error::failure("duplicate core name '" + Core.Name + "'");
@@ -145,13 +154,19 @@ Result<cfg::Config> swa::configio::parseConfigXml(std::string_view Source) {
     const std::string *CoreName = PN->attr("core");
     if (!CoreName)
       return Error::failure("partition '" + Part.Name +
-                            "' is missing its core binding");
-    auto It = CoreIndex.find(*CoreName);
-    if (It == CoreIndex.end())
-      return Error::failure("partition '" + Part.Name +
-                            "' references unknown core '" + *CoreName +
-                            "'");
-    Part.Core = It->second;
+                            "' is missing its core binding (use "
+                            "core=\"unbound\" for deliberately unbound "
+                            "partitions)");
+    if (*CoreName == "unbound") {
+      Part.Core = -1; // Explicitly unbound: the search chooses later.
+    } else {
+      auto It = CoreIndex.find(*CoreName);
+      if (It == CoreIndex.end())
+        return Error::failure("partition '" + Part.Name +
+                              "' references unknown core '" + *CoreName +
+                              "'");
+      Part.Core = It->second;
+    }
 
     for (const xml::Node *TN : PN->children("task")) {
       cfg::Task T;
@@ -233,7 +248,12 @@ Result<cfg::Config> swa::configio::parseConfigXml(std::string_view Source) {
     C.Messages.push_back(M);
   }
 
-  if (Error E = C.validate())
+  // Explicitly unbound partitions are legal input (search Base configs),
+  // so validation allows them; a partition can only be unbound here via
+  // the deliberate core="unbound" marker — a *missing* binding is still a
+  // parse error above. Strict validation happens where it matters, at
+  // model construction (core::buildModel).
+  if (Error E = C.validate(cfg::ValidationPolicy::AllowUnbound))
     return E.withContext("configuration '" + C.Name + "'");
   return C;
 }

@@ -22,7 +22,11 @@
 /// \endcode
 ///
 /// Cores are referenced by name, tasks as "partition/task". Names must be
-/// unique within their scope.
+/// unique within their scope. A partition without a binding (a search
+/// input whose cores/windows the scheduling tool will choose) is written
+/// and read as the explicit marker `core="unbound"`; "unbound" is
+/// therefore a reserved core name. This keeps read(write(C)) == C for
+/// unbound Base configurations.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace swa;
 using namespace swa::nsa;
@@ -304,10 +305,44 @@ SimResult Simulator::run(const SimOptions &Options) {
   // Last automaton that initiated an applied step (budget diagnostics).
   int32_t LastStepped = -1;
 
+  // Guard rails: a wall-clock deadline and a cooperative cancel token,
+  // polled every GuardInterval loop iterations (one action or one delay
+  // each), so the unguarded hot path pays a single predictable branch.
+  using Clock = std::chrono::steady_clock;
+  const bool HasBudget = Options.WallClockBudgetMs >= 0;
+  const bool Guarded = HasBudget || Options.Cancel != nullptr;
+  Clock::time_point Deadline;
+  if (HasBudget)
+    Deadline =
+        Clock::now() + std::chrono::milliseconds(Options.WallClockBudgetMs);
+  constexpr uint64_t GuardInterval = 4096;
+  uint64_t GuardTick = 0;
+
   for (size_t A = 0; A < Net.Automata.size(); ++A)
     markDirty(static_cast<int>(A));
 
   for (;;) {
+    if (Guarded && (GuardTick++ % GuardInterval) == 0) {
+      if (Options.Cancel && Options.Cancel->isCancelled()) {
+        Res.Stop = StopReason::Cancelled;
+        Res.Error = formatString(
+            "run cancelled at t=%lld after %llu actions",
+            static_cast<long long>(S.Now),
+            static_cast<unsigned long long>(Res.ActionCount));
+        break;
+      }
+      if (HasBudget && Clock::now() >= Deadline) {
+        Res.Stop = StopReason::BudgetExceeded;
+        Res.Error = formatString(
+            "wall-clock budget of %lld ms exceeded at t=%lld after %llu "
+            "actions",
+            static_cast<long long>(Options.WallClockBudgetMs),
+            static_cast<long long>(S.Now),
+            static_cast<unsigned long long>(Res.ActionCount));
+        break;
+      }
+    }
+
     refreshDirty();
 
     Step &St = StepScratch;
@@ -320,6 +355,7 @@ SimResult Simulator::run(const SimOptions &Options) {
             LastStepped >= 0
                 ? Net.Automata[static_cast<size_t>(LastStepped)]->Name.c_str()
                 : "<none>";
+        Res.Stop = StopReason::MaxActions;
         Res.Error = formatString(
             "action budget of %llu exhausted at t=%lld (%llu actions "
             "applied, last automaton stepped: '%s'; livelock in the "
@@ -331,6 +367,7 @@ SimResult Simulator::run(const SimOptions &Options) {
       }
       WriteLog.clear();
       if (!Ex.applyStep(S, St, &WriteLog)) {
+        Res.Stop = StopReason::ModelError;
         Res.Error = formatString(
             "invariant violated after a step initiated by '%s'",
             Net.Automata[static_cast<size_t>(St.InitiatorAut)]
@@ -368,6 +405,7 @@ SimResult Simulator::run(const SimOptions &Options) {
 
     // No action fireable.
     if (!Committed.empty()) {
+      Res.Stop = StopReason::ModelError;
       Res.Error = "deadlock: a committed location cannot progress";
       break;
     }
@@ -390,6 +428,7 @@ SimResult Simulator::run(const SimOptions &Options) {
           Stuck += Aut.Name + " at " +
                    Aut.Locations[static_cast<size_t>(S.Locs[A])].Name;
         }
+        Res.Stop = StopReason::ModelError;
         Res.Error = formatString(
             "time-lock at t=%lld: an invariant bound expired with no "
             "enabled action (%s)",
@@ -476,9 +515,26 @@ void Simulator::publishMetrics(const SimResult &Res) const {
     PerAut.record(Steps);
 }
 
+const char *swa::nsa::stopReasonName(StopReason R) {
+  switch (R) {
+  case StopReason::Completed:
+    return "completed";
+  case StopReason::MaxActions:
+    return "max-actions";
+  case StopReason::Cancelled:
+    return "cancelled";
+  case StopReason::BudgetExceeded:
+    return "budget-exceeded";
+  case StopReason::ModelError:
+    return "model-error";
+  }
+  return "<bad>";
+}
+
 std::string SimResult::summary() const {
   if (!ok())
-    return "error: " + Error;
+    return formatString("error: %s (stop=%s)", Error.c_str(),
+                        stopReasonName(Stop));
   const char *Outcome = Quiescent        ? "quiescent"
                         : HorizonReached ? "horizon reached"
                                          : "stopped";

@@ -34,6 +34,7 @@
 
 #include "nsa/Exec.h"
 #include "support/BitSet.h"
+#include "support/CancelToken.h"
 #include "support/IndexedHeap.h"
 #include "support/Rng.h"
 
@@ -72,7 +73,32 @@ struct SimOptions {
   /// observers; attaching one never changes the run (see DESIGN.md,
   /// "Observability").
   obs::EventSink *Sink = nullptr;
+  /// Wall-clock budget for the whole run, in milliseconds; negative means
+  /// unlimited (the default). 0 expires at the first guard check, i.e.
+  /// before any step — deterministic, which the budget tests exploit. The
+  /// deadline is polled every few thousand loop iterations, so an expired
+  /// run stops with StopReason::BudgetExceeded shortly after the budget
+  /// elapses; the guard never perturbs which steps fire before that.
+  int64_t WallClockBudgetMs = -1;
+  /// Cooperative cancellation: when non-null the main loop polls the token
+  /// periodically and stops with StopReason::Cancelled once it fires.
+  const CancelToken *Cancel = nullptr;
 };
+
+/// Why a run ended, one level more structured than the ok()/Error split:
+/// guard-rail stops (Cancelled/BudgetExceeded) mean "no verdict, through
+/// no fault of the model" and are distinct from model errors and from the
+/// action-budget livelock valve.
+enum class StopReason {
+  Completed,      ///< Quiescent or horizon reached: the trace is complete.
+  MaxActions,     ///< SimOptions::MaxActions exhausted (livelock suspicion).
+  Cancelled,      ///< SimOptions::Cancel fired.
+  BudgetExceeded, ///< SimOptions::WallClockBudgetMs elapsed.
+  ModelError,     ///< Deadlock, time-lock or invariant violation.
+};
+
+/// Short stable name for a StopReason ("completed", "budget-exceeded", ...).
+const char *stopReasonName(StopReason R);
 
 struct SimResult {
   Trace Events;
@@ -83,8 +109,11 @@ struct SimResult {
   /// The network became quiescent (no action possible, no pending clock
   /// bound) before the horizon.
   bool Quiescent = false;
+  /// How the run ended. Anything but Completed also sets Error, so ok()
+  /// callers keep treating guard-rail stops as "no usable trace".
+  StopReason Stop = StopReason::Completed;
   /// Nonempty on a model error (committed deadlock, time-lock, invariant
-  /// violation, action budget exhausted).
+  /// violation, action budget exhausted) and on guard-rail stops.
   std::string Error;
 
   bool ok() const { return Error.empty(); }

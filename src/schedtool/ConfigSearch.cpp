@@ -171,9 +171,22 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   std::vector<Candidate> Cands;
   std::vector<Eval> Evals;
 
+  // Guard rails handed to every candidate simulation. When neither is set
+  // the options are all-default and the evaluation path is bit-for-bit
+  // the pre-guard-rail one.
+  nsa::SimOptions CandOpts;
+  CandOpts.WallClockBudgetMs = Problem.CandidateBudgetMs;
+  CandOpts.Cancel = Problem.Cancel;
+
   Res.BestBadness = -1;
   int Iter = 0;
   for (int Round = 0; Iter < Problem.MaxIterations; ++Round) {
+    if (Problem.Cancel && Problem.Cancel->isCancelled()) {
+      Res.Cancelled = true;
+      Res.Log.push_back(
+          formatString("search cancelled before iter %d", Iter));
+      break;
+    }
     int N = std::min(Batch, Problem.MaxIterations - Iter);
 
     // Candidate 0 is the current adaptive state; candidates 1..N-1 are
@@ -215,7 +228,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       if (!C.Valid)
         return;
       Result<analysis::VerdictOutcome> Out =
-          analysis::analyzeVerdictOnly(C.Config);
+          analysis::analyzeVerdictOnly(C.Config, CandOpts);
       Eval &E = Evals[static_cast<size_t>(J)];
       if (Out.ok()) {
         E.Ok = true;
@@ -240,6 +253,17 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       Eval &E = Evals[static_cast<size_t>(J)];
       if (!E.Ok)
         return Error::failure(E.ErrMsg);
+      if (!E.V.decided()) {
+        // The guard rails (per-candidate budget / cancellation) ended the
+        // run before a verdict existed: record the reason and move on —
+        // a timed-out candidate never aborts the batch.
+        ++Res.CandidatesSkipped;
+        Res.Log.push_back(formatString(
+            "iter %d: skipped (%s after %llu actions)", IterJ,
+            nsa::stopReasonName(E.V.Stop),
+            static_cast<unsigned long long>(E.V.ActionCount)));
+        continue;
+      }
       ++Res.ConfigurationsEvaluated;
       if (CandC) {
         CandC->add(1);

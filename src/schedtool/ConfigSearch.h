@@ -23,6 +23,7 @@
 
 #include "analysis/Schedulability.h"
 #include "config/Config.h"
+#include "support/CancelToken.h"
 
 #include <string>
 #include <vector>
@@ -48,6 +49,16 @@ struct SearchProblem {
   /// independent of Workers so changing the thread count never changes
   /// which configurations are explored.
   int BatchSize = 4;
+  /// Per-candidate wall-clock budget in milliseconds; negative = none. A
+  /// candidate whose simulation outlives the budget is recorded as
+  /// skipped (with the reason in the log) and the search continues — the
+  /// batch is never aborted. When no budget ever fires, the SearchResult
+  /// is byte-identical to a run without a budget, for any worker count.
+  int64_t CandidateBudgetMs = -1;
+  /// Cooperative cancellation for the whole search: polled between rounds
+  /// and passed to every candidate simulation, so an in-flight batch winds
+  /// down quickly.
+  const CancelToken *Cancel = nullptr;
 };
 
 struct SearchResult {
@@ -64,6 +75,12 @@ struct SearchResult {
   /// seen up to then), appended whenever the best improves. The last entry
   /// is (finding iteration, 0) when Found.
   std::vector<std::pair<int, int64_t>> BestTrajectory;
+  /// Candidates whose evaluation the guard rails ended (per-candidate
+  /// budget or cancellation) before a verdict existed. Each is logged with
+  /// its reason; none aborts the batch.
+  int CandidatesSkipped = 0;
+  /// The search stopped because SearchProblem::Cancel fired.
+  bool Cancelled = false;
   std::vector<std::string> Log;
 };
 

@@ -1,0 +1,49 @@
+//===- support/CancelToken.h - Cooperative cancellation ---------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny cooperative cancellation primitive. A caller that wants to abort
+/// a long-running operation (a simulation, a configuration search) shares
+/// a CancelToken with it and calls cancel(); the operation polls
+/// isCancelled() at safe points and winds down with a structured status
+/// (`nsa::StopReason::Cancelled`) instead of being killed mid-state.
+///
+/// The flag is a single atomic bool: cancel() may be called from any
+/// thread (e.g. a deadline watchdog) while the worker polls with relaxed
+/// loads — there is no data to publish, only the request itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_CANCELTOKEN_H
+#define SWA_SUPPORT_CANCELTOKEN_H
+
+#include <atomic>
+
+namespace swa {
+
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  /// True once cancellation has been requested.
+  bool isCancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+  /// Re-arms the token for reuse (e.g. between test cases). Only safe when
+  /// no operation is currently polling it.
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+} // namespace swa
+
+#endif // SWA_SUPPORT_CANCELTOKEN_H

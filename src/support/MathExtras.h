@@ -9,13 +9,34 @@
 /// hyperperiod is the lcm of all task periods), overflow-checked arithmetic
 /// and ceiling division (used by the analytic response-time baseline).
 ///
+/// Two tiers of time arithmetic are provided:
+///
+///  * **Checked** (`checkedAdd`/`checkedMul`/`checkedLcm`/`checkedCeilDiv`)
+///    returns `Result<int64_t>`; any overflow or domain violation becomes a
+///    structured `Error` in every build mode. Validation and analysis code
+///    that faces untrusted configuration inputs must use these.
+///  * **Saturating** (`saturatingAdd`/`saturatingMul`, and `lcm64`, which
+///    saturates on overflow) clamps to the int64 range. Used where a
+///    too-large value is about to be rejected anyway (e.g. a window bound
+///    compared against a hyperperiod that `Config::validate` will refuse).
+///
+/// The plain helpers keep asserts for *programmer* errors (negative
+/// operands where the call site guarantees positivity), but no longer rely
+/// on `assert` to catch input-dependent overflow: overflow is either a
+/// structured error (checked tier) or a defined saturation (saturating
+/// tier) — never undefined behaviour under `NDEBUG`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWA_SUPPORT_MATHEXTRAS_H
 #define SWA_SUPPORT_MATHEXTRAS_H
 
+#include "support/Error.h"
+
 #include <cassert>
 #include <cstdint>
+#include <limits>
+#include <string>
 
 namespace swa {
 
@@ -30,31 +51,95 @@ inline int64_t gcd64(int64_t A, int64_t B) {
   return A;
 }
 
-/// Multiplies two int64 values, returning false on signed overflow.
+/// Multiplies two int64 values, returning true on signed overflow.
 inline bool mulOverflow64(int64_t A, int64_t B, int64_t &Out) {
   return __builtin_mul_overflow(A, B, &Out);
 }
 
-/// Adds two int64 values, returning false on signed overflow.
+/// Adds two int64 values, returning true on signed overflow.
 inline bool addOverflow64(int64_t A, int64_t B, int64_t &Out) {
   return __builtin_add_overflow(A, B, &Out);
 }
 
-/// Least common multiple of two positive values. Asserts on overflow; model
-/// hyperperiods are expected to stay far below the int64 range.
+/// Checked addition: overflow yields a structured Error.
+inline Result<int64_t> checkedAdd(int64_t A, int64_t B) {
+  int64_t Out;
+  if (addOverflow64(A, B, Out))
+    return Error::failure("integer overflow in add: " + std::to_string(A) +
+                          " + " + std::to_string(B));
+  return Out;
+}
+
+/// Checked multiplication: overflow yields a structured Error.
+inline Result<int64_t> checkedMul(int64_t A, int64_t B) {
+  int64_t Out;
+  if (mulOverflow64(A, B, Out))
+    return Error::failure("integer overflow in mul: " + std::to_string(A) +
+                          " * " + std::to_string(B));
+  return Out;
+}
+
+/// Checked least common multiple of two positive values. Non-positive
+/// operands and int64 overflow both yield a structured Error.
+inline Result<int64_t> checkedLcm(int64_t A, int64_t B) {
+  if (A <= 0 || B <= 0)
+    return Error::failure("lcm requires positive operands, got " +
+                          std::to_string(A) + " and " + std::to_string(B));
+  int64_t G = gcd64(A, B);
+  int64_t Out;
+  if (mulOverflow64(A / G, B, Out))
+    return Error::failure("lcm overflows int64: lcm(" + std::to_string(A) +
+                          ", " + std::to_string(B) + ")");
+  return Out;
+}
+
+/// Checked ceiling division. A negative numerator or non-positive
+/// denominator yields a structured Error; the result itself cannot
+/// overflow.
+inline Result<int64_t> checkedCeilDiv(int64_t A, int64_t B) {
+  if (A < 0 || B <= 0)
+    return Error::failure("ceilDiv requires A >= 0 and B > 0, got " +
+                          std::to_string(A) + " / " + std::to_string(B));
+  return A / B + (A % B != 0 ? 1 : 0);
+}
+
+/// Saturating addition: clamps to the int64 range instead of wrapping.
+inline int64_t saturatingAdd(int64_t A, int64_t B) {
+  int64_t Out;
+  if (!addOverflow64(A, B, Out))
+    return Out;
+  return B > 0 ? std::numeric_limits<int64_t>::max()
+               : std::numeric_limits<int64_t>::min();
+}
+
+/// Saturating multiplication: clamps to the int64 range instead of
+/// wrapping.
+inline int64_t saturatingMul(int64_t A, int64_t B) {
+  int64_t Out;
+  if (!mulOverflow64(A, B, Out))
+    return Out;
+  return (A > 0) == (B > 0) ? std::numeric_limits<int64_t>::max()
+                            : std::numeric_limits<int64_t>::min();
+}
+
+/// Least common multiple of two positive values. Saturates at int64 max on
+/// overflow (defined in all build modes); callers that must reject
+/// overflowing inputs use checkedLcm / Config::checkedHyperperiod instead.
 inline int64_t lcm64(int64_t A, int64_t B) {
   assert(A > 0 && B > 0 && "lcm64 requires positive operands");
   int64_t G = gcd64(A, B);
   int64_t Out;
-  [[maybe_unused]] bool Overflow = mulOverflow64(A / G, B, Out);
-  assert(!Overflow && "hyperperiod overflows int64");
+  if (mulOverflow64(A / G, B, Out))
+    return std::numeric_limits<int64_t>::max();
   return Out;
 }
 
 /// Ceiling division for non-negative numerator and positive denominator.
+/// Computed without the classic `(A + B - 1)` trick so no intermediate can
+/// overflow for any in-domain operands.
 inline int64_t ceilDiv64(int64_t A, int64_t B) {
   assert(A >= 0 && B > 0 && "ceilDiv64 domain violation");
-  return (A + B - 1) / B;
+  return A / B + (A % B != 0 ? 1 : 0);
 }
 
 } // namespace swa

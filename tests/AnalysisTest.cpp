@@ -122,6 +122,99 @@ TEST(Rta, DetectsOverload) {
   EXPECT_EQ(R.Response[1], -1);
 }
 
+namespace {
+
+/// One FPPS partition on one core with the given tasks and a
+/// full-hyperperiod window.
+cfg::Config onePartition(std::vector<cfg::Task> Tasks) {
+  cfg::Config C;
+  C.Name = "rta-case";
+  C.NumCoreTypes = 1;
+  C.Cores.push_back({"c", 0, 0});
+  cfg::Partition P;
+  P.Name = "p";
+  P.Core = 0;
+  P.Scheduler = cfg::SchedulerKind::FPPS;
+  P.Tasks = std::move(Tasks);
+  C.Partitions.push_back(std::move(P));
+  // The hyperperiod is only known once the tasks are in place.
+  C.Partitions[0].Windows.push_back({0, C.hyperperiod()});
+  return C;
+}
+
+} // namespace
+
+TEST(Rta, EqualPriorityTasksInterfere) {
+  // Two identical tasks at the same priority, each C=6, D=7, P=12. With
+  // FIFO tie-breaking one of them runs second and finishes at 12 > 7, so
+  // the set is unschedulable. The old `<=` skip excluded ties from hp(i)
+  // and reported both tasks with R = 6 — schedulable, contradicting the
+  // simulator.
+  cfg::Config C = onePartition(
+      {{"a", 3, {6}, 12, 7}, {"b", 3, {6}, 12, 7}});
+  RtaResult R = responseTimeAnalysis(C, 0);
+  EXPECT_FALSE(R.Schedulable);
+
+  // Cross-check: the model agrees.
+  ASSERT_FALSE(C.validate().isFailure());
+  auto Sim = analyzeConfiguration(C);
+  ASSERT_TRUE(Sim.ok()) << Sim.error().message();
+  EXPECT_EQ(R.Schedulable, Sim->Analysis.Schedulable);
+}
+
+TEST(Rta, EqualPrioritySchedulableWhenLoadFits) {
+  // Same shape but C=3, D=12: the second task finishes at 6 <= 12. The
+  // tie-aware bound R = 6 holds for both and the verdict stays positive.
+  cfg::Config C = onePartition(
+      {{"a", 3, {3}, 12, 12}, {"b", 3, {3}, 12, 12}});
+  RtaResult R = responseTimeAnalysis(C, 0);
+  EXPECT_TRUE(R.Schedulable);
+  EXPECT_EQ(R.Response[0], 6);
+  EXPECT_EQ(R.Response[1], 6);
+
+  ASSERT_FALSE(C.validate().isFailure());
+  auto Sim = analyzeConfiguration(C);
+  ASSERT_TRUE(Sim.ok()) << Sim.error().message();
+  EXPECT_TRUE(Sim->Analysis.Schedulable);
+  for (int64_t Worst : Sim->Analysis.WorstResponse)
+    EXPECT_LE(Worst, 6);
+}
+
+TEST(Rta, IterationCapWithoutConvergenceIsUnschedulable) {
+  // Over-unity load under a huge deadline: the fixpoint climbs by a few
+  // ticks per iteration and can neither converge nor pass the deadline
+  // within the cap. The capped exit must report unschedulable — the old
+  // code returned the last (gross under-)estimate as if it had converged.
+  cfg::Config C = onePartition({{"hi1", 5, {4}, 8, 8},
+                                {"hi2", 5, {4}, 8, 8},
+                                {"lo", 1, {1}, int64_t(1) << 40,
+                                 int64_t(1) << 40}});
+  RtaResult R = responseTimeAnalysis(C, 0);
+  EXPECT_FALSE(R.Schedulable);
+  EXPECT_EQ(R.Response[2], -1);
+  // The two high-priority tasks themselves are fine (they only see each
+  // other: R = 8 <= 8).
+  EXPECT_EQ(R.Response[0], 8);
+  EXPECT_EQ(R.Response[1], 8);
+}
+
+TEST(Rta, InterferenceOverflowIsUnschedulableNotUB) {
+  // Four heavy high-priority tasks make the fixpoint grow geometrically;
+  // under a 2^62 deadline the interference sum overflows int64 long
+  // before the cap. Pre-fix this was signed-overflow UB (UBSan aborts);
+  // now it is a defined unschedulable verdict.
+  constexpr int64_t Big = int64_t(1) << 31;
+  cfg::Config C = onePartition({{"h0", 5, {Big}, Big, Big},
+                                {"h1", 5, {Big}, Big, Big},
+                                {"h2", 5, {Big}, Big, Big},
+                                {"h3", 5, {Big}, Big, Big},
+                                {"lo", 1, {1}, int64_t(1) << 62,
+                                 int64_t(1) << 62}});
+  RtaResult R = responseTimeAnalysis(C, 0);
+  EXPECT_FALSE(R.Schedulable);
+  EXPECT_EQ(R.Response[4], -1);
+}
+
 TEST(Rta, SimulationNeverExceedsTheAnalyticBound) {
   // Property sweep: random single-partition FPPS task sets with a full
   // window; the model's worst observed response must be <= the RTA bound,

@@ -167,6 +167,70 @@ TEST(Search, ResultIndependentOfWorkerCount) {
   }
 }
 
+TEST(Search, BudgetFiresAndSearchStillTerminates) {
+  // A zero budget expires at every candidate's first guard check: every
+  // evaluation is skipped, none aborts the batch, and the search ends
+  // cleanly reporting what it skipped.
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.5, 5);
+  Problem.Seed = 9;
+  Problem.MaxIterations = 8;
+  Problem.CandidateBudgetMs = 0;
+  for (int Workers : {1, 2}) {
+    Problem.Workers = Workers;
+    auto Res = searchConfiguration(Problem);
+    ASSERT_TRUE(Res.ok()) << Res.error().message();
+    EXPECT_FALSE(Res->Found);
+    EXPECT_EQ(Res->ConfigurationsEvaluated, 0);
+    EXPECT_GT(Res->CandidatesSkipped, 0);
+    bool Logged = false;
+    for (const std::string &Line : Res->Log)
+      if (Line.find("skipped") != std::string::npos &&
+          Line.find("budget-exceeded") != std::string::npos)
+        Logged = true;
+    EXPECT_TRUE(Logged) << "no skip reason in the search log";
+  }
+}
+
+TEST(Search, UnfiredBudgetPreservesDeterminism) {
+  // When the budget never fires the SearchResult must be byte-identical
+  // to a no-budget run, for every worker count.
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.45, 6);
+  Problem.Seed = 13;
+  Problem.MaxIterations = 12;
+
+  Problem.Workers = 1;
+  Problem.CandidateBudgetMs = -1;
+  auto Baseline = searchConfiguration(Problem);
+  ASSERT_TRUE(Baseline.ok()) << Baseline.error().message();
+
+  Problem.CandidateBudgetMs = 600000; // Ten minutes: never fires here.
+  for (int Workers : {1, 2, 4}) {
+    Problem.Workers = Workers;
+    auto Budgeted = searchConfiguration(Problem);
+    ASSERT_TRUE(Budgeted.ok()) << Budgeted.error().message();
+    EXPECT_EQ(Budgeted->CandidatesSkipped, 0);
+    EXPECT_FALSE(Budgeted->Cancelled);
+    expectSameResult(*Baseline, *Budgeted);
+  }
+}
+
+TEST(Search, PreCancelledSearchStopsImmediately) {
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.5, 7);
+  Problem.Seed = 11;
+  Problem.MaxIterations = 20;
+  CancelToken Tok;
+  Tok.cancel();
+  Problem.Cancel = &Tok;
+  auto Res = searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_TRUE(Res->Cancelled);
+  EXPECT_FALSE(Res->Found);
+  EXPECT_EQ(Res->ConfigurationsEvaluated, 0);
+}
+
 TEST(Search, VerdictOnlyAgreesWithFullAnalysis) {
   // The fast verdict path used inside the search must agree with the full
   // trace-based criterion for both schedulable and unschedulable layouts.
