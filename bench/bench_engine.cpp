@@ -14,6 +14,7 @@
 #include "analysis/Analyzer.h"
 #include "gen/Workload.h"
 #include "models/ModelLibrary.h"
+#include "sa/Compile.h"
 #include "sa/NetworkBuilder.h"
 #include "usl/Binder.h"
 #include "usl/Compiler.h"
@@ -138,33 +139,6 @@ static void BM_VmPickFunction(benchmark::State &State) {
 }
 BENCHMARK(BM_VmPickFunction);
 
-namespace {
-
-/// Strips all bytecode from a network so the engines fall back to the
-/// tree-walking interpreter (the ablation baseline).
-void stripBytecode(sa::Network &Net) {
-  Net.FuncCode.clear();
-  for (auto &A : Net.Automata) {
-    for (auto &L : A->Locations) {
-      L.DataInvariantCode.clear();
-      for (auto &U : L.Uppers)
-        U.BoundCode.clear();
-      for (auto &R : L.Rates)
-        R.RateCode.clear();
-    }
-    for (auto &Ed : A->Edges) {
-      Ed.DataGuardCode.clear();
-      Ed.UpdateCode.clear();
-      for (auto &CG : Ed.ClockGuards)
-        CG.BoundCode.clear();
-      if (Ed.Sync)
-        Ed.Sync->IndexCode.clear();
-    }
-  }
-}
-
-} // namespace
-
 // Whole-simulation interpreter-vs-VM ablation.
 static void BM_SimTreeInterpreter(benchmark::State &State) {
   cfg::Config Config = gen::industrialConfigWithJobs(State.range(0), 1);
@@ -173,7 +147,7 @@ static void BM_SimTreeInterpreter(benchmark::State &State) {
     State.SkipWithError(Model.error().message().c_str());
     return;
   }
-  stripBytecode(*Model->Net);
+  sa::stripBytecode(*Model->Net);
   for (auto _ : State) {
     nsa::Simulator Sim(*Model->Net);
     nsa::SimResult R = Sim.run();

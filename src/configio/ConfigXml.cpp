@@ -14,8 +14,9 @@
 using namespace swa;
 using namespace swa::configio;
 
-std::string swa::configio::writeConfigXml(const cfg::Config &Config) {
-  xml::Node Root;
+xml::NodePtr swa::configio::configToXmlNode(const cfg::Config &Config) {
+  auto RootPtr = std::make_unique<xml::Node>();
+  xml::Node &Root = *RootPtr;
   Root.Tag = "configuration";
   Root.setAttr("name", Config.Name);
   Root.setAttr("coreTypes", formatString("%d", Config.NumCoreTypes));
@@ -76,7 +77,11 @@ std::string swa::configio::writeConfigXml(const cfg::Config &Config) {
     MN->setAttr("netDelay",
                 formatString("%lld", static_cast<long long>(M.NetDelay)));
   }
-  return xml::write(Root);
+  return RootPtr;
+}
+
+std::string swa::configio::writeConfigXml(const cfg::Config &Config) {
+  return xml::write(*configToXmlNode(Config));
 }
 
 namespace {
@@ -100,7 +105,11 @@ Result<cfg::Config> swa::configio::parseConfigXml(std::string_view Source) {
   Result<xml::NodePtr> Doc = xml::parse(Source);
   if (!Doc.ok())
     return Doc.takeError();
-  const xml::Node &Root = **Doc;
+  return configFromXmlNode(**Doc);
+}
+
+Result<cfg::Config>
+swa::configio::configFromXmlNode(const xml::Node &Root) {
   if (Root.Tag != "configuration")
     return Error::failure("expected a <configuration> root element, found "
                           "<" +

@@ -34,6 +34,7 @@
 #define SWA_CONFIGIO_CONFIGXML_H
 
 #include "config/Config.h"
+#include "xml/Xml.h"
 
 #include <string>
 #include <string_view>
@@ -46,6 +47,16 @@ std::string writeConfigXml(const cfg::Config &Config);
 
 /// Parses a configuration document. The result is validated.
 Result<cfg::Config> parseConfigXml(std::string_view Source);
+
+/// Builds the <configuration> element for \p Config (no XML declaration).
+/// The node-level half of writeConfigXml, exposed so other documents —
+/// e.g. the differential harness's reproducer bundles — can embed a
+/// configuration as a child element.
+xml::NodePtr configToXmlNode(const cfg::Config &Config);
+
+/// Parses a <configuration> element (the node-level half of
+/// parseConfigXml). The result is validated with AllowUnbound policy.
+Result<cfg::Config> configFromXmlNode(const xml::Node &Root);
 
 } // namespace configio
 } // namespace swa

@@ -1,0 +1,76 @@
+//===- difftest/Campaign.h - Seeded differential campaign -------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign driver: draws adversarial configurations from
+/// gen::adversarialConfig under one master seed, pushes each through
+/// every applicable oracle pair (difftest/Oracles.h), and fuzzes the XML
+/// front end with mutated serializations of the same configurations.
+/// Deliberately invalid draws (the zero-WCET mutator) are asserted to be
+/// *cleanly rejected* — a structured validate()/buildModel error, never a
+/// crash or a verdict.
+///
+/// The whole campaign is a pure function of its options: same seed, same
+/// configurations, same mismatches — which is what makes a recorded
+/// mismatch shrinkable and replayable afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_DIFFTEST_CAMPAIGN_H
+#define SWA_DIFFTEST_CAMPAIGN_H
+
+#include "difftest/Oracles.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace difftest {
+
+struct CampaignOptions {
+  uint64_t Seed = 1;
+  int NumConfigs = 200;
+  /// Oracle gates and guard rails, applied to every configuration.
+  OracleOptions Oracle;
+  /// Mutated serializations fed to the XML parser per configuration.
+  int XmlFuzzPerConfig = 4;
+};
+
+/// One recorded mismatch, with enough context to shrink and replay it.
+struct CampaignMismatch {
+  int ConfigIndex = -1;
+  uint64_t ConfigSeed = 0;
+  Discrepancy Finding;
+  /// The offending configuration, serialized.
+  std::string ConfigXml;
+};
+
+struct CampaignResult {
+  int ConfigsRun = 0;
+  /// Invalid draws (e.g. zero-WCET mutants) that were cleanly rejected.
+  int RejectedConfigs = 0;
+  /// Total oracle pairs exercised across all configurations.
+  int OraclePairsRun = 0;
+  /// Configurations skipped by guard rails (budget) — not mismatches.
+  int SkippedConfigs = 0;
+  int XmlDocsFuzzed = 0;
+  std::vector<CampaignMismatch> Mismatches;
+
+  bool clean() const { return Mismatches.empty(); }
+};
+
+/// Runs the campaign. Deterministic in \p Options.
+CampaignResult runCampaign(const CampaignOptions &Options);
+
+/// Derives the per-configuration seed the campaign uses for draw \p Index
+/// (exposed so a mismatch can be re-drawn in isolation).
+uint64_t campaignConfigSeed(uint64_t MasterSeed, int Index);
+
+} // namespace difftest
+} // namespace swa
+
+#endif // SWA_DIFFTEST_CAMPAIGN_H

@@ -1,0 +1,239 @@
+//===- difftest/Oracles.cpp - Differential oracle pairs ---------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "difftest/Oracles.h"
+
+#include "analysis/Rta.h"
+#include "analysis/Schedulability.h"
+#include "configio/ConfigXml.h"
+#include "core/SystemTrace.h"
+#include "difftest/TraceInvariants.h"
+#include "mc/ModelChecker.h"
+#include "sa/Compile.h"
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace swa;
+using namespace swa::difftest;
+
+const char *swa::difftest::oraclePairName(OraclePair P) {
+  switch (P) {
+  case OraclePair::VmVsInterpreter:
+    return "vm-vs-interpreter";
+  case OraclePair::SimVsRta:
+    return "sim-vs-rta";
+  case OraclePair::SimVsMc:
+    return "sim-vs-mc";
+  case OraclePair::TraceInvariants:
+    return "trace-invariants";
+  case OraclePair::XmlRoundTrip:
+    return "xml-round-trip";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+/// True when RTA's preconditions hold for partition \p P of \p C: FPPS,
+/// alone on its core, one window spanning the whole hyperperiod, and no
+/// messages touching its tasks.
+bool rtaApplies(const cfg::Config &C, int P) {
+  const cfg::Partition &Part = C.Partitions[static_cast<size_t>(P)];
+  if (Part.Scheduler != cfg::SchedulerKind::FPPS || Part.Core < 0)
+    return false;
+  if (Part.Windows.size() != 1 || Part.Windows[0].Start != 0 ||
+      Part.Windows[0].End != C.hyperperiod())
+    return false;
+  for (size_t Q = 0; Q < C.Partitions.size(); ++Q)
+    if (Q != static_cast<size_t>(P) &&
+        C.Partitions[Q].Core == Part.Core)
+      return false;
+  for (const cfg::Message &M : C.Messages)
+    if (M.Sender.Partition == P || M.Receiver.Partition == P)
+      return false;
+  return true;
+}
+
+bool distinctPriorities(const cfg::Partition &Part) {
+  std::set<int> Seen;
+  for (const cfg::Task &T : Part.Tasks)
+    if (!Seen.insert(T.Priority).second)
+      return false;
+  return true;
+}
+
+} // namespace
+
+OracleReport swa::difftest::runOracles(const cfg::Config &Config,
+                                       const OracleOptions &Options) {
+  OracleReport Rep;
+  auto Mismatch = [&](OraclePair Pair, std::string Expected,
+                      std::string Actual, std::string Detail) {
+    Rep.Mismatches.push_back({Pair, std::move(Expected), std::move(Actual),
+                              std::move(Detail)});
+  };
+
+  // --- Primary pipeline: build, simulate with the online checker. ------
+  Result<core::BuiltModel> Model = core::buildModel(Config);
+  if (!Model.ok()) {
+    Rep.SkipReason = "rejected: " + Model.error().message();
+    return Rep;
+  }
+
+  TraceInvariantChecker Checker(*Model);
+  nsa::SimOptions SimOpts;
+  SimOpts.WallClockBudgetMs = Options.SimBudgetMs;
+  if (Options.CheckInvariants)
+    SimOpts.Checker = &Checker;
+  nsa::Simulator Sim(*Model->Net);
+  nsa::SimResult Primary = Sim.run(SimOpts);
+  if (Options.CheckInvariants)
+    ++Rep.PairsRun;
+
+  if (Primary.Stop == nsa::StopReason::InvariantViolation) {
+    Mismatch(OraclePair::TraceInvariants, "invariants hold",
+             "invariant violated", Primary.Error);
+    return Rep; // The run is truncated; downstream comparisons would lie.
+  }
+  if (Primary.Stop == nsa::StopReason::BudgetExceeded ||
+      Primary.Stop == nsa::StopReason::Cancelled) {
+    Rep.SkipReason = "guard rail: " + Primary.Error;
+    return Rep;
+  }
+  if (!Primary.ok()) {
+    Mismatch(OraclePair::TraceInvariants, "run completes",
+             formatString("stopped: %s",
+                          nsa::stopReasonName(Primary.Stop)),
+             Primary.Error);
+    return Rep;
+  }
+
+  core::SystemTrace SysTrace = core::mapTrace(*Model, Primary.Events);
+  analysis::AnalysisResult Analysis =
+      analysis::analyzeTrace(Config, SysTrace);
+
+  // --- VM vs tree interpreter. -----------------------------------------
+  {
+    ++Rep.PairsRun;
+    Result<core::BuiltModel> Stripped = core::buildModel(Config);
+    if (Stripped.ok()) {
+      sa::stripBytecode(*Stripped->Net);
+      nsa::SimOptions NoVm;
+      NoVm.WallClockBudgetMs = Options.SimBudgetMs;
+      nsa::Simulator Sim2(*Stripped->Net);
+      nsa::SimResult Interp = Sim2.run(NoVm);
+      if (!Interp.ok()) {
+        Mismatch(OraclePair::VmVsInterpreter, "run completes",
+                 formatString("interpreter run stopped: %s",
+                              nsa::stopReasonName(Interp.Stop)),
+                 Interp.Error);
+      } else {
+        if (!nsa::syncTracesEqual(Primary.Events, Interp.Events))
+          Mismatch(OraclePair::VmVsInterpreter, "identical sync traces",
+                   "traces differ",
+                   formatString("VM run: %llu actions, interpreter run: "
+                                "%llu actions",
+                                static_cast<unsigned long long>(
+                                    Primary.ActionCount),
+                                static_cast<unsigned long long>(
+                                    Interp.ActionCount)));
+        if (!(Primary.Final == Interp.Final))
+          Mismatch(OraclePair::VmVsInterpreter, "identical final states",
+                   "final states differ", "VM and tree-interpreter runs "
+                   "end in different NSA states");
+      }
+    }
+  }
+
+  // --- Simulator verdict vs analytic RTA bound. ------------------------
+  for (size_t P = 0; P < Config.Partitions.size(); ++P) {
+    if (!rtaApplies(Config, static_cast<int>(P)))
+      continue;
+    ++Rep.PairsRun;
+    analysis::RtaResult Rta =
+        analysis::responseTimeAnalysis(Config, static_cast<int>(P));
+    const cfg::Partition &Part = Config.Partitions[P];
+    bool SimPartSchedulable = true;
+    for (size_t T = 0; T < Part.Tasks.size(); ++T) {
+      int Gid = Config.globalTaskId(
+          {static_cast<int>(P), static_cast<int>(T)});
+      int64_t Worst = Analysis.WorstResponse[static_cast<size_t>(Gid)];
+      if (Worst < 0)
+        SimPartSchedulable = false;
+      int64_t Bound = Rta.Response[T];
+      // Soundness: the observed worst response never exceeds the bound.
+      if (Bound >= 0 && Worst >= 0 && Worst > Bound)
+        Mismatch(OraclePair::SimVsRta,
+                 formatString("response <= RTA bound %lld",
+                              static_cast<long long>(Bound)),
+                 formatString("worst observed response %lld",
+                              static_cast<long long>(Worst)),
+                 formatString("partition %zu task %zu ('%s')", P, T,
+                              Part.Tasks[T].Name.c_str()));
+    }
+    if (Rta.Schedulable && !SimPartSchedulable)
+      Mismatch(OraclePair::SimVsRta, "RTA: schedulable",
+               "simulator: job missed",
+               formatString("partition %zu ('%s')", P,
+                            Part.Name.c_str()));
+    // With distinct priorities the critical instant argument is exact on
+    // synchronous release, so the verdicts must agree both ways.
+    if (distinctPriorities(Part) && !Rta.Schedulable &&
+        SimPartSchedulable)
+      Mismatch(OraclePair::SimVsRta, "RTA: unschedulable",
+               "simulator: all deadlines met",
+               formatString("partition %zu ('%s'), distinct priorities",
+                            P, Part.Name.c_str()));
+  }
+
+  // --- Simulator final state vs model-checker census. ------------------
+  Result<int64_t> Jobs = Config.checkedJobCount();
+  Result<cfg::TimeValue> L = Config.checkedHyperperiod();
+  if (Options.EnableMc && Jobs.ok() && *Jobs <= Options.McMaxJobs &&
+      L.ok() && *L <= Options.McMaxHyperperiod) {
+    mc::McOptions McOpts;
+    McOpts.MaxStates = Options.McMaxStates;
+    mc::ModelChecker Mc(*Model->Net);
+    mc::McResult Census = Mc.explore(McOpts);
+    if (Census.ok() && Census.CompleteRuns > 0) {
+      ++Rep.PairsRun;
+      if (Census.DistinctFinalStates != 1)
+        Mismatch(OraclePair::SimVsMc, "1 distinct final state",
+                 formatString("%llu distinct final states",
+                              static_cast<unsigned long long>(
+                                  Census.DistinctFinalStates)),
+                 "trace-determinism theorem violated across "
+                 "interleavings");
+      else if (Census.FinalStateHash !=
+               nsa::StateHash()(Primary.Final))
+        Mismatch(OraclePair::SimVsMc,
+                 "census final state == simulator final state",
+                 "final-state hashes differ",
+                 formatString("mc=%llu sim=%llu",
+                              static_cast<unsigned long long>(
+                                  Census.FinalStateHash),
+                              static_cast<unsigned long long>(
+                                  nsa::StateHash()(Primary.Final))));
+    }
+  }
+
+  // --- configio round trip: writeXml(parseXml(x)) is a fixed point. ----
+  {
+    ++Rep.PairsRun;
+    std::string Doc = configio::writeConfigXml(Config);
+    Result<cfg::Config> Back = configio::parseConfigXml(Doc);
+    if (!Back.ok())
+      Mismatch(OraclePair::XmlRoundTrip, "parse succeeds",
+               "parse failed", Back.error().message());
+    else if (configio::writeConfigXml(*Back) != Doc)
+      Mismatch(OraclePair::XmlRoundTrip, "byte-identical document",
+               "document changed after round trip",
+               "a field was dropped, defaulted or reordered");
+  }
+
+  return Rep;
+}

@@ -1,0 +1,96 @@
+//===- difftest/Oracles.h - Differential oracle pairs -----------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every applicable pair of the repo's four independent oracles on
+/// one configuration and reports disagreements:
+///
+///  | pair              | compares                            | gate       |
+///  |-------------------|-------------------------------------|------------|
+///  | vm-vs-interpreter | sync traces + final state + verdict | always     |
+///  | sim-vs-rta        | verdicts + worst response <= bound  | RTA-sound  |
+///  |                   |                                     | partitions |
+///  | sim-vs-mc         | final-state census vs trace final   | tiny       |
+///  |                   |                                     | instances  |
+///  | trace-invariants  | online checker inside the run       | always     |
+///  | xml-round-trip    | writeXml(parseXml(cfg)) fixed point | always     |
+///
+/// RTA soundness gate: an FPPS partition alone on its core with one
+/// full-hyperperiod window and no messages touching its tasks. Within the
+/// gate the bound direction (worst response <= RTA bound, RTA schedulable
+/// => simulator schedulable) always holds; verdict *equality* is only
+/// asserted when the partition's priorities are distinct (with ties RTA
+/// may legitimately over-estimate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_DIFFTEST_ORACLES_H
+#define SWA_DIFFTEST_ORACLES_H
+
+#include "config/Config.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace difftest {
+
+enum class OraclePair {
+  VmVsInterpreter,
+  SimVsRta,
+  SimVsMc,
+  TraceInvariants,
+  XmlRoundTrip,
+};
+
+/// Short stable name ("vm-vs-interpreter", ...).
+const char *oraclePairName(OraclePair P);
+
+/// One oracle disagreement: the expected/actual verdict pair plus a
+/// human-readable account of what diverged.
+struct Discrepancy {
+  OraclePair Pair = OraclePair::VmVsInterpreter;
+  std::string Expected;
+  std::string Actual;
+  std::string Detail;
+};
+
+struct OracleOptions {
+  /// Run the model-checker census pair (subject to the size gates below).
+  bool EnableMc = true;
+  /// MC census gates: skip instances with more jobs or a longer
+  /// hyperperiod (the census is exponential in simultaneous events).
+  int64_t McMaxJobs = 12;
+  int64_t McMaxHyperperiod = 256;
+  uint64_t McMaxStates = 2000000;
+  /// Wall-clock guard rail per simulator run; negative = unlimited.
+  int64_t SimBudgetMs = -1;
+  /// Attach the online TraceInvariantChecker to the primary run.
+  bool CheckInvariants = true;
+};
+
+struct OracleReport {
+  /// Oracle pairs actually exercised (gated pairs that were skipped do
+  /// not count).
+  int PairsRun = 0;
+  std::vector<Discrepancy> Mismatches;
+  /// Set when the pipeline rejected the configuration or a guard rail
+  /// ended a run — "no comparison possible", which is not a mismatch.
+  std::string SkipReason;
+
+  bool clean() const { return Mismatches.empty(); }
+};
+
+/// Runs all applicable oracle pairs on \p Config (which should validate;
+/// invalid configurations yield a SkipReason, never a crash).
+OracleReport runOracles(const cfg::Config &Config,
+                        const OracleOptions &Options = {});
+
+} // namespace difftest
+} // namespace swa
+
+#endif // SWA_DIFFTEST_ORACLES_H

@@ -1,0 +1,76 @@
+//===- difftest/Reproducer.h - Deterministic failure replay -----*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reproducer bundle is a self-contained XML document capturing one
+/// oracle discrepancy: the (shrunk) configuration, the campaign seed, the
+/// oracle pair, and the expected/actual verdict strings — plus, for
+/// checker self-test bundles, the injected FaultPlan. Because every
+/// engine in the repo is deterministic, replaying the bundle re-runs the
+/// same oracle pair on the embedded configuration and must reproduce the
+/// same verdict pair bit-for-bit (examples/replay exits nonzero when it
+/// does not).
+///
+/// \code
+/// <reproducer seed="42" pair="sim-vs-rta"
+///             expected="..." actual="...">
+///   <detail>partition 0 task 1 ('t1')</detail>
+///   <configuration ...>...</configuration>
+///   <fault kind="flip-variable" at="3" index="2" delta="1"/>  <!-- opt -->
+/// </reproducer>
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_DIFFTEST_REPRODUCER_H
+#define SWA_DIFFTEST_REPRODUCER_H
+
+#include "config/Config.h"
+#include "difftest/Oracles.h"
+#include "nsa/Simulator.h"
+
+#include <string>
+#include <string_view>
+
+namespace swa {
+namespace difftest {
+
+struct Reproducer {
+  cfg::Config Config;
+  uint64_t Seed = 0;
+  OraclePair Pair = OraclePair::VmVsInterpreter;
+  std::string Expected;
+  std::string Actual;
+  std::string Detail;
+  /// Checker self-test bundles replay a deliberate fault injection.
+  bool HasFault = false;
+  nsa::FaultPlan Fault;
+};
+
+/// Serializes the bundle as one XML document.
+std::string writeReproducerXml(const Reproducer &R);
+
+/// Parses a bundle (the embedded configuration is validated).
+Result<Reproducer> parseReproducerXml(std::string_view Source);
+
+struct ReplayOutcome {
+  /// The verdict pair the replay observed.
+  std::string Expected;
+  std::string Actual;
+  /// True when the replay observed the same pair the bundle recorded.
+  bool Reproduced = false;
+  std::string Detail;
+};
+
+/// Re-runs the bundle's oracle pair (or fault injection) on its embedded
+/// configuration.
+Result<ReplayOutcome> replayReproducer(const Reproducer &R,
+                                       const OracleOptions &Options = {});
+
+} // namespace difftest
+} // namespace swa
+
+#endif // SWA_DIFFTEST_REPRODUCER_H

@@ -1,0 +1,174 @@
+//===- difftest/Shrink.cpp - Delta-debugging config shrinker ----------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "difftest/Shrink.h"
+
+#include <algorithm>
+
+using namespace swa;
+using namespace swa::difftest;
+
+cfg::Config swa::difftest::removeMessage(const cfg::Config &C, int M) {
+  cfg::Config Out = C;
+  Out.Messages.erase(Out.Messages.begin() + M);
+  return Out;
+}
+
+cfg::Config swa::difftest::removeTask(const cfg::Config &C, int P, int T) {
+  cfg::Config Out = C;
+  cfg::Partition &Part = Out.Partitions[static_cast<size_t>(P)];
+  Part.Tasks.erase(Part.Tasks.begin() + T);
+  // Drop messages touching the removed task; shift task indices above it.
+  std::vector<cfg::Message> Msgs;
+  for (cfg::Message M : Out.Messages) {
+    auto Touches = [&](const cfg::TaskRef &R) {
+      return R.Partition == P && R.Task == T;
+    };
+    if (Touches(M.Sender) || Touches(M.Receiver))
+      continue;
+    auto Fix = [&](cfg::TaskRef &R) {
+      if (R.Partition == P && R.Task > T)
+        --R.Task;
+    };
+    Fix(M.Sender);
+    Fix(M.Receiver);
+    Msgs.push_back(M);
+  }
+  Out.Messages = std::move(Msgs);
+  return Out;
+}
+
+cfg::Config swa::difftest::removePartition(const cfg::Config &C, int P) {
+  cfg::Config Out = C;
+  Out.Partitions.erase(Out.Partitions.begin() + P);
+  std::vector<cfg::Message> Msgs;
+  for (cfg::Message M : Out.Messages) {
+    if (M.Sender.Partition == P || M.Receiver.Partition == P)
+      continue;
+    auto Fix = [&](cfg::TaskRef &R) {
+      if (R.Partition > P)
+        --R.Partition;
+    };
+    Fix(M.Sender);
+    Fix(M.Receiver);
+    Msgs.push_back(M);
+  }
+  Out.Messages = std::move(Msgs);
+  return Out;
+}
+
+namespace {
+
+/// Accepts \p Candidate when it still validates and still reproduces.
+bool tryCandidate(const cfg::Config &Candidate,
+                  const DiscrepancyPredicate &Reproduces,
+                  cfg::Config &Current, ShrinkStats &Stats) {
+  ++Stats.CandidatesTried;
+  if (Candidate.validate(cfg::ValidationPolicy::AllowUnbound))
+    return false; // Removal broke validity; keep looking.
+  if (!Reproduces(Candidate))
+    return false;
+  Current = Candidate;
+  ++Stats.CandidatesAccepted;
+  return true;
+}
+
+} // namespace
+
+cfg::Config swa::difftest::shrinkConfig(const cfg::Config &Seed,
+                                        const DiscrepancyPredicate &Repro,
+                                        ShrinkStats *StatsOut) {
+  cfg::Config Current = Seed;
+  ShrinkStats Stats;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Stats.Rounds;
+
+    // Structural removals, coarsest first: whole partitions, then
+    // messages, then tasks. Iterate back-to-front so accepted removals
+    // leave the indices of untried elements intact.
+    for (int P = static_cast<int>(Current.Partitions.size()) - 1; P >= 0;
+         --P)
+      if (tryCandidate(removePartition(Current, P), Repro, Current,
+                       Stats))
+        Changed = true;
+    for (int M = static_cast<int>(Current.Messages.size()) - 1; M >= 0;
+         --M)
+      if (tryCandidate(removeMessage(Current, M), Repro, Current, Stats))
+        Changed = true;
+    for (int P = static_cast<int>(Current.Partitions.size()) - 1; P >= 0;
+         --P)
+      for (int T = static_cast<int>(
+               Current.Partitions[static_cast<size_t>(P)].Tasks.size()) -
+               1;
+           T >= 0; --T)
+        if (tryCandidate(removeTask(Current, P, T), Repro, Current,
+                         Stats))
+          Changed = true;
+
+    // Window thinning: drop one window at a time.
+    for (int P = static_cast<int>(Current.Partitions.size()) - 1; P >= 0;
+         --P) {
+      cfg::Partition &Part = Current.Partitions[static_cast<size_t>(P)];
+      for (int W = static_cast<int>(Part.Windows.size()) - 1; W >= 0;
+           --W) {
+        cfg::Config Cand = Current;
+        cfg::Partition &CandPart =
+            Cand.Partitions[static_cast<size_t>(P)];
+        CandPart.Windows.erase(CandPart.Windows.begin() + W);
+        if (tryCandidate(Cand, Repro, Current, Stats))
+          Changed = true;
+      }
+    }
+
+    // Numeric reductions: halve WCETs toward 1, relax deadlines to the
+    // period (the least constraining value), halve periods toward 1.
+    for (size_t P = 0; P < Current.Partitions.size(); ++P) {
+      for (size_t T = 0;
+           T < Current.Partitions[P].Tasks.size(); ++T) {
+        {
+          cfg::Config Cand = Current;
+          cfg::Task &Task = Cand.Partitions[P].Tasks[T];
+          bool Smaller = false;
+          for (cfg::TimeValue &W : Task.Wcet)
+            if (W > 1) {
+              W = std::max<cfg::TimeValue>(1, W / 2);
+              Smaller = true;
+            }
+          if (Smaller && tryCandidate(Cand, Repro, Current, Stats))
+            Changed = true;
+        }
+        {
+          cfg::Config Cand = Current;
+          cfg::Task &Task = Cand.Partitions[P].Tasks[T];
+          if (Task.Deadline != Task.Period) {
+            Task.Deadline = Task.Period;
+            if (tryCandidate(Cand, Repro, Current, Stats))
+              Changed = true;
+          }
+        }
+        {
+          cfg::Config Cand = Current;
+          cfg::Task &Task = Cand.Partitions[P].Tasks[T];
+          if (Task.Period > 1) {
+            Task.Period /= 2;
+            Task.Deadline = std::min(Task.Deadline, Task.Period);
+            for (cfg::TimeValue &W : Task.Wcet)
+              W = std::min(W, Task.Deadline);
+            if (tryCandidate(Cand, Repro, Current, Stats))
+              Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Current;
+}

@@ -1,0 +1,57 @@
+//===- difftest/Shrink.h - Delta-debugging config shrinker ------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging over configurations: given a predicate that
+/// holds on a failing configuration ("the discrepancy reproduces"), the
+/// shrinker repeatedly tries structural removals — drop a message, a
+/// task, a partition (with TaskRef re-indexing fixups) — and numeric
+/// reductions (shrink WCETs toward 1, merge windows, relax deadlines to
+/// their periods), keeping each candidate only when it still validates
+/// AND the predicate still holds. It loops to a fixpoint, so the result
+/// is 1-minimal at element granularity: removing any single task,
+/// partition or message no longer reproduces (asserted by the shrinker's
+/// own test).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_DIFFTEST_SHRINK_H
+#define SWA_DIFFTEST_SHRINK_H
+
+#include "config/Config.h"
+
+#include <functional>
+
+namespace swa {
+namespace difftest {
+
+/// True when the discrepancy still reproduces on the candidate.
+using DiscrepancyPredicate = std::function<bool(const cfg::Config &)>;
+
+/// Structural helpers, exposed for the 1-minimality test: each returns
+/// the configuration with the element removed and all TaskRef indices
+/// fixed up (messages touching removed tasks are dropped).
+cfg::Config removeTask(const cfg::Config &C, int Partition, int Task);
+cfg::Config removePartition(const cfg::Config &C, int Partition);
+cfg::Config removeMessage(const cfg::Config &C, int Message);
+
+struct ShrinkStats {
+  int CandidatesTried = 0;
+  int CandidatesAccepted = 0;
+  int Rounds = 0;
+};
+
+/// Minimizes \p Seed while \p Reproduces holds. \p Seed itself must
+/// satisfy the predicate; the result always does. \p Stats, when
+/// non-null, receives the search effort.
+cfg::Config shrinkConfig(const cfg::Config &Seed,
+                         const DiscrepancyPredicate &Reproduces,
+                         ShrinkStats *Stats = nullptr);
+
+} // namespace difftest
+} // namespace swa
+
+#endif // SWA_DIFFTEST_SHRINK_H

@@ -1,0 +1,206 @@
+//===- gen/Adversarial.cpp - Adversarial configuration mutators -------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/Adversarial.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace swa;
+using namespace swa::gen;
+using cfg::TimeValue;
+
+void swa::gen::mutateEqualPriorities(cfg::Config &C) {
+  for (cfg::Partition &P : C.Partitions)
+    for (cfg::Task &T : P.Tasks)
+      T.Priority = 1;
+}
+
+void swa::gen::mutateBackToBackWindows(cfg::Config &C, Rng &R) {
+  // Split each window into a chain of back-to-back pieces covering the
+  // same interval. The union per partition (and so per core) is
+  // unchanged, which keeps the mutation validity-preserving while making
+  // every internal boundary a partition-switch instant.
+  for (cfg::Partition &P : C.Partitions) {
+    std::vector<cfg::Window> Out;
+    for (const cfg::Window &W : P.Windows) {
+      TimeValue Len = W.End - W.Start;
+      int Pieces = static_cast<int>(R.uniformInt(2, 4));
+      if (Len < Pieces) {
+        Out.push_back(W);
+        continue;
+      }
+      TimeValue At = W.Start;
+      for (int I = 0; I < Pieces; ++I) {
+        TimeValue Next = I + 1 == Pieces ? W.End : At + Len / Pieces;
+        Out.push_back({At, Next});
+        At = Next;
+      }
+    }
+    P.Windows = std::move(Out);
+  }
+}
+
+void swa::gen::mutateDegeneratePeriods(cfg::Config &C, Rng &R) {
+  for (cfg::Partition &P : C.Partitions)
+    for (cfg::Task &T : P.Tasks)
+      if (R.chance(0.3)) {
+        T.Deadline = T.Period;
+        for (TimeValue &W : T.Wcet)
+          W = T.Period; // Zero laxity: WCET == deadline == period.
+      }
+}
+
+void swa::gen::mutateNearOverflowHyperperiod(cfg::Config &C, Rng &R) {
+  Result<TimeValue> L = C.checkedHyperperiod();
+  if (!L.ok() || *L <= 0)
+    return;
+  // Uniform-scale every time value. lcm(F*p_i) == F*lcm(p_i), so the
+  // hyperperiod lands exactly at F*L — aimed just under the engine's
+  // TimeInfinity ceiling (int64max/4) where naive arithmetic overflows.
+  TimeValue Target = R.uniformInt(1000000000000000LL,    // 1e15
+                                  500000000000000000LL); // 5e17
+  TimeValue F = Target / *L;
+  if (F <= 1)
+    return;
+  for (cfg::Partition &P : C.Partitions) {
+    for (cfg::Task &T : P.Tasks) {
+      T.Period *= F;
+      T.Deadline *= F;
+      for (TimeValue &W : T.Wcet)
+        W *= F;
+    }
+    for (cfg::Window &W : P.Windows) {
+      W.Start *= F;
+      W.End *= F;
+    }
+  }
+  for (cfg::Message &M : C.Messages) {
+    M.MemDelay *= F;
+    M.NetDelay *= F;
+  }
+}
+
+void swa::gen::mutateZeroWcet(cfg::Config &C, Rng &R) {
+  if (C.Partitions.empty())
+    return;
+  cfg::Partition &P = C.Partitions[R.index(C.Partitions.size())];
+  if (P.Tasks.empty())
+    return;
+  cfg::Task &T = P.Tasks[R.index(P.Tasks.size())];
+  for (TimeValue &W : T.Wcet)
+    W = 0;
+}
+
+cfg::Config swa::gen::adversarialConfig(Rng &R) {
+  cfg::Config C;
+  C.Name = "adversarial";
+  C.NumCoreTypes = static_cast<int>(R.uniformInt(1, 2));
+
+  int NumCores = static_cast<int>(R.uniformInt(1, 3));
+  for (int I = 0; I < NumCores; ++I) {
+    cfg::Core Core;
+    Core.Name = formatString("c%d", I);
+    Core.Module = static_cast<int>(R.uniformInt(0, 1));
+    Core.CoreType = static_cast<int>(R.index(
+        static_cast<size_t>(C.NumCoreTypes)));
+    C.Cores.push_back(std::move(Core));
+  }
+
+  // Harmonic menu keeps the hyperperiod the max period, so small
+  // instances stay model-checkable.
+  const TimeValue Menu[] = {8, 16, 32, 64};
+  int NumParts = static_cast<int>(R.uniformInt(1, 4));
+  for (int PI = 0; PI < NumParts; ++PI) {
+    cfg::Partition P;
+    P.Name = formatString("p%d", PI);
+    P.Core = static_cast<int>(R.index(C.Cores.size()));
+    double Pick = R.uniformDouble();
+    P.Scheduler = Pick < 0.7   ? cfg::SchedulerKind::FPPS
+                  : Pick < 0.9 ? cfg::SchedulerKind::FPNPS
+                               : cfg::SchedulerKind::EDF;
+    int NumTasks = static_cast<int>(R.uniformInt(1, 4));
+    for (int TI = 0; TI < NumTasks; ++TI) {
+      cfg::Task T;
+      T.Name = formatString("t%d", TI);
+      T.Priority = static_cast<int>(R.uniformInt(1, 5)); // Ties likely.
+      T.Period = Menu[R.index(4)];
+      TimeValue MaxW = std::max<TimeValue>(1, T.Period / 4);
+      for (int CT = 0; CT < C.NumCoreTypes; ++CT)
+        T.Wcet.push_back(R.uniformInt(1, MaxW));
+      TimeValue Floor = *std::max_element(T.Wcet.begin(), T.Wcet.end());
+      T.Deadline = R.uniformInt(Floor, T.Period);
+      P.Tasks.push_back(std::move(T));
+    }
+    C.Partitions.push_back(std::move(P));
+  }
+
+  // Windows: chop each core's hyperperiod into round-robin slices over
+  // its partitions — dense, back-to-back across partitions, and
+  // non-overlapping per core by construction.
+  TimeValue L = C.hyperperiod();
+  for (size_t Core = 0; Core < C.Cores.size(); ++Core) {
+    std::vector<cfg::Partition *> Owners;
+    for (cfg::Partition &P : C.Partitions)
+      if (P.Core == static_cast<int>(Core))
+        Owners.push_back(&P);
+    if (Owners.empty())
+      continue;
+    if (Owners.size() == 1 && R.chance(0.5)) {
+      // Sole partition gets the whole hyperperiod (the shape where the
+      // analytic RTA oracle applies).
+      Owners[0]->Windows.push_back({0, L});
+      continue;
+    }
+    TimeValue Slice = std::max<TimeValue>(
+        1, L / static_cast<TimeValue>(Owners.size() * 4));
+    TimeValue At = 0;
+    size_t Turn = 0;
+    while (At < L) {
+      TimeValue End = std::min<TimeValue>(L, At + Slice);
+      Owners[Turn % Owners.size()]->Windows.push_back({At, End});
+      At = End;
+      ++Turn;
+    }
+  }
+
+  // Occasional same-period message pairs.
+  if (R.chance(0.3)) {
+    std::vector<cfg::TaskRef> All;
+    for (size_t PI = 0; PI < C.Partitions.size(); ++PI)
+      for (size_t TI = 0; TI < C.Partitions[PI].Tasks.size(); ++TI)
+        All.push_back({static_cast<int>(PI), static_cast<int>(TI)});
+    int Tries = static_cast<int>(R.uniformInt(1, 3));
+    for (int I = 0; I < Tries && All.size() >= 2; ++I) {
+      cfg::TaskRef A = All[R.index(All.size())];
+      cfg::TaskRef B = All[R.index(All.size())];
+      if (A == B || C.taskOf(A).Period != C.taskOf(B).Period)
+        continue;
+      cfg::Message M;
+      M.Sender = A;
+      M.Receiver = B;
+      M.MemDelay = R.uniformInt(0, 2);
+      M.NetDelay = R.uniformInt(0, 3);
+      C.Messages.push_back(M);
+    }
+  }
+
+  // Adversarial mutations, each with independent probability. Order
+  // matters only for readability; every mutator preserves validity
+  // except mutateZeroWcet, which is the campaign's invalid-input probe.
+  if (R.chance(0.25))
+    mutateEqualPriorities(C);
+  if (R.chance(0.25))
+    mutateBackToBackWindows(C, R);
+  if (R.chance(0.2))
+    mutateDegeneratePeriods(C, R);
+  if (R.chance(0.1))
+    mutateNearOverflowHyperperiod(C, R);
+  if (R.chance(0.05))
+    mutateZeroWcet(C, R);
+  return C;
+}

@@ -1,0 +1,66 @@
+//===- gen/Adversarial.h - Adversarial configuration mutators ---*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration generators and mutators aimed at the engine's edge
+/// cases, used by the differential-testing campaign (src/difftest/).
+/// Where gen/Workload.h manufactures *plausible* avionics workloads,
+/// this header manufactures *hostile* ones: equal-priority ties that
+/// stress deterministic tie-breaking, back-to-back windows that make
+/// partition switches coincide with task events, degenerate periods
+/// (deadline == period == WCET), and hyperperiods close to the engine's
+/// TimeInfinity ceiling that would overflow naive time arithmetic.
+///
+/// One mutator — zero-WCET tasks — deliberately produces *invalid*
+/// configurations (cfg::Config::validate requires WCET > 0): the
+/// campaign feeds those to the full pipeline to assert they are rejected
+/// with a structured error rather than crashing or yielding a verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_GEN_ADVERSARIAL_H
+#define SWA_GEN_ADVERSARIAL_H
+
+#include "config/Config.h"
+#include "support/Rng.h"
+
+namespace swa {
+namespace gen {
+
+/// Draws a small random configuration (1-3 cores, 1-4 partitions, 1-4
+/// tasks each, occasional messages and split windows) and then applies a
+/// random subset of the adversarial mutators below. The result usually
+/// validates; the zero-WCET mutator (applied with low probability) makes
+/// it deliberately invalid, which callers detect via validate().
+cfg::Config adversarialConfig(Rng &R);
+
+/// Gives every task in the configuration the same priority, forcing the
+/// scheduler model through its deterministic tie-break path everywhere.
+void mutateEqualPriorities(cfg::Config &C);
+
+/// Rewrites every partition's windows into a chain of back-to-back
+/// windows (end[i] == start[i+1]) covering the original span, so
+/// partition-switch events coincide exactly with window boundaries.
+void mutateBackToBackWindows(cfg::Config &C, Rng &R);
+
+/// Collapses random tasks to the degenerate shape deadline == period ==
+/// WCET (100% utilization for that task, zero laxity).
+void mutateDegeneratePeriods(cfg::Config &C, Rng &R);
+
+/// Scales all periods/deadlines/windows so the hyperperiod lands within
+/// a few orders of magnitude of TimeInfinity, probing the checked time
+/// arithmetic (overflow must surface as a structured error, never UB).
+void mutateNearOverflowHyperperiod(cfg::Config &C, Rng &R);
+
+/// Sets one random task's WCET to zero — an *invalid* configuration by
+/// cfg::Config::validate. The campaign asserts clean structured
+/// rejection, not a verdict.
+void mutateZeroWcet(cfg::Config &C, Rng &R);
+
+} // namespace gen
+} // namespace swa
+
+#endif // SWA_GEN_ADVERSARIAL_H

@@ -145,6 +145,13 @@ McResult ModelChecker::explore(const McOptions &Options,
   std::unordered_set<State, StateHash> Visited;
   std::unordered_set<uint64_t> VisitedHashes;
   std::unordered_set<uint64_t> FinalHashes;
+  auto RememberFinal = [&](const State &S) {
+    uint64_t H = StateHash()(S);
+    bool Fresh = FinalHashes.insert(H).second;
+    Res.FinalStateHash = H;
+    if (Fresh && Options.KeepFinalStates)
+      Res.FinalStates.push_back(S);
+  };
   auto Remember = [&](const State &S) {
     if (Options.CompactVisited)
       return VisitedHashes.insert(StateHash()(S)).second;
@@ -246,7 +253,7 @@ McResult ModelChecker::explore(const McOptions &Options,
     if (Ex.countCommitted(S) > 0) {
       // Committed deadlock: treat as a (stuck) complete run.
       ++Res.CompleteRuns;
-      FinalHashes.insert(StateHash()(S));
+      RememberFinal(S);
       continue;
     }
     int64_t Next = TimeInfinity;
@@ -260,7 +267,7 @@ McResult ModelChecker::explore(const McOptions &Options,
       State Final = S;
       if (Next > Horizon && Horizon < TimeInfinity && Horizon > S.Now)
         Ex.advanceTime(Final, Horizon - S.Now);
-      FinalHashes.insert(StateHash()(Final));
+      RememberFinal(Final);
       continue;
     }
     State Delayed = S;

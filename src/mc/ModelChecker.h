@@ -50,6 +50,10 @@ struct McOptions {
   /// Record predecessor links so a property violation comes with a
   /// counterexample path (incompatible with CompactVisited).
   bool RecordWitness = false;
+  /// Keep one representative full state per distinct final-state hash in
+  /// McResult::FinalStates. Used to diagnose census mismatches (which
+  /// state component diverges across interleavings).
+  bool KeepFinalStates = false;
 };
 
 /// One step of a counterexample path.
@@ -66,6 +70,14 @@ struct McResult {
   /// Number of distinct final states over all complete runs. The paper's
   /// determinism theorem implies 1 for well-formed system models.
   uint64_t DistinctFinalStates = 0;
+  /// StateHash of one final state (the last complete run found). With
+  /// DistinctFinalStates == 1 this is *the* final-state hash, directly
+  /// comparable against StateHash of the simulator's SimResult::Final —
+  /// the census-vs-trace oracle pair in src/difftest/ relies on this.
+  uint64_t FinalStateHash = 0;
+  /// One representative state per distinct final hash (only with
+  /// McOptions::KeepFinalStates).
+  std::vector<nsa::State> FinalStates;
   bool PropertyViolated = false;
   nsa::State ViolatingState;
   /// Counterexample path from the initial state to ViolatingState (only

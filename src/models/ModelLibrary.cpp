@@ -114,15 +114,21 @@ buildTask(const usl::Declarations &Globals) {
 /// Shared scaffold of the three task schedulers: wakeup/sleep window
 /// handling plus ready/finished bookkeeping; \p DeclSrc supplies pick()
 /// and \p DecideEdges installs the algorithm-specific dispatch edges.
-void addSchedulerScaffold(TemplateBuilder &TB, const std::string &DeclSrc) {
+/// \p IdleInv is an extra invariant for the time-passing locations (used
+/// by FPNPS to freeze its dispatch-age clock while the core is idle) and
+/// \p WindowClearUpd / \p SleepUpd the updates of the window-end preempt
+/// and sleep edges (FPNPS additionally resets that clock there).
+void addSchedulerScaffold(TemplateBuilder &TB, const std::string &DeclSrc,
+                          const std::string &IdleInv = "",
+                          const std::string &WindowClearUpd = "cur = -1",
+                          const std::string &SleepUpd = "") {
   TB.params("int part, int off, int nt");
-  TB.decls(DeclSrc +
-           "int cur = -1;\n"
+  TB.decls("int cur = -1;\n" + DeclSrc +
            "void on_finished() {\n"
            "  if (cur >= 0) { if (is_ready[cur] == 0) cur = -1; }\n"
            "}\n");
-  TB.location("Asleep")
-      .location("Awake")
+  TB.location("Asleep", IdleInv)
+      .location("Awake", IdleInv)
       .committed("Decide")
       .committed("Pausing")
       .initial("Asleep");
@@ -149,8 +155,8 @@ void addSchedulerScaffold(TemplateBuilder &TB, const std::string &DeclSrc) {
   // Window end: force the running job off the core, then sleep.
   TB.edge("Pausing", "Pausing",
           {.Guard = "cur != -1", .Sync = "preempt[cur]!",
-           .Update = "cur = -1"});
-  TB.edge("Pausing", "Asleep", {.Guard = "cur == -1"});
+           .Update = WindowClearUpd});
+  TB.edge("Pausing", "Asleep", {.Guard = "cur == -1", .Update = SleepUpd});
 
   // Dirty-tracking hints: the scheduler only inspects its own partition's
   // slice of the per-task tables.
@@ -190,6 +196,8 @@ buildFpnps(const usl::Declarations &Globals) {
   TemplateBuilder TB("FpnpsScheduler", Globals);
   addSchedulerScaffold(
       TB,
+      "clock z;\n"
+      "int zrate() { if (cur == -1) return 0; return 1; }\n"
       "int pick() {\n"
       "  int best = -1; int bp = 0;\n"
       "  for (int i = 0; i < nt; i++) {\n"
@@ -199,14 +207,38 @@ buildFpnps(const usl::Declarations &Globals) {
       "    }\n"
       "  }\n"
       "  return best;\n"
-      "}\n");
-  // Non-preemptive: a running job is never displaced by a ready one (only
-  // the window end in Pausing removes it).
-  TB.edge("Decide", "Awake", {.Guard = "cur != -1"});
+      "}\n",
+      // The dispatch-age stopwatch z must be a function of the observable
+      // schedule, or its value would leak which same-instant interleaving
+      // produced a state and re-break the determinism theorem the revocable
+      // dispatch below restores: z runs only while a job holds the core
+      // (frozen when cur == -1), is reset on the window-end edges (a
+      // zero-length dispatch clobbered by the window end must converge
+      // with the interleaving where the sleep wins and no dispatch
+      // happens), and otherwise freezes at the completed chunk's length
+      // on a job finish — an observable quantity in every case.
+      /*IdleInv=*/"z' == zrate()",
+      /*WindowClearUpd=*/"cur = -1, z = 0",
+      /*SleepUpd=*/"z = 0");
+  // Non-preemptive: a job that has started executing (z >= 1: time has
+  // passed since its dispatch) is never displaced; only the window end in
+  // Pausing removes it. Within the dispatch instant (z == 0) the decision
+  // stays revocable — displacing a zero-progress job is free — so the job
+  // left on the core is a pure function of the instant's ready set, not
+  // of the order in which same-instant releases were processed. Without
+  // this, two releases at the same instant race the dispatch and the
+  // trace-determinism theorem fails for FPNPS (the MC census oracle in
+  // src/difftest/ finds multiple final states).
+  TB.edge("Decide", "Awake", {.Guard = "cur != -1 && z >= 1"});
+  TB.edge("Decide", "Awake",
+          {.Guard = "cur != -1 && z <= 0 && pick() == cur"});
+  TB.edge("Decide", "Decide",
+          {.Guard = "cur != -1 && z <= 0 && pick() != cur",
+           .Sync = "preempt[cur]!", .Update = "cur = -1, z = 0"});
   TB.edge("Decide", "Awake", {.Guard = "cur == -1 && pick() == -1"});
   TB.edge("Decide", "Awake",
           {.Guard = "cur == -1 && pick() != -1", .Sync = "exec[pick()]!",
-           .Update = "cur = pick()"});
+           .Update = "cur = pick(), z = 0"});
   return TB.build();
 }
 

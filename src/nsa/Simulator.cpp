@@ -18,6 +18,27 @@
 using namespace swa;
 using namespace swa::nsa;
 
+RunChecker::~RunChecker() = default;
+void RunChecker::onRunStart(const State &) {}
+std::string RunChecker::onStep(const State &, const Step &,
+                               const std::vector<int32_t> &) {
+  return {};
+}
+std::string RunChecker::onDelay(int64_t, const State &) { return {}; }
+std::string RunChecker::onRunEnd(const State &) { return {}; }
+
+const char *swa::nsa::faultKindName(FaultPlan::Kind K) {
+  switch (K) {
+  case FaultPlan::Kind::FlipVariable:
+    return "flip-variable";
+  case FaultPlan::Kind::SkipSync:
+    return "skip-sync";
+  case FaultPlan::Kind::SkewClock:
+    return "skew-clock";
+  }
+  return "<bad>";
+}
+
 Simulator::Simulator(const sa::Network &Net) : Net(Net), Ex(Net) {
   size_t N = Net.Automata.size();
   Enabled.resize(N);
@@ -318,6 +339,21 @@ SimResult Simulator::run(const SimOptions &Options) {
   constexpr uint64_t GuardInterval = 4096;
   uint64_t GuardTick = 0;
 
+  // Differential-testing hooks: both default to null, so the production
+  // hot path pays nothing but the (perfectly predicted) null tests.
+  RunChecker *Checker = Options.Checker;
+  FaultPlan *Fault = Options.Fault;
+  if (Checker)
+    Checker->onRunStart(S);
+  auto CheckerTripped = [&](const std::string &Violation) {
+    Res.Stop = StopReason::InvariantViolation;
+    Res.Error = formatString(
+        "trace invariant violated at t=%lld after %llu actions: %s",
+        static_cast<long long>(S.Now),
+        static_cast<unsigned long long>(Res.ActionCount),
+        Violation.c_str());
+  };
+
   for (size_t A = 0; A < Net.Automata.size(); ++A)
     markDirty(static_cast<int>(A));
 
@@ -365,6 +401,15 @@ SimResult Simulator::run(const SimOptions &Options) {
             static_cast<unsigned long long>(Res.ActionCount - 1), LastName);
         break;
       }
+      // Fault injection (checker self-test): a sync skip must corrupt the
+      // step *before* it is applied; the state perturbations are injected
+      // after the checker observed this step, so detection happens through
+      // the invariants, not by the injector telling on itself.
+      if (Fault && !Fault->Fired && Res.ActionCount == Fault->AtAction &&
+          Fault->FaultKind == FaultPlan::Kind::SkipSync) {
+        St.Receivers.clear();
+        Fault->Fired = true;
+      }
       WriteLog.clear();
       if (!Ex.applyStep(S, St, &WriteLog)) {
         Res.Stop = StopReason::ModelError;
@@ -393,6 +438,27 @@ SimResult Simulator::run(const SimOptions &Options) {
         for (int32_t Slot : WriteLog)
           Sink->onVarWrite(S.Now, SlotNames[static_cast<size_t>(Slot)], Slot,
                            S.Store[static_cast<size_t>(Slot)]);
+      }
+      if (Checker) {
+        std::string V = Checker->onStep(S, St, WriteLog);
+        if (!V.empty()) {
+          CheckerTripped(V);
+          break;
+        }
+      }
+      if (Fault && !Fault->Fired && Res.ActionCount >= Fault->AtAction) {
+        // Deliberate out-of-band corruption: no write log entry, no dirty
+        // marks — exactly what a memory fault would look like.
+        size_t I = static_cast<size_t>(Fault->Index);
+        if (Fault->FaultKind == FaultPlan::Kind::FlipVariable &&
+            I < S.Store.size()) {
+          S.Store[I] += Fault->Delta;
+          Fault->Fired = true;
+        } else if (Fault->FaultKind == FaultPlan::Kind::SkewClock &&
+                   I < S.Clocks.size()) {
+          S.Clocks[I] += Fault->Delta;
+          Fault->Fired = true;
+        }
       }
       markDirty(St.InitiatorAut);
       for (const Step::Recv &R : St.Receivers)
@@ -446,6 +512,13 @@ SimResult Simulator::run(const SimOptions &Options) {
         Ex.advanceTime(S, Horizon - S.Now);
         if (Sink && S.Now != Prev)
           Sink->onDelay(Prev, S.Now);
+        if (Checker && S.Now != Prev) {
+          std::string V = Checker->onDelay(Prev, S);
+          if (!V.empty()) {
+            CheckerTripped(V);
+            break;
+          }
+        }
         Res.HorizonReached = true;
       } else {
         Res.Quiescent = true;
@@ -457,6 +530,13 @@ SimResult Simulator::run(const SimOptions &Options) {
       Ex.advanceTime(S, Horizon - S.Now);
       if (Sink && S.Now != Prev)
         Sink->onDelay(Prev, S.Now);
+      if (Checker && S.Now != Prev) {
+        std::string V = Checker->onDelay(Prev, S);
+        if (!V.empty()) {
+          CheckerTripped(V);
+          break;
+        }
+      }
       Res.HorizonReached = true;
       break;
     }
@@ -466,6 +546,13 @@ SimResult Simulator::run(const SimOptions &Options) {
     ++Res.DelayCount;
     if (Sink)
       Sink->onDelay(Prev, S.Now);
+    if (Checker) {
+      std::string V = Checker->onDelay(Prev, S);
+      if (!V.empty()) {
+        CheckerTripped(V);
+        break;
+      }
+    }
     // Wake every automaton whose deadline arrived.
     while (!WakeHeap.empty() && WakeHeap.top().Key <= Next) {
       int32_t A = WakeHeap.top().Id;
@@ -475,7 +562,15 @@ SimResult Simulator::run(const SimOptions &Options) {
     }
   }
 
+  if (Checker && Res.Stop == StopReason::Completed) {
+    std::string V = Checker->onRunEnd(S);
+    if (!V.empty())
+      CheckerTripped(V);
+  }
+
   Res.Final = S;
+  if (Sink)
+    Sink->onRunEnd(stopReasonName(Res.Stop), Res.Error);
   if (Metrics)
     publishMetrics(Res);
   return Res;
@@ -527,6 +622,8 @@ const char *swa::nsa::stopReasonName(StopReason R) {
     return "budget-exceeded";
   case StopReason::ModelError:
     return "model-error";
+  case StopReason::InvariantViolation:
+    return "invariant-violation";
   }
   return "<bad>";
 }

@@ -48,6 +48,62 @@ class EventSink;
 
 namespace nsa {
 
+struct Step;
+
+/// Online run-invariant observer (the differential-testing harness's
+/// oracle-inside-the-engine, see src/difftest/). The simulator calls the
+/// hooks after every applied action step and every delay; a hook returns
+/// an empty string when the invariant holds, or a description of the
+/// violation, which stops the run with StopReason::InvariantViolation.
+///
+/// Checkers are pure observers like obs::EventSink: the engine hands them
+/// const references to what it already decided and never reads anything
+/// back, so a clean checker cannot perturb the run (asserted by the
+/// trace-identity test in tests/DiffTest.cpp).
+class RunChecker {
+public:
+  virtual ~RunChecker();
+
+  /// The run was reset to the network's initial state.
+  virtual void onRunStart(const State &Initial);
+
+  /// An action step was applied; \p Post is the post-state and \p Writes
+  /// the store slots the step's updates wrote (possibly unchanged).
+  virtual std::string onStep(const State &Post, const Step &St,
+                             const std::vector<int32_t> &Writes);
+
+  /// Model time advanced from \p From to Post.Now.
+  virtual std::string onDelay(int64_t From, const State &Post);
+
+  /// The run ended normally with \p Final as the final state (not called
+  /// after an error or guard-rail stop — the state is then incomplete).
+  virtual std::string onRunEnd(const State &Final);
+};
+
+/// A deliberate, one-shot perturbation of engine state, injected mid-run
+/// to prove a RunChecker actually detects the corresponding corruption
+/// class (a self-test of the oracle, not of the engine; see DESIGN.md,
+/// "Differential testing & fault injection"). The injection bypasses the
+/// engine's own bookkeeping on purpose: no dirty marks, no write log.
+struct FaultPlan {
+  enum class Kind {
+    FlipVariable, ///< Add Delta to store slot Index after action AtAction.
+    SkipSync,     ///< Drop the receivers of action AtAction before applying.
+    SkewClock,    ///< Add Delta to clock Index after action AtAction.
+  };
+  Kind FaultKind = Kind::FlipVariable;
+  /// 1-based count of the action step to perturb (or perturb after).
+  uint64_t AtAction = 1;
+  /// Store slot (FlipVariable) or clock index (SkewClock).
+  int32_t Index = 0;
+  /// Perturbation magnitude for FlipVariable / SkewClock.
+  int64_t Delta = 1;
+  /// Output: set once the fault was actually injected.
+  bool Fired = false;
+};
+
+const char *faultKindName(FaultPlan::Kind K);
+
 struct SimOptions {
   /// Stop time; -1 means use the network's "horizon" metadata (and run
   /// forever if that is absent).
@@ -83,6 +139,13 @@ struct SimOptions {
   /// Cooperative cancellation: when non-null the main loop polls the token
   /// periodically and stops with StopReason::Cancelled once it fires.
   const CancelToken *Cancel = nullptr;
+  /// Online invariant checker (differential-testing harness). Null — the
+  /// default — keeps the hot path free of the checking branches, so traces
+  /// are byte-identical to a build without the harness.
+  RunChecker *Checker = nullptr;
+  /// One-shot deliberate state corruption (checker self-test). Null means
+  /// no fault is injected.
+  FaultPlan *Fault = nullptr;
 };
 
 /// Why a run ended, one level more structured than the ok()/Error split:
@@ -95,6 +158,10 @@ enum class StopReason {
   Cancelled,      ///< SimOptions::Cancel fired.
   BudgetExceeded, ///< SimOptions::WallClockBudgetMs elapsed.
   ModelError,     ///< Deadlock, time-lock or invariant violation.
+  /// SimOptions::Checker reported a trace-invariant violation. Distinct
+  /// from ModelError so the differential harness can tell "the engine's
+  /// own guards tripped" from "the independent oracle caught it".
+  InvariantViolation,
 };
 
 /// Short stable name for a StopReason ("completed", "budget-exceeded", ...).

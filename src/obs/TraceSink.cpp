@@ -20,6 +20,7 @@ void EventSink::onAction(int64_t, int32_t, std::string_view,
                          const std::vector<Participant> &) {}
 void EventSink::onDelay(int64_t, int64_t) {}
 void EventSink::onVarWrite(int64_t, std::string_view, int32_t, int64_t) {}
+void EventSink::onRunEnd(std::string_view, std::string_view) {}
 
 std::string swa::obs::jsonEscape(std::string_view S) {
   std::string Out;
@@ -58,6 +59,12 @@ std::string swa::obs::jsonEscape(std::string_view S) {
   return Out;
 }
 
+void JsonlSink::sealRecord() {
+  ++Lines;
+  if (FlushEachRecord)
+    OS.flush();
+}
+
 void JsonlSink::onAction(int64_t Time, int32_t Channel,
                          std::string_view ChannelName,
                          const Participant &Initiator,
@@ -75,17 +82,27 @@ void JsonlSink::onAction(int64_t Time, int32_t Channel,
     First = false;
   }
   OS << "]}\n";
-  ++Lines;
+  sealRecord();
 }
 
 void JsonlSink::onDelay(int64_t From, int64_t To) {
   OS << "{\"k\":\"delay\",\"from\":" << From << ",\"to\":" << To << "}\n";
-  ++Lines;
+  sealRecord();
 }
 
 void JsonlSink::onVarWrite(int64_t Time, std::string_view Var, int32_t Slot,
                            int64_t Value) {
   OS << "{\"k\":\"write\",\"t\":" << Time << ",\"var\":\"" << jsonEscape(Var)
      << "\",\"slot\":" << Slot << ",\"val\":" << Value << "}\n";
+  sealRecord();
+}
+
+void JsonlSink::onRunEnd(std::string_view StopReason, std::string_view Error) {
+  OS << "{\"k\":\"end\",\"stop\":\"" << jsonEscape(StopReason) << "\"";
+  if (!Error.empty())
+    OS << ",\"err\":\"" << jsonEscape(Error) << "\"";
+  OS << "}\n";
   ++Lines;
+  // Always seal the stream at run end, even when per-record flushing is off.
+  OS.flush();
 }

@@ -61,12 +61,26 @@ public:
   /// A store slot was written (by the action step reported just before).
   virtual void onVarWrite(int64_t Time, std::string_view Var, int32_t Slot,
                           int64_t Value);
+
+  /// The run ended. \p StopReason is the stable nsa::stopReasonName string
+  /// ("completed", "budget-exceeded", ...) and \p Error the run's error
+  /// message (empty on success). Emitted on *every* exit path, including
+  /// guard-rail aborts, so a sink can seal its output.
+  virtual void onRunEnd(std::string_view StopReason, std::string_view Error);
 };
 
 /// Streams events as JSON Lines to an ostream.
+///
+/// Crash-safe by default: every record is flushed at its line boundary and
+/// an explicit {"k":"end",...} record (with the StopReason) is written when
+/// the run ends, so a campaign killed mid-run leaves a parseable event log
+/// whose last line tells whether the run completed. Pass FlushEachRecord =
+/// false for throughput-sensitive offline dumps where losing the tail of a
+/// crashed run is acceptable.
 class JsonlSink : public EventSink {
 public:
-  explicit JsonlSink(std::ostream &OS) : OS(OS) {}
+  explicit JsonlSink(std::ostream &OS, bool FlushEachRecord = true)
+      : OS(OS), FlushEachRecord(FlushEachRecord) {}
 
   void onAction(int64_t Time, int32_t Channel, std::string_view ChannelName,
                 const Participant &Initiator,
@@ -74,11 +88,15 @@ public:
   void onDelay(int64_t From, int64_t To) override;
   void onVarWrite(int64_t Time, std::string_view Var, int32_t Slot,
                   int64_t Value) override;
+  void onRunEnd(std::string_view StopReason, std::string_view Error) override;
 
   uint64_t linesWritten() const { return Lines; }
 
 private:
+  void sealRecord();
+
   std::ostream &OS;
+  bool FlushEachRecord;
   uint64_t Lines = 0;
 };
 

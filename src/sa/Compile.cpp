@@ -77,3 +77,24 @@ Error swa::sa::compileNetwork(Network &Net) {
   }
   return Error::success();
 }
+
+void swa::sa::stripBytecode(Network &Net) {
+  Net.FuncCode.clear();
+  for (auto &A : Net.Automata) {
+    for (Location &L : A->Locations) {
+      L.DataInvariantCode.clear();
+      for (ClockUpper &U : L.Uppers)
+        U.BoundCode.clear();
+      for (RateCond &R : L.Rates)
+        R.RateCode.clear();
+    }
+    for (Edge &E : A->Edges) {
+      E.DataGuardCode.clear();
+      E.UpdateCode.clear();
+      for (ClockGuard &CG : E.ClockGuards)
+        CG.BoundCode.clear();
+      if (E.Sync)
+        E.Sync->IndexCode.clear();
+    }
+  }
+}

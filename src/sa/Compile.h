@@ -25,6 +25,12 @@ namespace sa {
 /// Compiles all USL code of \p Net in place.
 Error compileNetwork(Network &Net);
 
+/// Strips all bytecode from \p Net so the engines fall back to the
+/// tree-walking interpreter per site. The inverse ablation of
+/// compileNetwork: used by the interpreter-vs-VM benchmarks and by the
+/// differential harness's VM-vs-interpreter oracle pair.
+void stripBytecode(Network &Net);
+
 } // namespace sa
 } // namespace swa
 

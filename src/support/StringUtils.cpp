@@ -85,6 +85,29 @@ bool swa::parseInt64(std::string_view S, int64_t &Out) {
   return true;
 }
 
+bool swa::parseUInt64(std::string_view S, uint64_t &Out) {
+  S = trim(S);
+  if (S.empty())
+    return false;
+  size_t I = 0;
+  if (S[0] == '+') {
+    I = 1;
+    if (I == S.size())
+      return false;
+  }
+  uint64_t Value = 0;
+  for (; I < S.size(); ++I) {
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+    unsigned Digit = static_cast<unsigned>(S[I] - '0');
+    if (Value > (std::numeric_limits<uint64_t>::max() - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}
+
 std::string swa::join(const std::vector<std::string> &Pieces,
                       std::string_view Sep) {
   std::string Out;

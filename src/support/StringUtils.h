@@ -38,6 +38,11 @@ bool endsWith(std::string_view S, std::string_view Suffix);
 /// non-numeric content, empty input or overflow.
 bool parseInt64(std::string_view S, int64_t &Out);
 
+/// Parses an unsigned decimal integer (optional leading '+'); rejects
+/// anything out of uint64 range. Used for RNG seeds, which routinely
+/// exceed the int64 range.
+bool parseUInt64(std::string_view S, uint64_t &Out);
+
 /// Joins pieces with a separator.
 std::string join(const std::vector<std::string> &Pieces,
                  std::string_view Sep);

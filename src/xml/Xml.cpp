@@ -44,7 +44,8 @@ namespace {
 
 class XmlParser {
 public:
-  explicit XmlParser(std::string_view Source) : Src(Source) {}
+  XmlParser(std::string_view Source, const ParseLimits &Limits)
+      : Src(Source), Limits(Limits) {}
 
   Result<NodePtr> run() {
     skipProlog();
@@ -113,8 +114,12 @@ private:
     if (atEnd() || !(isIdentStart(peek()) || peek() == ':'))
       return errorHere("expected a name");
     std::string Name;
-    while (!atEnd() && isNameChar(peek()))
+    while (!atEnd() && isNameChar(peek())) {
+      if (Name.size() >= Limits.MaxNameLength)
+        return errorHere(formatString("name exceeds the %zu-byte limit",
+                                      Limits.MaxNameLength));
       Name.push_back(Src[Pos++]);
+    }
     return Name;
   }
 
@@ -153,8 +158,12 @@ private:
           else
             return errorHere("malformed character reference");
           Code = Code * (Hex ? 16 : 10) + Digit;
+          // Bail during accumulation: one more digit past the Unicode
+          // ceiling and the multiply would overflow int64 (UB).
+          if (Code > 0x10FFFF)
+            return errorHere("character reference out of range");
         }
-        if (Code <= 0 || Code > 0x10FFFF)
+        if (Code <= 0)
           return errorHere("character reference out of range");
         // Encode as UTF-8.
         if (Code < 0x80) {
@@ -180,7 +189,30 @@ private:
     return Out;
   }
 
+  /// Appends character data (text or CDATA) to \p N under the document-wide
+  /// accumulation cap.
+  Error appendText(Node &N, std::string_view Chunk) {
+    TextBytes += Chunk.size();
+    if (TextBytes > Limits.MaxTextLength)
+      return errorHere(formatString(
+          "character data exceeds the %zu-byte document limit",
+          Limits.MaxTextLength));
+    N.Text.append(Chunk);
+    return Error::success();
+  }
+
   Result<NodePtr> parseElement() {
+    if (Depth >= Limits.MaxDepth)
+      return errorHere(formatString("element nesting exceeds the depth "
+                                    "limit of %zu",
+                                    Limits.MaxDepth));
+    ++Depth;
+    Result<NodePtr> N = parseElementInner();
+    --Depth;
+    return N;
+  }
+
+  Result<NodePtr> parseElementInner() {
     if (!lookingAt("<"))
       return errorHere("expected an element");
     ++Pos;
@@ -203,6 +235,10 @@ private:
         ++Pos;
         break;
       }
+      if (N->Attrs.size() >= Limits.MaxAttrsPerElement)
+        return errorHere(formatString(
+            "element <%s> exceeds the limit of %zu attributes",
+            N->Tag.c_str(), Limits.MaxAttrsPerElement));
       Result<std::string> AttrName = parseName();
       if (!AttrName.ok())
         return AttrName.takeError();
@@ -218,6 +254,10 @@ private:
       size_t End = Src.find(Quote, Pos);
       if (End == std::string_view::npos)
         return errorHere("unterminated attribute value");
+      if (End - Pos > Limits.MaxAttrValueLength)
+        return errorHere(formatString(
+            "attribute value exceeds the %zu-byte limit",
+            Limits.MaxAttrValueLength));
       Result<std::string> Value = decodeEntities(Src.substr(Pos, End - Pos));
       if (!Value.ok())
         return Value.takeError();
@@ -254,7 +294,8 @@ private:
         size_t End = Src.find("]]>", Pos + 9);
         if (End == std::string_view::npos)
           return errorHere("unterminated CDATA section");
-        N->Text.append(Src.substr(Pos + 9, End - Pos - 9));
+        if (Error E = appendText(*N, Src.substr(Pos + 9, End - Pos - 9)))
+          return E;
         Pos = End + 3;
         continue;
       }
@@ -271,13 +312,18 @@ private:
       Result<std::string> Text = decodeEntities(Src.substr(Pos, Next - Pos));
       if (!Text.ok())
         return Text.takeError();
-      N->Text.append(*Text);
+      if (Error E = appendText(*N, *Text))
+        return E;
       Pos = Next;
     }
   }
 
   std::string_view Src;
+  const ParseLimits &Limits;
   size_t Pos = 0;
+  size_t Depth = 0;
+  /// Character data accumulated so far, document-wide.
+  size_t TextBytes = 0;
 };
 
 void writeNode(const Node &N, std::string &Out, int Indent) {
@@ -314,7 +360,12 @@ void writeNode(const Node &N, std::string &Out, int Indent) {
 } // namespace
 
 Result<NodePtr> swa::xml::parse(std::string_view Source) {
-  return XmlParser(Source).run();
+  return XmlParser(Source, ParseLimits()).run();
+}
+
+Result<NodePtr> swa::xml::parse(std::string_view Source,
+                                const ParseLimits &Limits) {
+  return XmlParser(Source, Limits).run();
 }
 
 std::string swa::xml::write(const Node &Root) {

@@ -83,8 +83,31 @@ public:
   }
 };
 
+/// Hard bounds enforced while parsing. Every limit violation is reported
+/// as a structured Result error (with line:column), never as deep
+/// recursion, unchecked growth, or integer overflow — the differential
+/// campaign feeds this parser truncated and mutated documents, so "reject
+/// cleanly" is part of the module's contract. The defaults are far above
+/// anything the toolchain emits; lower them for hostile inputs.
+struct ParseLimits {
+  /// Maximum element nesting depth (parseElement recursion bound).
+  size_t MaxDepth = 256;
+  /// Maximum length of an element or attribute name, in bytes.
+  size_t MaxNameLength = 1024;
+  /// Maximum length of a single raw attribute value, in bytes.
+  size_t MaxAttrValueLength = 1 << 20;
+  /// Maximum accumulated character data across the whole document (text
+  /// plus CDATA), in bytes.
+  size_t MaxTextLength = 4 << 20;
+  /// Maximum number of attributes on one element.
+  size_t MaxAttrsPerElement = 256;
+};
+
 /// Parses a document; returns its root element.
 Result<NodePtr> parse(std::string_view Source);
+
+/// Parses a document under explicit resource bounds.
+Result<NodePtr> parse(std::string_view Source, const ParseLimits &Limits);
 
 /// Serializes \p Root (with an XML declaration and 2-space indentation).
 std::string write(const Node &Root);
