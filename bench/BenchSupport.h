@@ -60,6 +60,18 @@ inline void exportObsCounters(benchmark::State &State) {
 } // namespace benchsupport
 } // namespace swa
 
+/// How THIS binary (and the swa libraries it statically links) was
+/// compiled. Google benchmark's own "library_build_type" context key
+/// describes the prebuilt libbenchmark — on Debian that library is built
+/// without NDEBUG and self-reports "debug" even when every measured
+/// instruction is from a Release build — so recording scripts gate on
+/// this key instead (bench/run_baseline.sh).
+#ifdef NDEBUG
+#define SWA_BENCH_BUILD_TYPE "release"
+#else
+#define SWA_BENCH_BUILD_TYPE "debug"
+#endif
+
 #define SWA_BENCH_MAIN()                                                    \
   int main(int argc, char **argv) {                                         \
     char arg0_default[] = "benchmark";                                      \
@@ -73,6 +85,7 @@ inline void exportObsCounters(benchmark::State &State) {
     ::benchmark::Initialize(&argc, argv);                                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))               \
       return 1;                                                             \
+    ::benchmark::AddCustomContext("swa_build_type", SWA_BENCH_BUILD_TYPE);  \
     ::benchmark::RunSpecifiedBenchmarks();                                  \
     ::benchmark::Shutdown();                                                \
     if (swa::obs::enabled()) {                                              \

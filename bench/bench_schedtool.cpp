@@ -79,4 +79,89 @@ BENCHMARK(BM_SearchAtUtilization)
     ->UseRealTime()
     ->Iterations(1);
 
+// The acceleration headline: an unschedulable-heavy, message-free
+// workload (every candidate decomposes per core group; every candidate
+// fails, and fails early). Construction: four "big" partitions need 11
+// window ticks per 20-tick frame (a cost-10 period-20 task plus a
+// cost-1 period-40 task), two "small" ones need 10, and two "light"
+// ones need 9 and carry a cost-1 period-20000 task that stretches the
+// hyperperiod to 20000. Every 2-partition core pairing that includes a
+// big partition needs >= 21 of the frame's 20 ticks, and there are more
+// bigs than cores can avoid — so every reachable binding is
+// unschedulable with its first deadline miss at t <= 40, a factor 500
+// before the hyperperiod. That is the regime the acceleration layers
+// target: early exit stops at the miss, the per-core chains inherit it
+// as a horizon cap, and revisited layouts hit the verdict cache. Arg 0
+// toggles all three layers against the plain full-run search; both rows
+// execute the identical candidate sequence, so candidates_per_sec is a
+// like-for-like throughput comparison.
+static cfg::Config packedUnschedulableConfig() {
+  cfg::Config Base;
+  Base.Name = "packed-unschedulable";
+  Base.NumCoreTypes = 1;
+  for (int M = 0; M < 2; ++M)
+    for (int K = 0; K < 2; ++K)
+      Base.Cores.push_back(
+          {"m" + std::to_string(M) + "c" + std::to_string(K), M, 0});
+  for (int P = 0; P < 8; ++P) {
+    cfg::Partition Part;
+    Part.Name = "p" + std::to_string(P);
+    Part.Scheduler = cfg::SchedulerKind::FPPS;
+    Part.Core = -1;
+    cfg::TimeValue Hi = P < 4 ? 10 : (P < 6 ? 9 : 8);
+    Part.Tasks.push_back({Part.Name + "_hi", 100, {Hi}, 20, 20});
+    Part.Tasks.push_back({Part.Name + "_mid", 50, {1}, 40, 40});
+    if (P >= 6)
+      Part.Tasks.push_back({Part.Name + "_lo", 1, {1}, 20000, 20000});
+    Base.Partitions.push_back(std::move(Part));
+  }
+  return Base;
+}
+
+static void BM_SearchUnschedulable(benchmark::State &State) {
+  bool Layers = State.range(0) != 0;
+  int Workers = static_cast<int>(State.range(1));
+  cfg::Config Base = packedUnschedulableConfig();
+
+  int64_t TotalEvaluated = 0;
+  int64_t Hits = 0, Misses = 0, Dups = 0, Decomposed = 0;
+  for (auto _ : State) {
+    schedtool::SearchProblem Problem;
+    Problem.Base = Base;
+    Problem.Seed = 29;
+    Problem.MaxIterations = 60;
+    Problem.Workers = Workers;
+    Problem.UseVerdictCache = Layers;
+    Problem.UseEarlyExit = Layers;
+    Problem.UseDecomposition = Layers;
+    Result<schedtool::SearchResult> Res =
+        schedtool::searchConfiguration(Problem);
+    if (!Res.ok()) {
+      State.SkipWithError(Res.error().message().c_str());
+      return;
+    }
+    TotalEvaluated += Res->ConfigurationsEvaluated;
+    Hits += Res->CacheHits;
+    Misses += Res->CacheMisses;
+    Dups += Res->DuplicateCandidates;
+    Decomposed += Res->DecomposedCandidates;
+  }
+  State.counters["layers"] = Layers ? 1 : 0;
+  State.counters["workers"] = Workers;
+  State.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(TotalEvaluated), benchmark::Counter::kIsRate);
+  State.counters["cache_hit_rate"] =
+      TotalEvaluated > 0
+          ? static_cast<double>(Hits + Dups) /
+                static_cast<double>(TotalEvaluated)
+          : 0.0;
+  State.counters["decomposed"] = static_cast<double>(Decomposed);
+  swa::benchsupport::exportObsCounters(State);
+}
+BENCHMARK(BM_SearchUnschedulable)
+    ->ArgsProduct({{0, 1}, {1, 2}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
 SWA_BENCH_MAIN();

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+# ===- bench/compare_bench.py - Benchmark regression gate ------------------===#
+#
+# Part of the swa-sched project.
+#
+# Diffs two google-benchmark JSON files (as written by run_baseline.sh or
+# a raw --benchmark_out run) and fails when any matched benchmark
+# regresses by more than the threshold on wall time or on a watched
+# counter. Benchmarks are matched by (binary, name); entries present in
+# only one file are reported but never fail the gate (new benchmarks
+# appear, old ones are retired — that is trajectory, not regression).
+#
+#   $ bench/compare_bench.py BASELINE.json CURRENT.json \
+#         [--threshold 0.10] [--counter candidates_per_sec ...]
+#
+# Time regressions are "current slower than baseline"; counter
+# regressions are "current rate lower than baseline" (every watched
+# counter is rate-like: bigger is better). Exit codes: 0 clean,
+# 1 regression, 2 usage/parse error.
+#
+# ===----------------------------------------------------------------------===#
+import argparse
+import json
+import sys
+
+# Rate-style user counters worth gating by default. Wall time covers the
+# rest; obs.* event counts are diagnostics, not performance.
+DEFAULT_COUNTERS = ["candidates_per_sec", "actions_per_sec"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        key = (b.get("binary", ""), b.get("name", ""))
+        out[key] = b
+    return out, doc.get("context", {})
+
+
+def fmt(key):
+    binary, name = key
+    return f"{binary}:{name}" if binary else name
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="maximum tolerated fractional regression "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--counter", action="append", default=None,
+                    metavar="NAME",
+                    help="rate counter to gate (repeatable; default: "
+                         + ", ".join(DEFAULT_COUNTERS) + ")")
+    args = ap.parse_args()
+    counters = args.counter if args.counter else DEFAULT_COUNTERS
+
+    base, base_ctx = load(args.baseline)
+    cur, cur_ctx = load(args.current)
+
+    for label, ctx in (("baseline", base_ctx), ("current", cur_ctx)):
+        swa = ctx.get("swa_build_type")
+        if swa and swa != "release":
+            print(f"warning: {label} was recorded from a {swa} build; "
+                  "the comparison is not meaningful", file=sys.stderr)
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for k in only_base:
+        print(f"note: {fmt(k)} only in baseline (retired?)")
+    for k in only_cur:
+        print(f"note: {fmt(k)} only in current (new)")
+
+    regressions = []
+    compared = 0
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        compared += 1
+        bt, ct = b.get("real_time"), c.get("real_time")
+        if bt and ct and bt > 0:
+            delta = (ct - bt) / bt
+            if delta > args.threshold:
+                regressions.append(
+                    f"{fmt(key)}: real_time {bt:.3g} -> {ct:.3g} "
+                    f"{b.get('time_unit', 'ns')} (+{delta:.1%})")
+        for name in counters:
+            bv, cv = b.get(name), c.get(name)
+            if bv is None or cv is None or bv <= 0:
+                continue
+            delta = (bv - cv) / bv
+            if delta > args.threshold:
+                regressions.append(
+                    f"{fmt(key)}: {name} {bv:.4g} -> {cv:.4g} "
+                    f"(-{delta:.1%})")
+
+    if compared == 0:
+        sys.exit("error: no benchmarks in common between the two files")
+    if regressions:
+        print(f"{len(regressions)} regression(s) past "
+              f"{args.threshold:.0%}:")
+        for r in regressions:
+            print(f"  {r}")
+        sys.exit(1)
+    print(f"clean: {compared} benchmarks compared, none regressed past "
+          f"{args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,19 +10,66 @@
 #
 #   $ bench/run_baseline.sh [build-dir] [out-file]
 #
-# Defaults: build-dir = build, out-file = BENCH_PR2.json. Commit the output
+# Defaults: build-dir = build, out-file = BENCH_PR5.json. Commit the output
 # so later PRs can compare against a recorded trajectory.
+#
+# The build directory must be configured Release: the script checks
+# CMakeCache.txt up front (configuring one if the directory is missing)
+# and additionally refuses to record a run whose benchmark context says
+# the measured code was compiled with assertions on. Two context keys
+# matter: our own "swa_build_type" (NDEBUG state of the bench binary and
+# the statically linked swa libraries — the code actually measured) and
+# google-benchmark's "library_build_type". The latter describes only the
+# prebuilt libbenchmark; on Debian that library ships without NDEBUG and
+# self-reports "debug" even under -DCMAKE_BUILD_TYPE=Release, so it is a
+# hard error only when swa_build_type is absent (pre-PR5 binaries).
+# BENCH_PR2.json was recorded from a debug build exactly because nothing
+# enforced this; BENCH_PR5.json supersedes it as the trajectory baseline.
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR2.json}"
+OUT="${2:-BENCH_PR5.json}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCHES=(bench_table1 bench_engine bench_scale bench_schedtool)
 
+CACHE="$ROOT/$BUILD/CMakeCache.txt"
+if [ ! -f "$CACHE" ]; then
+  echo "== configuring $BUILD (Release) ==" >&2
+  cmake -S "$ROOT" -B "$ROOT/$BUILD" -DCMAKE_BUILD_TYPE=Release >&2
+  CACHE="$ROOT/$BUILD/CMakeCache.txt"
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+if [ "$BUILD_TYPE" != "Release" ] && [ "$BUILD_TYPE" != "RelWithDebInfo" ]; then
+  echo "error: $BUILD is configured as '${BUILD_TYPE:-<empty>}', not Release." >&2
+  echo "A perf baseline from a debug build is not comparable; reconfigure:" >&2
+  echo "  cmake -S . -B $BUILD -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+
+# Refuse to record measurements the binary itself marks as debug. A
+# missing swa_build_type means the binary predates the key — fall back
+# to google-benchmark's library_build_type, which is then the only
+# signal available.
+check_context() { # <json> <name>
+  local SWA LIB
+  SWA="$(jq -r '.context.swa_build_type // empty' "$1")"
+  LIB="$(jq -r '.context.library_build_type // empty' "$1")"
+  if [ -n "$SWA" ]; then
+    if [ "$SWA" != "release" ]; then
+      echo "error: $2 reports swa_build_type=$SWA; refusing to record." >&2
+      exit 1
+    fi
+  elif [ "$LIB" = "debug" ]; then
+    echo "error: $2 reports library_build_type=debug and carries no" >&2
+    echo "swa_build_type key; refusing to record a debug baseline." >&2
+    exit 1
+  fi
+}
 
 for B in "${BENCHES[@]}"; do
   BIN="$ROOT/$BUILD/bench/$B"
@@ -33,6 +80,7 @@ for B in "${BENCHES[@]}"; do
   echo "== $B ==" >&2
   "$BIN" --metrics --benchmark_out="$TMP/$B.json" \
     --benchmark_out_format=json >&2
+  check_context "$TMP/$B.json" "$B"
   jq --arg bin "$B" \
     '.benchmarks = [.benchmarks[]? + {binary: $bin}]' \
     "$TMP/$B.json" > "$TMP/$B.tagged.json"

@@ -24,6 +24,22 @@ SEED="${3:-20260806}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BIN="$ROOT/$BUILD/examples/difftest_campaign"
 
+# The campaign is wall-clock bounded per simulation; a debug build can
+# push honest configs over the budget and report phantom mismatches.
+# Configure Release (matching run_baseline.sh) before trusting a red run.
+CACHE="$ROOT/$BUILD/CMakeCache.txt"
+if [ ! -f "$CACHE" ]; then
+  echo "== configuring $BUILD (Release) ==" >&2
+  cmake -S "$ROOT" -B "$ROOT/$BUILD" -DCMAKE_BUILD_TYPE=Release >&2
+  CACHE="$ROOT/$BUILD/CMakeCache.txt"
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+if [ "$BUILD_TYPE" != "Release" ] && [ "$BUILD_TYPE" != "RelWithDebInfo" ]; then
+  echo "error: $BUILD is configured as '${BUILD_TYPE:-<empty>}', not Release." >&2
+  echo "Reconfigure: cmake -S . -B $BUILD -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
 if [ ! -x "$BIN" ]; then
   echo "error: $BIN not built (run: cmake --build $BUILD -j)" >&2
   exit 1

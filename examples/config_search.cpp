@@ -9,11 +9,15 @@
 // uses the stopwatch-automata model as its schedulability oracle.
 //
 //   $ ./config_search [seed] [--workers N] [--budget-ms MS]
+//                     [--no-cache] [--no-early-exit] [--no-decompose]
 //
 // --workers evaluates candidate batches on N threads; the result is
 // byte-identical for every N. --budget-ms caps each candidate's
 // simulation wall-clock time: a candidate that exceeds it is logged as
-// skipped and the search keeps going.
+// skipped and the search keeps going. The --no-* flags switch off the
+// acceleration layers (verdict memoization, first-miss early exit,
+// per-core compositional evaluation); the verdict stream is identical
+// either way, only the cost changes.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,11 +35,18 @@ int main(int argc, char **argv) {
   uint64_t Seed = 7;
   int Workers = 1;
   int64_t BudgetMs = -1;
+  bool UseCache = true, UseEarlyExit = true, UseDecompose = true;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--workers") == 0 && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
     else if (std::strcmp(argv[I], "--budget-ms") == 0 && I + 1 < argc)
       BudgetMs = std::strtoll(argv[++I], nullptr, 10);
+    else if (std::strcmp(argv[I], "--no-cache") == 0)
+      UseCache = false;
+    else if (std::strcmp(argv[I], "--no-early-exit") == 0)
+      UseEarlyExit = false;
+    else if (std::strcmp(argv[I], "--no-decompose") == 0)
+      UseDecompose = false;
     else
       Seed = std::strtoull(argv[I], nullptr, 10);
   }
@@ -65,6 +76,9 @@ int main(int argc, char **argv) {
   Problem.MaxIterations = 40;
   Problem.Workers = Workers;
   Problem.CandidateBudgetMs = BudgetMs;
+  Problem.UseVerdictCache = UseCache;
+  Problem.UseEarlyExit = UseEarlyExit;
+  Problem.UseDecomposition = UseDecompose;
   Result<schedtool::SearchResult> Res =
       schedtool::searchConfiguration(Problem);
   if (!Res.ok()) {
@@ -78,6 +92,16 @@ int main(int argc, char **argv) {
               Res->ConfigurationsEvaluated, Res->CandidatesSkipped,
               Res->Found ? "found a schedulable one"
                          : "no schedulable configuration found");
+  if (UseCache)
+    std::printf("cache: %d hits / %d misses (%d symmetry folds, %d "
+                "intra-batch duplicates)\n",
+                Res->CacheHits, Res->CacheMisses, Res->SymmetryFolds,
+                Res->DuplicateCandidates);
+  if (UseDecompose)
+    std::printf("decomposition: %d candidates split into %d components "
+                "(%d monolithic simulations)\n",
+                Res->DecomposedCandidates, Res->ComponentsSimulated,
+                Res->SimulationsRun);
 
   if (Res->Found) {
     std::printf("\nchosen binding and windows:\n");

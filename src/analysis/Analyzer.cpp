@@ -9,6 +9,8 @@
 #include "obs/Metrics.h"
 #include "obs/Timer.h"
 
+#include <algorithm>
+
 using namespace swa;
 using namespace swa::analysis;
 
@@ -73,6 +75,16 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
   nsa::Simulator Sim(*Model->Net);
   nsa::SimOptions Opt = SimOptions;
   Opt.RecordTrace = !HasFlags;
+  if (HasFlags) {
+    // Watch the contiguous is_failed block so every run — early-exit or
+    // full — reports the first-miss instant and its task set.
+    Opt.FailSlotBase = Model->IsFailedSlot;
+    Opt.FailSlotCount = NT;
+  } else {
+    // Early exit needs the flags; without them fall through to the full
+    // trace criterion.
+    Opt.StopOnFirstMiss = false;
+  }
   nsa::SimResult R = Sim.run(Opt);
   Out.ActionCount = R.ActionCount;
   if (!R.ok()) {
@@ -85,6 +97,7 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
   }
 
   if (HasFlags) {
+    Out.Stop = R.Stop;
     for (int G = 0; G < NT; ++G) {
       if (R.Final.Store[static_cast<size_t>(Model->IsFailedSlot + G)] !=
           0) {
@@ -93,19 +106,99 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
       }
     }
     Out.Schedulable = Out.FailedTasks == 0;
+    Out.FirstMissTime = R.FirstMissTime;
+    Out.FirstMissTasks = R.FirstMissSlots;
   } else {
     // No failure flags in this model: run the criterion on the mapped
-    // trace and derive the per-task flags from the job statistics.
+    // trace and derive the per-task flags from the job statistics. The
+    // first-miss instant is the earliest absolute deadline among missed
+    // jobs — exactly when the watch would have seen the flag trip.
     core::SystemTrace Trace = core::mapTrace(*Model, R.Events);
     AnalysisResult Analysis = analyzeTrace(Config, Trace);
     Out.Schedulable = Analysis.Schedulable;
-    for (const JobStats &J : Analysis.Jobs)
-      if (!J.Completed && J.TaskGid >= 0 && J.TaskGid < NT)
-        Out.TaskFailed[static_cast<size_t>(J.TaskGid)] = 1;
+    for (const JobStats &J : Analysis.Jobs) {
+      if (J.Completed || J.TaskGid < 0 || J.TaskGid >= NT)
+        continue;
+      Out.TaskFailed[static_cast<size_t>(J.TaskGid)] = 1;
+      int64_t MissAt =
+          J.ReleaseTime + Config.taskOf(Config.taskRefOf(J.TaskGid)).Deadline;
+      if (Out.FirstMissTime < 0 || MissAt < Out.FirstMissTime) {
+        Out.FirstMissTime = MissAt;
+        Out.FirstMissTasks.clear();
+      }
+      if (MissAt == Out.FirstMissTime)
+        Out.FirstMissTasks.push_back(J.TaskGid);
+    }
+    std::sort(Out.FirstMissTasks.begin(), Out.FirstMissTasks.end());
+    Out.FirstMissTasks.erase(
+        std::unique(Out.FirstMissTasks.begin(), Out.FirstMissTasks.end()),
+        Out.FirstMissTasks.end());
     for (char F : Out.TaskFailed)
       Out.FailedTasks += F ? 1 : 0;
   }
   if (obs::enabled())
     obs::Registry::global().counter("analysis.configurations").add(1);
+  return Out;
+}
+
+VerdictOutcome swa::analysis::mergeComponentVerdicts(
+    const std::vector<ComponentVerdict> &Components, int TotalTasks) {
+  VerdictOutcome Out;
+  Out.TaskFailed.assign(static_cast<size_t>(TotalTasks), 0);
+  Out.Schedulable = true;
+
+  // An undecided component (guard-rail stop) poisons the whole verdict:
+  // report that component's StopReason so callers see the same taxonomy a
+  // monolithic guarded run produces. Decided components are still summed
+  // into ActionCount first, so diagnostics stay meaningful.
+  for (const ComponentVerdict &C : Components) {
+    Out.ActionCount += C.Verdict.ActionCount;
+    if (!C.Verdict.decided()) {
+      Out.Stop = C.Verdict.Stop;
+      Out.Schedulable = false;
+      Out.FailedTasks = 0;
+      std::fill(Out.TaskFailed.begin(), Out.TaskFailed.end(), 0);
+      Out.FirstMissTime = -1;
+      Out.FirstMissTasks.clear();
+      return Out;
+    }
+  }
+
+  bool AnyEarly = false;
+  for (const ComponentVerdict &C : Components) {
+    const VerdictOutcome &V = C.Verdict;
+    if (V.Stop == nsa::StopReason::DeadlineMiss)
+      AnyEarly = true;
+    for (size_t L = 0; L < V.TaskFailed.size(); ++L) {
+      if (!V.TaskFailed[L])
+        continue;
+      int32_t G = L < C.GidMap.size() ? C.GidMap[L] : -1;
+      if (G >= 0 && G < TotalTasks)
+        Out.TaskFailed[static_cast<size_t>(G)] = 1;
+    }
+    if (V.FirstMissTime >= 0 &&
+        (Out.FirstMissTime < 0 || V.FirstMissTime < Out.FirstMissTime))
+      Out.FirstMissTime = V.FirstMissTime;
+  }
+  for (const ComponentVerdict &C : Components) {
+    if (C.Verdict.FirstMissTime != Out.FirstMissTime ||
+        Out.FirstMissTime < 0)
+      continue;
+    for (int32_t L : C.Verdict.FirstMissTasks) {
+      int32_t G =
+          L >= 0 && static_cast<size_t>(L) < C.GidMap.size() ? C.GidMap[L] : -1;
+      if (G >= 0 && G < TotalTasks)
+        Out.FirstMissTasks.push_back(G);
+    }
+  }
+  std::sort(Out.FirstMissTasks.begin(), Out.FirstMissTasks.end());
+  Out.FirstMissTasks.erase(
+      std::unique(Out.FirstMissTasks.begin(), Out.FirstMissTasks.end()),
+      Out.FirstMissTasks.end());
+  for (char F : Out.TaskFailed)
+    Out.FailedTasks += F ? 1 : 0;
+  Out.Schedulable = Out.FailedTasks == 0 && Out.FirstMissTime < 0;
+  Out.Stop = AnyEarly ? nsa::StopReason::DeadlineMiss
+                      : nsa::StopReason::Completed;
   return Out;
 }

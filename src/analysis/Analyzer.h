@@ -43,19 +43,35 @@ analyzeConfiguration(const cfg::Config &Config,
 /// per-job statistics are computed.
 struct VerdictOutcome {
   bool Schedulable = false;
-  /// Tasks whose is_failed flag tripped (0 when schedulable).
+  /// Tasks whose is_failed flag tripped (0 when schedulable). Under a
+  /// StopOnFirstMiss run this counts only the tasks that miss at the
+  /// first-miss instant — a subset of the full-run count; the
+  /// instant-exact fields below are the ones identical across full,
+  /// early-exit and decomposed evaluation.
   int64_t FailedTasks = 0;
-  /// Per-task-gid failure flags.
+  /// Per-task-gid failure flags (same caveat as FailedTasks).
   std::vector<char> TaskFailed;
   uint64_t ActionCount = 0;
+  /// Model time of the first deadline miss; -1 when schedulable or
+  /// undecided. A full run, a StopOnFirstMiss run and a merged
+  /// per-component evaluation all compute the same value.
+  int64_t FirstMissTime = -1;
+  /// Global task ids missing exactly at FirstMissTime, sorted ascending
+  /// (empty when schedulable or undecided). Same invariance as
+  /// FirstMissTime.
+  std::vector<int32_t> FirstMissTasks;
   /// Why the underlying run stopped. Cancelled/BudgetExceeded mean the
   /// guard rails ended the run before a verdict existed: Schedulable is
   /// false and TaskFailed is all-clear, but neither is a judgement on the
-  /// configuration.
+  /// configuration. DeadlineMiss is a decided unschedulable verdict (the
+  /// first-miss early exit fired).
   nsa::StopReason Stop = nsa::StopReason::Completed;
 
   /// True when the run finished and the verdict fields are meaningful.
-  bool decided() const { return Stop == nsa::StopReason::Completed; }
+  bool decided() const {
+    return Stop == nsa::StopReason::Completed ||
+           Stop == nsa::StopReason::DeadlineMiss;
+  }
 };
 
 /// The config-search inner loop: simulates with SimOptions::RecordTrace
@@ -73,6 +89,31 @@ struct VerdictOutcome {
 Result<VerdictOutcome>
 analyzeVerdictOnly(const cfg::Config &Config,
                    const nsa::SimOptions &SimOptions = {});
+
+/// One decomposed component's verdict plus the map from its local task
+/// gids to the gids of the original (pre-decomposition) configuration.
+struct ComponentVerdict {
+  VerdictOutcome Verdict;
+  /// GidMap[local gid] = original gid; size == component task count.
+  std::vector<int32_t> GidMap;
+};
+
+/// Merges per-component verdicts back into the verdict the monolithic
+/// simulation of the original configuration would produce (components are
+/// independent — no messages cross them — so their traces interleave
+/// without interaction; see DESIGN.md, "Search-side caching, early exit &
+/// decomposition"). \p TotalTasks is the original config's task count.
+///
+/// Merge rules: an undecided component (guard-rail stop) makes the whole
+/// verdict undecided with that component's StopReason; otherwise
+/// Schedulable is the conjunction, TaskFailed/FailedTasks the union,
+/// ActionCount the sum, FirstMissTime the minimum over components, and
+/// FirstMissTasks the sorted union over the components attaining that
+/// minimum. Stop is Completed when all components completed, DeadlineMiss
+/// when any early-exited.
+VerdictOutcome
+mergeComponentVerdicts(const std::vector<ComponentVerdict> &Components,
+                       int TotalTasks);
 
 } // namespace analysis
 } // namespace swa

@@ -1,0 +1,149 @@
+//===- config/Decompose.cpp - Message-graph config decomposition ----------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/Decompose.h"
+
+#include "support/MathExtras.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace swa;
+using namespace swa::cfg;
+
+namespace {
+
+/// Truncates \p P's windows to the block [0, LSub) when the pattern is
+/// LSub-periodic over [0, LGlobal) with no block-straddling window.
+/// Returns false when it is not (the component cannot be decomposed).
+bool truncateWindows(Partition &P, int64_t LSub, int64_t LGlobal) {
+  if (LSub == LGlobal)
+    return true;
+  int64_t Blocks = LGlobal / LSub;
+  std::vector<std::vector<Window>> Pattern(static_cast<size_t>(Blocks));
+  for (const Window &W : P.Windows) {
+    if (W.Start < 0 || W.End <= W.Start || W.End > LGlobal)
+      return false;
+    int64_t B = W.Start / LSub;
+    if (B >= Blocks || W.End > (B + 1) * LSub)
+      return false; // straddles a block boundary
+    Pattern[static_cast<size_t>(B)].push_back(
+        {W.Start - B * LSub, W.End - B * LSub});
+  }
+  auto ByStart = [](const Window &A, const Window &B) {
+    return A.Start != B.Start ? A.Start < B.Start : A.End < B.End;
+  };
+  for (auto &Blk : Pattern)
+    std::sort(Blk.begin(), Blk.end(), ByStart);
+  for (size_t B = 1; B < Pattern.size(); ++B) {
+    if (Pattern[B].size() != Pattern[0].size())
+      return false;
+    for (size_t I = 0; I < Pattern[B].size(); ++I)
+      if (Pattern[B][I].Start != Pattern[0][I].Start ||
+          Pattern[B][I].End != Pattern[0][I].End)
+        return false;
+  }
+  P.Windows = Pattern.empty() ? std::vector<Window>{} : Pattern[0];
+  return true;
+}
+
+} // namespace
+
+Decomposition cfg::decomposeConfig(const Config &Config) {
+  Decomposition Out;
+  const size_t NP = Config.Partitions.size();
+  const size_t NC = Config.Cores.size();
+  if (NP == 0 || NC == 0)
+    return Out;
+  for (const Partition &P : Config.Partitions)
+    if (P.Core < 0 || static_cast<size_t>(P.Core) >= NC)
+      return Out; // unbound or dangling binding: not decomposable
+
+  support::UnionFind UF(NC);
+  for (const Message &M : Config.Messages) {
+    if (M.Sender.Partition < 0 ||
+        static_cast<size_t>(M.Sender.Partition) >= NP ||
+        M.Receiver.Partition < 0 ||
+        static_cast<size_t>(M.Receiver.Partition) >= NP)
+      return Out; // dangling message ref: leave it to validate()
+    UF.unite(Config.Partitions[static_cast<size_t>(M.Sender.Partition)].Core,
+             Config.Partitions[static_cast<size_t>(M.Receiver.Partition)].Core);
+  }
+
+  // Group used cores by component root; component order = order of first
+  // appearance scanning partitions by index, so task gids stay aligned
+  // with the original numbering as far as possible (deterministic either
+  // way).
+  std::vector<int32_t> RootOf(NC, -1);
+  std::vector<int32_t> CompOfRoot(NC, -1);
+  int NumComps = 0;
+  std::vector<int32_t> CompOfPart(NP, -1);
+  for (size_t P = 0; P < NP; ++P) {
+    int32_t R = UF.find(Config.Partitions[P].Core);
+    if (CompOfRoot[static_cast<size_t>(R)] < 0)
+      CompOfRoot[static_cast<size_t>(R)] = NumComps++;
+    CompOfPart[P] = CompOfRoot[static_cast<size_t>(R)];
+  }
+  if (NumComps < 2)
+    return Out;
+
+  int64_t LGlobal = Config.hyperperiod();
+  if (LGlobal <= 0 || LGlobal == std::numeric_limits<int64_t>::max())
+    return Out;
+
+  // Original gid offsets per partition.
+  std::vector<int32_t> GidBase(NP, 0);
+  for (size_t P = 1; P < NP; ++P)
+    GidBase[P] = GidBase[P - 1] +
+                 static_cast<int32_t>(Config.Partitions[P - 1].Tasks.size());
+
+  Out.Components.resize(static_cast<size_t>(NumComps));
+  std::vector<int32_t> CoreMap(NC, -1); // original core -> sub core
+  std::vector<int32_t> PartMap(NP, -1); // original part -> sub part
+
+  for (size_t P = 0; P < NP; ++P) {
+    Component &CP = Out.Components[static_cast<size_t>(CompOfPart[P])];
+    int32_t OrigCore = Config.Partitions[P].Core;
+    if (CoreMap[static_cast<size_t>(OrigCore)] < 0) {
+      CoreMap[static_cast<size_t>(OrigCore)] =
+          static_cast<int32_t>(CP.Sub.Cores.size());
+      CP.Sub.Cores.push_back(Config.Cores[static_cast<size_t>(OrigCore)]);
+    }
+    PartMap[P] = static_cast<int32_t>(CP.Sub.Partitions.size());
+    CP.Sub.Partitions.push_back(Config.Partitions[P]);
+    CP.Sub.Partitions.back().Core = CoreMap[static_cast<size_t>(OrigCore)];
+    for (size_t T = 0; T < Config.Partitions[P].Tasks.size(); ++T)
+      CP.GidMap.push_back(GidBase[P] + static_cast<int32_t>(T));
+  }
+
+  for (const Message &M : Config.Messages) {
+    Component &CP =
+        Out.Components[static_cast<size_t>(
+            CompOfPart[static_cast<size_t>(M.Sender.Partition)])];
+    Message Sub = M;
+    Sub.Sender.Partition = PartMap[static_cast<size_t>(M.Sender.Partition)];
+    Sub.Receiver.Partition =
+        PartMap[static_cast<size_t>(M.Receiver.Partition)];
+    CP.Sub.Messages.push_back(Sub);
+  }
+
+  for (size_t K = 0; K < Out.Components.size(); ++K) {
+    Component &CP = Out.Components[K];
+    CP.Sub.Name = Config.Name + "/c" + std::to_string(K);
+    CP.Sub.NumCoreTypes = Config.NumCoreTypes;
+    int64_t LSub = CP.Sub.hyperperiod();
+    if (LSub <= 0 || LGlobal % LSub != 0)
+      return Decomposition{}; // no tasks, or inconsistent periods
+    for (Partition &P : CP.Sub.Partitions)
+      if (!truncateWindows(P, LSub, LGlobal))
+        return Decomposition{}; // window pattern not LSub-periodic
+  }
+
+  Out.Decomposed = true;
+  Out.Horizon = LGlobal;
+  return Out;
+}

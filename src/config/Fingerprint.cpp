@@ -1,0 +1,117 @@
+//===- config/Fingerprint.cpp - Canonical structural config hash ----------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "config/Fingerprint.h"
+
+#include <vector>
+
+using namespace swa;
+using namespace swa::cfg;
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mixer.
+uint64_t mix64(uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Streaming 128-bit accumulator: two independently keyed 64-bit lanes,
+/// each fully mixed per ingested word, so field order matters and a
+/// one-word change avalanches through everything that follows.
+struct Hash128 {
+  uint64_t A = 0x243f6a8885a308d3ULL;
+  uint64_t B = 0x13198a2e03707344ULL;
+
+  void add(uint64_t V) {
+    A = mix64(A ^ V);
+    B = mix64(B + (V ^ 0xa5a5a5a5a5a5a5a5ULL));
+  }
+  void add(int64_t V) { add(static_cast<uint64_t>(V)); }
+  void add(int V) { add(static_cast<uint64_t>(static_cast<int64_t>(V))); }
+};
+
+} // namespace
+
+Fingerprint cfg::fingerprintConfig(const Config &Config,
+                                   bool CanonicalizeCores) {
+  Hash128 H;
+  H.add(uint64_t{0x5357412d464e4750ULL}); // "SWA-FNGP" domain tag
+  H.add(Config.NumCoreTypes);
+  H.add(static_cast<uint64_t>(Config.Partitions.size()));
+
+  // Canonical core renaming: within each (Module, CoreType) class, cores
+  // get ranks in order of first use scanning partitions by index. Two
+  // bindings differing only by a permutation of same-class cores produce
+  // identical (Module, CoreType, Rank) triples. Unused cores never reach
+  // the built model and are excluded entirely.
+  std::vector<int> CanonRank(Config.Cores.size(), -1);
+  {
+    // Per-class next-rank counters, keyed densely by Module/CoreType pairs
+    // seen so far (configs have a handful of classes; linear scan is fine).
+    std::vector<std::pair<std::pair<int, int>, int>> ClassNext;
+    for (const Partition &P : Config.Partitions) {
+      if (P.Core < 0 || static_cast<size_t>(P.Core) >= Config.Cores.size())
+        continue;
+      if (CanonRank[static_cast<size_t>(P.Core)] >= 0)
+        continue;
+      const Core &C = Config.Cores[static_cast<size_t>(P.Core)];
+      std::pair<int, int> Key{C.Module, C.CoreType};
+      int Rank = 0;
+      bool Found = false;
+      for (auto &E : ClassNext)
+        if (E.first == Key) {
+          Rank = E.second++;
+          Found = true;
+          break;
+        }
+      if (!Found)
+        ClassNext.push_back({Key, 1});
+      CanonRank[static_cast<size_t>(P.Core)] = Rank;
+    }
+  }
+
+  for (const Partition &P : Config.Partitions) {
+    H.add(static_cast<int>(P.Scheduler));
+    if (P.Core >= 0 && static_cast<size_t>(P.Core) < Config.Cores.size()) {
+      const Core &C = Config.Cores[static_cast<size_t>(P.Core)];
+      H.add(C.Module);
+      H.add(C.CoreType);
+      H.add(CanonicalizeCores ? CanonRank[static_cast<size_t>(P.Core)]
+                              : P.Core);
+    } else {
+      H.add(uint64_t{0xffffffffffffffffULL}); // unbound sentinel
+    }
+    H.add(static_cast<uint64_t>(P.Tasks.size()));
+    for (const Task &T : P.Tasks) {
+      H.add(T.Priority);
+      H.add(T.Period);
+      H.add(T.Deadline);
+      H.add(static_cast<uint64_t>(T.Wcet.size()));
+      for (TimeValue W : T.Wcet)
+        H.add(W);
+    }
+    H.add(static_cast<uint64_t>(P.Windows.size()));
+    for (const Window &W : P.Windows) {
+      H.add(W.Start);
+      H.add(W.End);
+    }
+  }
+
+  H.add(static_cast<uint64_t>(Config.Messages.size()));
+  for (const Message &M : Config.Messages) {
+    H.add(M.Sender.Partition);
+    H.add(M.Sender.Task);
+    H.add(M.Receiver.Partition);
+    H.add(M.Receiver.Task);
+    H.add(M.MemDelay);
+    H.add(M.NetDelay);
+  }
+
+  return {H.A, H.B};
+}

@@ -1,0 +1,78 @@
+//===- config/Fingerprint.h - Canonical structural config hash --*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit structural fingerprint of a cfg::Config, used as the key of
+/// the config-search verdict cache (schedtool::ConfigSearch). Two configs
+/// with equal fingerprints are schedulability-equivalent by construction:
+/// the hash covers exactly the inputs of core::buildModel that influence
+/// the NSA — scheduler kinds, task parameters (priority, period, deadline,
+/// the full per-core-type WCET vector), windows, message graph and delays,
+/// and the *canonicalized* partition-to-core binding.
+///
+/// Canonicalization: cores of the same (Module, CoreType) are
+/// interchangeable — relabeling them permutes nothing observable, because
+/// every task automaton's parameters (WCET via the core type, message
+/// delays via the module) and every CoreScheduler's window table are fixed
+/// by the class, not the index. The fingerprint therefore renames cores
+/// within each (Module, CoreType) class by first use in partition order,
+/// so two symmetric bindings fold to one cache entry (counted as a
+/// symmetry fold by the search).
+///
+/// Names (config, core, partition, task) are deliberately excluded: they
+/// never reach the engine's semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_CONFIG_FINGERPRINT_H
+#define SWA_CONFIG_FINGERPRINT_H
+
+#include "config/Config.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace swa {
+namespace cfg {
+
+/// 128-bit hash value. Collisions are astronomically unlikely for the
+/// candidate counts a search visits (< 2^30), which is the usual
+/// fingerprint trade-off; the differential tests re-evaluate from scratch
+/// and never trust the cache.
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Fingerprint &O) const { return !(*this == O); }
+};
+
+/// Hash functor for unordered containers keyed by Fingerprint.
+struct FingerprintHash {
+  size_t operator()(const Fingerprint &F) const {
+    // The halves are already well mixed; fold them.
+    return static_cast<size_t>(F.Hi ^ (F.Lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Computes the canonical structural fingerprint of \p Config. Symmetric
+/// core relabelings (same Module and CoreType) hash identically; any
+/// semantically visible difference — a binding to a different core class,
+/// a window edge, a task parameter, a message delay — changes the value.
+///
+/// With \p CanonicalizeCores false the actual core indices are hashed
+/// instead of the canonical ranks: two symmetric bindings then hash
+/// *differently*. The search stores this raw value next to each cache
+/// entry to tell symmetry folds apart from plain revisits.
+Fingerprint fingerprintConfig(const Config &Config,
+                              bool CanonicalizeCores = true);
+
+} // namespace cfg
+} // namespace swa
+
+#endif // SWA_CONFIG_FINGERPRINT_H

@@ -6,8 +6,10 @@
 
 #include "difftest/Oracles.h"
 
+#include "analysis/Analyzer.h"
 #include "analysis/Rta.h"
 #include "analysis/Schedulability.h"
+#include "config/Decompose.h"
 #include "configio/ConfigXml.h"
 #include "core/SystemTrace.h"
 #include "difftest/TraceInvariants.h"
@@ -32,6 +34,10 @@ const char *swa::difftest::oraclePairName(OraclePair P) {
     return "trace-invariants";
   case OraclePair::XmlRoundTrip:
     return "xml-round-trip";
+  case OraclePair::EarlyExitVsFull:
+    return "early-exit-vs-full";
+  case OraclePair::DecomposedVsMonolithic:
+    return "decomposed-vs-monolithic";
   }
   return "<bad>";
 }
@@ -85,10 +91,18 @@ OracleReport swa::difftest::runOracles(const cfg::Config &Config,
   }
 
   TraceInvariantChecker Checker(*Model);
+  const int NT = static_cast<int>(Model->TaskAutomaton.size());
   nsa::SimOptions SimOpts;
   SimOpts.WallClockBudgetMs = Options.SimBudgetMs;
   if (Options.CheckInvariants)
     SimOpts.Checker = &Checker;
+  // Watch the failure flags so the full run reports its first-miss
+  // instant/task set — the reference the early-exit and decomposition
+  // pairs compare against. Watching never perturbs the run.
+  if (Model->IsFailedSlot >= 0) {
+    SimOpts.FailSlotBase = Model->IsFailedSlot;
+    SimOpts.FailSlotCount = NT;
+  }
   nsa::Simulator Sim(*Model->Net);
   nsa::SimResult Primary = Sim.run(SimOpts);
   if (Options.CheckInvariants)
@@ -233,6 +247,135 @@ OracleReport swa::difftest::runOracles(const cfg::Config &Config,
       Mismatch(OraclePair::XmlRoundTrip, "byte-identical document",
                "document changed after round trip",
                "a field was dropped, defaulted or reordered");
+  }
+
+  // --- First-miss early exit vs the full run. --------------------------
+  // Reference facts come from the primary run's fail-slot watch; the
+  // early-exit run stops at the first miss instant and must agree on the
+  // verdict, the instant and the instant's task set, and must never
+  // report a task the full run did not fail.
+  std::vector<char> FullFailed(static_cast<size_t>(NT), 0);
+  bool FullAnyFailed = false;
+  if (Model->IsFailedSlot >= 0) {
+    for (int G = 0; G < NT; ++G)
+      if (Primary.Final
+              .Store[static_cast<size_t>(Model->IsFailedSlot + G)] != 0) {
+        FullFailed[static_cast<size_t>(G)] = 1;
+        FullAnyFailed = true;
+      }
+  }
+  if (Model->IsFailedSlot >= 0) {
+    ++Rep.PairsRun;
+    nsa::SimOptions EarlyOpts;
+    EarlyOpts.WallClockBudgetMs = Options.SimBudgetMs;
+    EarlyOpts.StopOnFirstMiss = true;
+    Result<analysis::VerdictOutcome> EarlyR =
+        analysis::analyzeVerdictOnly(Config, EarlyOpts);
+    if (!EarlyR.ok()) {
+      Mismatch(OraclePair::EarlyExitVsFull, "early-exit run completes",
+               "error", EarlyR.error().message());
+    } else if (!EarlyR->decided()) {
+      --Rep.PairsRun; // Guard rail ended the run: no comparison.
+    } else {
+      const analysis::VerdictOutcome &E = *EarlyR;
+      if (E.Schedulable == FullAnyFailed)
+        Mismatch(OraclePair::EarlyExitVsFull,
+                 FullAnyFailed ? "unschedulable" : "schedulable",
+                 E.Schedulable ? "schedulable" : "unschedulable",
+                 "early-exit verdict diverges from the full run");
+      if (E.FirstMissTime != Primary.FirstMissTime)
+        Mismatch(OraclePair::EarlyExitVsFull,
+                 formatString("first miss at t=%lld",
+                              static_cast<long long>(Primary.FirstMissTime)),
+                 formatString("first miss at t=%lld",
+                              static_cast<long long>(E.FirstMissTime)),
+                 "first-miss instant diverges");
+      if (E.FirstMissTasks != Primary.FirstMissSlots)
+        Mismatch(OraclePair::EarlyExitVsFull,
+                 formatString("%zu tasks at the first miss instant",
+                              Primary.FirstMissSlots.size()),
+                 formatString("%zu tasks at the first miss instant",
+                              E.FirstMissTasks.size()),
+                 "first-miss task set diverges");
+      for (size_t G = 0; G < E.TaskFailed.size(); ++G)
+        if (E.TaskFailed[G] && !FullFailed[G]) {
+          Mismatch(OraclePair::EarlyExitVsFull,
+                   "early-exit failures are a subset of the full run's",
+                   formatString("task gid %zu failed only under early exit",
+                                G),
+                   "a truncated run observed a miss the full run did not");
+          break;
+        }
+    }
+  }
+
+  // --- Per-component evaluation + merge vs the monolithic run. ---------
+  if (Model->IsFailedSlot >= 0) {
+    cfg::Decomposition D = cfg::decomposeConfig(Config);
+    if (D.Decomposed) {
+      ++Rep.PairsRun;
+      bool Usable = true;
+      std::vector<analysis::ComponentVerdict> Parts;
+      for (cfg::Component &C : D.Components) {
+        if (Error E = C.Sub.validate()) {
+          Mismatch(OraclePair::DecomposedVsMonolithic,
+                   "components validate", "component config invalid",
+                   E.message());
+          Usable = false;
+          break;
+        }
+        nsa::SimOptions SubOpts;
+        SubOpts.WallClockBudgetMs = Options.SimBudgetMs;
+        SubOpts.Horizon = D.Horizon;
+        Result<analysis::VerdictOutcome> R =
+            analysis::analyzeVerdictOnly(C.Sub, SubOpts);
+        if (!R.ok()) {
+          Mismatch(OraclePair::DecomposedVsMonolithic,
+                   "component run completes", "error",
+                   R.error().message());
+          Usable = false;
+          break;
+        }
+        if (!R->decided()) {
+          --Rep.PairsRun; // Guard rail: no comparison.
+          Usable = false;
+          break;
+        }
+        Parts.push_back({std::move(*R), C.GidMap});
+      }
+      if (Usable) {
+        analysis::VerdictOutcome M =
+            analysis::mergeComponentVerdicts(Parts, NT);
+        if (M.Schedulable == FullAnyFailed)
+          Mismatch(OraclePair::DecomposedVsMonolithic,
+                   FullAnyFailed ? "unschedulable" : "schedulable",
+                   M.Schedulable ? "schedulable" : "unschedulable",
+                   "merged component verdict diverges from the "
+                   "monolithic run");
+        if (M.TaskFailed != FullFailed)
+          Mismatch(OraclePair::DecomposedVsMonolithic,
+                   "identical per-task failure flags",
+                   "flags differ",
+                   formatString("merged %lld failed tasks, monolithic "
+                                "run disagrees on at least one gid",
+                                static_cast<long long>(M.FailedTasks)));
+        if (M.FirstMissTime != Primary.FirstMissTime)
+          Mismatch(OraclePair::DecomposedVsMonolithic,
+                   formatString("first miss at t=%lld",
+                                static_cast<long long>(
+                                    Primary.FirstMissTime)),
+                   formatString("first miss at t=%lld",
+                                static_cast<long long>(M.FirstMissTime)),
+                   "first-miss instant diverges");
+        if (M.FirstMissTasks != Primary.FirstMissSlots)
+          Mismatch(OraclePair::DecomposedVsMonolithic,
+                   formatString("%zu tasks at the first miss instant",
+                                Primary.FirstMissSlots.size()),
+                   formatString("%zu tasks at the first miss instant",
+                                M.FirstMissTasks.size()),
+                   "first-miss task set diverges");
+      }
+    }
   }
 
   return Rep;

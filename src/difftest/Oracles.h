@@ -8,15 +8,20 @@
 /// Runs every applicable pair of the repo's four independent oracles on
 /// one configuration and reports disagreements:
 ///
-///  | pair              | compares                            | gate       |
-///  |-------------------|-------------------------------------|------------|
-///  | vm-vs-interpreter | sync traces + final state + verdict | always     |
-///  | sim-vs-rta        | verdicts + worst response <= bound  | RTA-sound  |
-///  |                   |                                     | partitions |
-///  | sim-vs-mc         | final-state census vs trace final   | tiny       |
-///  |                   |                                     | instances  |
-///  | trace-invariants  | online checker inside the run       | always     |
-///  | xml-round-trip    | writeXml(parseXml(cfg)) fixed point | always     |
+///  | pair               | compares                            | gate       |
+///  |--------------------|-------------------------------------|------------|
+///  | vm-vs-interpreter  | sync traces + final state + verdict | always     |
+///  | sim-vs-rta         | verdicts + worst response <= bound  | RTA-sound  |
+///  |                    |                                     | partitions |
+///  | sim-vs-mc          | final-state census vs trace final   | tiny       |
+///  |                    |                                     | instances  |
+///  | trace-invariants   | online checker inside the run       | always     |
+///  | xml-round-trip     | writeXml(parseXml(cfg)) fixed point | always     |
+///  | early-exit-vs-full | first-miss early-exit verdict,      | models     |
+///  |                    | first-miss instant/task set vs the  | with       |
+///  |                    | full run's                          | is_failed  |
+///  | decomposed-vs-mono | per-component evaluation + merge vs | decompos-  |
+///  |                    | the monolithic verdict, exactly     | able cfgs  |
 ///
 /// RTA soundness gate: an FPPS partition alone on its core with one
 /// full-hyperperiod window and no messages touching its tasks. Within the
@@ -45,6 +50,14 @@ enum class OraclePair {
   SimVsMc,
   TraceInvariants,
   XmlRoundTrip,
+  /// A StopOnFirstMiss run must agree with the full simulation on the
+  /// verdict, the first-miss instant, the first-miss task set, and its
+  /// observed failed tasks must be a subset of the full run's.
+  EarlyExitVsFull,
+  /// Simulating the message-graph components separately and merging
+  /// (analysis::mergeComponentVerdicts) must reproduce the monolithic
+  /// verdict and per-task failure flags exactly.
+  DecomposedVsMonolithic,
 };
 
 /// Short stable name ("vm-vs-interpreter", ...).

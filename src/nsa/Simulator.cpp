@@ -323,6 +323,8 @@ SimResult Simulator::run(const SimOptions &Options) {
                         ? Options.Horizon
                         : Net.metaOr("horizon", TimeInfinity);
 
+  const bool WatchFail = Options.FailSlotBase >= 0 && Options.FailSlotCount > 0;
+
   // Last automaton that initiated an applied step (budget diagnostics).
   int32_t LastStepped = -1;
 
@@ -446,6 +448,18 @@ SimResult Simulator::run(const SimOptions &Options) {
           break;
         }
       }
+      if (WatchFail) {
+        for (int32_t Slot : WriteLog) {
+          int32_t Off = Slot - Options.FailSlotBase;
+          if (Off < 0 || Off >= Options.FailSlotCount ||
+              S.Store[static_cast<size_t>(Slot)] == 0)
+            continue;
+          if (Res.FirstMissTime < 0)
+            Res.FirstMissTime = S.Now;
+          if (S.Now == Res.FirstMissTime)
+            Res.FirstMissSlots.push_back(Off);
+        }
+      }
       if (Fault && !Fault->Fired && Res.ActionCount >= Fault->AtAction) {
         // Deliberate out-of-band corruption: no write log entry, no dirty
         // marks — exactly what a memory fault would look like.
@@ -502,6 +516,15 @@ SimResult Simulator::run(const SimOptions &Options) {
         break;
       }
       // Next == TimeInfinity handled below; Next < Now impossible.
+    }
+    // First-miss early exit: the miss instant is complete (no action
+    // fireable, no bound expired at the current time), so every task that
+    // fails at FirstMissTime has written its flag. Placed after the
+    // deadlock and time-lock checks so broken models stop with the same
+    // error a full run reports.
+    if (Options.StopOnFirstMiss && Res.FirstMissTime >= 0) {
+      Res.Stop = StopReason::DeadlineMiss;
+      break;
     }
     // Actions at exactly the horizon still belong to the analyzed window
     // (a job with deadline == period fails precisely at the hyperperiod
@@ -568,6 +591,12 @@ SimResult Simulator::run(const SimOptions &Options) {
       CheckerTripped(V);
   }
 
+  if (!Res.FirstMissSlots.empty()) {
+    std::sort(Res.FirstMissSlots.begin(), Res.FirstMissSlots.end());
+    Res.FirstMissSlots.erase(
+        std::unique(Res.FirstMissSlots.begin(), Res.FirstMissSlots.end()),
+        Res.FirstMissSlots.end());
+  }
   Res.Final = S;
   if (Sink)
     Sink->onRunEnd(stopReasonName(Res.Stop), Res.Error);
@@ -624,6 +653,8 @@ const char *swa::nsa::stopReasonName(StopReason R) {
     return "model-error";
   case StopReason::InvariantViolation:
     return "invariant-violation";
+  case StopReason::DeadlineMiss:
+    return "deadline-miss";
   }
   return "<bad>";
 }
@@ -632,9 +663,10 @@ std::string SimResult::summary() const {
   if (!ok())
     return formatString("error: %s (stop=%s)", Error.c_str(),
                         stopReasonName(Stop));
-  const char *Outcome = Quiescent        ? "quiescent"
-                        : HorizonReached ? "horizon reached"
-                                         : "stopped";
+  const char *Outcome = Stop == StopReason::DeadlineMiss ? "first miss"
+                        : Quiescent                      ? "quiescent"
+                        : HorizonReached                 ? "horizon reached"
+                                                         : "stopped";
   return formatString(
       "%s at t=%lld: %llu actions, %llu delays, %zu sync events",
       Outcome, static_cast<long long>(Final.Now),

@@ -146,6 +146,24 @@ struct SimOptions {
   /// One-shot deliberate state corruption (checker self-test). Null means
   /// no fault is injected.
   FaultPlan *Fault = nullptr;
+  /// First-miss watch: when FailSlotBase >= 0, every applied step's write
+  /// log is scanned for stores into the contiguous slot range
+  /// [FailSlotBase, FailSlotBase + FailSlotCount). The first instant at
+  /// which a watched slot holds a nonzero value is recorded in
+  /// SimResult::FirstMissTime, and every watched slot written nonzero at
+  /// that instant lands in SimResult::FirstMissSlots (as offsets from
+  /// FailSlotBase). The builder lays out `is_failed[gid]` contiguously, so
+  /// offsets are global task ids.
+  int32_t FailSlotBase = -1;
+  int32_t FailSlotCount = 0;
+  /// Online first-miss early exit (the search fast path): once the first
+  /// miss instant has been fully processed — i.e. no further action fires
+  /// at that model time, so *every* task that misses at the first-miss
+  /// instant has been recorded — the run stops with
+  /// StopReason::DeadlineMiss instead of simulating to the horizon.
+  /// Requires the fail-slot watch above; a truncated run is still a valid
+  /// prefix of the deterministic trace.
+  bool StopOnFirstMiss = false;
 };
 
 /// Why a run ended, one level more structured than the ok()/Error split:
@@ -162,6 +180,12 @@ enum class StopReason {
   /// from ModelError so the differential harness can tell "the engine's
   /// own guards tripped" from "the independent oracle caught it".
   InvariantViolation,
+  /// SimOptions::StopOnFirstMiss fired: a watched fail slot went nonzero
+  /// and the miss instant completed. Unlike the other non-Completed stops
+  /// this is a *successful* early verdict, not an error — SimResult::Error
+  /// stays empty and ok() stays true; the trace is a faithful prefix of
+  /// the full run truncated at the first-miss instant.
+  DeadlineMiss,
 };
 
 /// Short stable name for a StopReason ("completed", "budget-exceeded", ...).
@@ -176,12 +200,22 @@ struct SimResult {
   /// The network became quiescent (no action possible, no pending clock
   /// bound) before the horizon.
   bool Quiescent = false;
-  /// How the run ended. Anything but Completed also sets Error, so ok()
-  /// callers keep treating guard-rail stops as "no usable trace".
+  /// How the run ended. Anything but Completed or DeadlineMiss also sets
+  /// Error, so ok() callers keep treating guard-rail stops as "no usable
+  /// trace"; DeadlineMiss is a successful early verdict and leaves Error
+  /// empty.
   StopReason Stop = StopReason::Completed;
   /// Nonempty on a model error (committed deadlock, time-lock, invariant
   /// violation, action budget exhausted) and on guard-rail stops.
   std::string Error;
+  /// First instant at which a watched fail slot (SimOptions::FailSlotBase)
+  /// was written nonzero; -1 when none was, or when the watch is off.
+  int64_t FirstMissTime = -1;
+  /// Watched slots written nonzero at FirstMissTime, as offsets from
+  /// FailSlotBase (= global task ids for builder-produced models), sorted
+  /// ascending and deduplicated. Identical for a full run and a
+  /// StopOnFirstMiss run over the same network.
+  std::vector<int32_t> FirstMissSlots;
 
   bool ok() const { return Error.empty(); }
 

@@ -7,8 +7,11 @@
 #include "schedtool/ConfigSearch.h"
 
 #include "analysis/Analyzer.h"
+#include "config/Decompose.h"
+#include "config/Fingerprint.h"
 #include "obs/Metrics.h"
 #include "obs/Timer.h"
+#include "schedtool/VerdictCache.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -121,13 +124,56 @@ struct Candidate {
   std::string InvalidReason;
 };
 
-/// Evaluation slot; written by exactly one worker, read only after the
-/// whole batch finished.
+/// Evaluation slot; written by exactly one worker (or filled serially
+/// from the cache / an intra-batch duplicate), read only after the whole
+/// batch finished.
 struct Eval {
   bool Ok = false;
   std::string ErrMsg;
   analysis::VerdictOutcome V;
 };
+
+/// One unit of parallel work: a candidate evaluated monolithically
+/// (Comp == kMonolithic), one decomposed component of it (Comp >= 0), or
+/// a whole decomposed candidate whose components run sequentially inside
+/// the item under a shrinking first-miss horizon cap (Comp ==
+/// kCappedChain, used when early exit and decomposition combine). The
+/// flattened item list keeps ThreadPool::parallelFor non-reentrant while
+/// work of different candidates still overlaps.
+struct WorkItem {
+  static constexpr int kMonolithic = -1;
+  static constexpr int kCappedChain = -2;
+  int Cand = -1;
+  int Comp = kMonolithic;
+};
+
+/// Deterministic evaluation order for a capped chain: most-starved
+/// component first (largest demand-to-window-share ratio over its
+/// partitions), so the earliest deadline miss is usually discovered
+/// before the comfortably-provisioned components run — their horizons
+/// then collapse to that miss instant. A pure function of the
+/// decomposition: worker count and batch order cannot change it, and any
+/// order yields the same merged verdict (the heuristic only moves cost).
+std::vector<size_t> chainOrder(const cfg::Decomposition &D) {
+  std::vector<double> Score(D.Components.size(), 0.0);
+  for (size_t K = 0; K < D.Components.size(); ++K) {
+    const cfg::Config &Sub = D.Components[K].Sub;
+    for (size_t P = 0; P < Sub.Partitions.size(); ++P) {
+      double Demand = Sub.partitionUtilization(static_cast<int>(P));
+      double Supply = Sub.windowShare(static_cast<int>(P));
+      double S = Supply > 0.0 ? Demand / Supply
+                              : (Demand > 0.0 ? 1e18 : 0.0);
+      Score[K] = std::max(Score[K], S);
+    }
+  }
+  std::vector<size_t> Order(D.Components.size());
+  for (size_t K = 0; K < Order.size(); ++K)
+    Order[K] = K;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Score[A] > Score[B];
+  });
+  return Order;
+}
 
 /// Per-candidate perturbation seed: a pure function of (Seed, Round, J),
 /// never of the thread that evaluates the candidate.
@@ -151,11 +197,18 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   // suppressed, so registry contents are identical for every Workers
   // value.
   obs::Counter *CandC = nullptr, *SimC = nullptr, *SchedC = nullptr;
+  obs::Counter *HitC = nullptr, *MissC = nullptr, *FoldC = nullptr;
+  obs::Counter *DecompC = nullptr, *CompC = nullptr;
   if (obs::enabled()) {
     obs::Registry &Reg = obs::Registry::global();
     CandC = &Reg.counter("schedtool.candidates.evaluated");
     SimC = &Reg.counter("schedtool.simulations.run");
     SchedC = &Reg.counter("schedtool.schedulable.seen");
+    HitC = &Reg.counter("schedtool.cache.hits");
+    MissC = &Reg.counter("schedtool.cache.misses");
+    FoldC = &Reg.counter("schedtool.cache.folds");
+    DecompC = &Reg.counter("schedtool.decomposed.candidates");
+    CompC = &Reg.counter("schedtool.components.simulated");
   }
 
   cfg::Config Current = Problem.Base;
@@ -170,6 +223,26 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
 
   std::vector<Candidate> Cands;
   std::vector<Eval> Evals;
+
+  // Candidate badness is L - FirstMissTime + 1 (0 when schedulable): a
+  // metric both a full run and a first-miss early exit compute exactly,
+  // so flipping UseEarlyExit cannot change the SearchResult. L depends
+  // only on the task periods, which no search move touches.
+  const int64_t L = Current.hyperperiod();
+  auto BadnessOf = [L](const analysis::VerdictOutcome &V) -> int64_t {
+    if (V.Schedulable)
+      return 0;
+    return V.FirstMissTime >= 0 ? L - V.FirstMissTime + 1 : L + 2;
+  };
+
+  VerdictCache Cache;
+  // Per-round scratch for the cache / decomposition pipeline.
+  std::vector<cfg::Fingerprint> Canon, Raw;
+  std::vector<int> DupOf;
+  std::vector<int> SimList;
+  std::vector<cfg::Decomposition> Decs;
+  std::vector<WorkItem> Items;
+  std::vector<Eval> ItemEvals;
 
   // Guard rails handed to every candidate simulation. When neither is set
   // the options are all-default and the evaluation path is bit-for-bit
@@ -218,18 +291,156 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         C.Valid = true;
     }
 
+    // Cache consultation — strictly serial and against the pre-batch
+    // cache state, so the hit pattern is a pure function of the candidate
+    // sequence (independent of Workers/BatchSize timing). Intra-batch
+    // fingerprint collisions are marked as duplicates and resolved after
+    // the batch from the first occurrence's verdict.
+    const int RoundHits0 = Res.CacheHits, RoundMisses0 = Res.CacheMisses;
+    const int RoundFolds0 = Res.SymmetryFolds;
+    const int RoundDups0 = Res.DuplicateCandidates;
+    const int RoundDecomp0 = Res.DecomposedCandidates;
+    const int RoundComps0 = Res.ComponentsSimulated;
+    const int RoundSims0 = Res.SimulationsRun;
+    SimList.clear();
+    DupOf.assign(static_cast<size_t>(N), -1);
+    if (Problem.UseVerdictCache) {
+      Canon.assign(static_cast<size_t>(N), {});
+      Raw.assign(static_cast<size_t>(N), {});
+      for (int J = 0; J < N; ++J) {
+        Candidate &C = Cands[static_cast<size_t>(J)];
+        if (!C.Valid)
+          continue;
+        Canon[static_cast<size_t>(J)] = cfg::fingerprintConfig(C.Config);
+        Raw[static_cast<size_t>(J)] =
+            cfg::fingerprintConfig(C.Config, /*CanonicalizeCores=*/false);
+        int Dup = -1;
+        for (int I = 0; I < J; ++I)
+          if (Cands[static_cast<size_t>(I)].Valid &&
+              Canon[static_cast<size_t>(I)] == Canon[static_cast<size_t>(J)]) {
+            Dup = I;
+            break;
+          }
+        if (Dup >= 0) {
+          DupOf[static_cast<size_t>(J)] = Dup;
+          ++Res.DuplicateCandidates;
+          continue;
+        }
+        if (const VerdictCache::Entry *E =
+                Cache.lookup(Canon[static_cast<size_t>(J)])) {
+          Eval &EV = Evals[static_cast<size_t>(J)];
+          EV.Ok = true;
+          EV.V = E->Verdict;
+          ++Res.CacheHits;
+          if (E->Raw != Raw[static_cast<size_t>(J)])
+            ++Res.SymmetryFolds;
+        } else {
+          ++Res.CacheMisses;
+          SimList.push_back(J);
+        }
+      }
+    } else {
+      for (int J = 0; J < N; ++J)
+        if (Cands[static_cast<size_t>(J)].Valid)
+          SimList.push_back(J);
+    }
+
+    // Decomposition — also serial: the component structure of each
+    // to-be-simulated candidate is fixed before any thread runs, then one
+    // flattened item list (monolithic candidates and individual
+    // components side by side) is dispatched in a single parallelFor, so
+    // the pool is never re-entered and small components of different
+    // candidates overlap freely.
+    Decs.assign(static_cast<size_t>(N), cfg::Decomposition());
+    Items.clear();
+    for (int J : SimList) {
+      if (Problem.UseDecomposition) {
+        Decs[static_cast<size_t>(J)] =
+            cfg::decomposeConfig(Cands[static_cast<size_t>(J)].Config);
+        if (Decs[static_cast<size_t>(J)].Decomposed) {
+          ++Res.DecomposedCandidates;
+          Res.ComponentsSimulated += static_cast<int>(
+              Decs[static_cast<size_t>(J)].Components.size());
+          // With early exit on, the candidate's components run
+          // sequentially in one item so each later component inherits the
+          // earliest miss found so far as its horizon cap — a passing
+          // component then costs min(first miss, L) instead of L, exactly
+          // what the monolithic early-exit run pays.
+          if (Problem.UseEarlyExit) {
+            Items.push_back({J, WorkItem::kCappedChain});
+          } else {
+            for (size_t K = 0;
+                 K < Decs[static_cast<size_t>(J)].Components.size(); ++K)
+              Items.push_back({J, static_cast<int>(K)});
+          }
+          continue;
+        }
+      }
+      ++Res.SimulationsRun;
+      Items.push_back({J, -1});
+    }
+
     // Evaluate the batch. Each worker builds its own model and simulator
     // (no shared mutable state) and suppresses observability for the
     // duration, so attaching more workers can neither race on the
     // registry nor change what gets published.
-    Pool.parallelFor(N, [&](int J) {
+    ItemEvals.assign(Items.size(), Eval());
+    Pool.parallelFor(static_cast<int>(Items.size()), [&](int I) {
       obs::ThreadSuppressGuard Guard;
-      Candidate &C = Cands[static_cast<size_t>(J)];
-      if (!C.Valid)
+      const WorkItem &It = Items[static_cast<size_t>(I)];
+      nsa::SimOptions Opt = CandOpts;
+      Opt.StopOnFirstMiss = Problem.UseEarlyExit;
+      Eval &E = ItemEvals[static_cast<size_t>(I)];
+      if (It.Comp == WorkItem::kCappedChain) {
+        // Early exit + decomposition: run the components in index order,
+        // shrinking the horizon to the earliest miss seen so far. A miss
+        // at exactly the horizon is still detected (the simulator treats
+        // actions at the horizon as inside the window), so the merged
+        // FirstMissTime/FirstMissTasks are identical to independent
+        // full-horizon component runs — later misses that the cap hides
+        // cannot win the min and are invisible to the merge.
+        const cfg::Decomposition &D = Decs[static_cast<size_t>(It.Cand)];
+        std::vector<analysis::ComponentVerdict> Parts;
+        Parts.reserve(D.Components.size());
+        int64_t Cap = D.Horizon;
+        bool AllOk = true;
+        for (size_t K : chainOrder(D)) {
+          const cfg::Component &Comp = D.Components[K];
+          nsa::SimOptions ChainOpt = Opt;
+          ChainOpt.Horizon = Cap;
+          Result<analysis::VerdictOutcome> Out =
+              analysis::analyzeVerdictOnly(Comp.Sub, ChainOpt);
+          if (!Out.ok()) {
+            if (AllOk) // first failing component wins, deterministically
+              E.ErrMsg = Out.error().message();
+            AllOk = false;
+            continue;
+          }
+          if (Out->FirstMissTime >= 0 && Out->FirstMissTime < Cap)
+            Cap = Out->FirstMissTime;
+          Parts.push_back({std::move(*Out), Comp.GidMap});
+        }
+        if (AllOk) {
+          E.Ok = true;
+          E.V = analysis::mergeComponentVerdicts(
+              Parts,
+              Cands[static_cast<size_t>(It.Cand)].Config.numTasks());
+        }
         return;
+      }
+      const cfg::Config *Cfg;
+      if (It.Comp >= 0) {
+        const cfg::Decomposition &D = Decs[static_cast<size_t>(It.Cand)];
+        Cfg = &D.Components[static_cast<size_t>(It.Comp)].Sub;
+        // Components carry their own (smaller) hyperperiod; simulate to
+        // the global one so backlog beyond it is observed exactly as the
+        // monolithic run observes it.
+        Opt.Horizon = D.Horizon;
+      } else {
+        Cfg = &Cands[static_cast<size_t>(It.Cand)].Config;
+      }
       Result<analysis::VerdictOutcome> Out =
-          analysis::analyzeVerdictOnly(C.Config, CandOpts);
-      Eval &E = Evals[static_cast<size_t>(J)];
+          analysis::analyzeVerdictOnly(*Cfg, Opt);
       if (Out.ok()) {
         E.Ok = true;
         E.V = std::move(*Out);
@@ -238,10 +449,61 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       }
     });
 
+    // Assemble per-candidate verdicts in candidate order: merge component
+    // results, insert decided verdicts into the cache, then resolve
+    // intra-batch duplicates from their first occurrence.
+    {
+      size_t ItemAt = 0;
+      for (int J : SimList) {
+        Eval &E = Evals[static_cast<size_t>(J)];
+        const cfg::Decomposition &D = Decs[static_cast<size_t>(J)];
+        if (D.Decomposed && Problem.UseEarlyExit) {
+          // Capped-chain items merged their components inside the worker;
+          // the single slot already holds the candidate verdict.
+          E = std::move(ItemEvals[ItemAt]);
+          ++ItemAt;
+        } else if (D.Decomposed) {
+          std::vector<analysis::ComponentVerdict> Parts;
+          Parts.reserve(D.Components.size());
+          bool AllOk = true;
+          for (size_t K = 0; K < D.Components.size(); ++K, ++ItemAt) {
+            Eval &IE = ItemEvals[ItemAt];
+            if (!IE.Ok) {
+              if (AllOk) // first failing component wins, deterministically
+                E.ErrMsg = IE.ErrMsg;
+              AllOk = false;
+              continue;
+            }
+            Parts.push_back(
+                {std::move(IE.V), D.Components[K].GidMap});
+          }
+          if (AllOk) {
+            E.Ok = true;
+            E.V = analysis::mergeComponentVerdicts(
+                Parts, Cands[static_cast<size_t>(J)].Config.numTasks());
+          }
+        } else {
+          E = std::move(ItemEvals[ItemAt]);
+          ++ItemAt;
+        }
+        if (Problem.UseVerdictCache && E.Ok)
+          Cache.insert(Canon[static_cast<size_t>(J)],
+                       Raw[static_cast<size_t>(J)], E.V);
+      }
+    }
+    for (int J = 0; J < N; ++J)
+      if (DupOf[static_cast<size_t>(J)] >= 0)
+        Evals[static_cast<size_t>(J)] =
+            Evals[static_cast<size_t>(DupOf[static_cast<size_t>(J)])];
+
     // Reduce in candidate order: logs, counters, best-so-far and the
     // returned error (if any) are those of the lowest-index candidate,
-    // independent of evaluation order.
+    // independent of evaluation order. Every logged quantity (badness,
+    // first-miss instant, first-miss task count) is invariant under the
+    // three acceleration layers, so the per-iteration log is identical
+    // for any flag combination.
     int RoundBest = -1;
+    int64_t RoundBestBadness = -1;
     for (int J = 0; J < N; ++J) {
       int IterJ = Iter + J;
       const Candidate &C = Cands[static_cast<size_t>(J)];
@@ -265,14 +527,18 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         continue;
       }
       ++Res.ConfigurationsEvaluated;
-      if (CandC) {
+      if (CandC)
         CandC->add(1);
-        SimC->add(1); // One simulated run per candidate.
-      }
-      Res.Log.push_back(formatString(
-          "iter %d: %s (%lld failed tasks)", IterJ,
-          E.V.Schedulable ? "schedulable" : "unschedulable",
-          static_cast<long long>(E.V.FailedTasks)));
+      int64_t Badness = BadnessOf(E.V);
+      if (E.V.Schedulable)
+        Res.Log.push_back(formatString("iter %d: schedulable", IterJ));
+      else
+        Res.Log.push_back(formatString(
+            "iter %d: unschedulable (badness %lld, first miss at t=%lld, "
+            "%d tasks)",
+            IterJ, static_cast<long long>(Badness),
+            static_cast<long long>(E.V.FirstMissTime),
+            static_cast<int>(E.V.FirstMissTasks.size())));
 
       if (E.V.Schedulable) {
         ++Res.SchedulableSeen;
@@ -284,16 +550,53 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         Res.BestTrajectory.push_back({IterJ, 0});
         return Res;
       }
-      if (Res.BestBadness < 0 || E.V.FailedTasks < Res.BestBadness) {
-        Res.BestBadness = E.V.FailedTasks;
+      if (Res.BestBadness < 0 || Badness < Res.BestBadness) {
+        Res.BestBadness = Badness;
         Res.Best = C.Config;
-        Res.BestTrajectory.push_back({IterJ, E.V.FailedTasks});
+        Res.BestTrajectory.push_back({IterJ, Badness});
       }
-      if (RoundBest < 0 ||
-          E.V.FailedTasks < Evals[static_cast<size_t>(RoundBest)].V.FailedTasks)
+      if (RoundBest < 0 || Badness < RoundBestBadness) {
         RoundBest = J;
+        RoundBestBadness = Badness;
+      }
     }
     Iter += N;
+
+    // Per-round acceleration statistics. Only emitted when the matching
+    // layer is on, so a layers-off log is exactly the per-iteration lines
+    // — and the values themselves are serial-path facts, identical for
+    // every Workers/BatchSize.
+    if (Problem.UseVerdictCache) {
+      Res.Log.push_back(formatString(
+          "round %d: cache %d hits / %d misses / %d folds / %d dups "
+          "(%d entries)",
+          Round, Res.CacheHits - RoundHits0, Res.CacheMisses - RoundMisses0,
+          Res.SymmetryFolds - RoundFolds0,
+          Res.DuplicateCandidates - RoundDups0,
+          static_cast<int>(Cache.size())));
+      if (HitC) {
+        HitC->add(static_cast<uint64_t>(Res.CacheHits - RoundHits0));
+        MissC->add(static_cast<uint64_t>(Res.CacheMisses - RoundMisses0));
+        FoldC->add(static_cast<uint64_t>(Res.SymmetryFolds - RoundFolds0));
+      }
+    }
+    if (Problem.UseDecomposition) {
+      Res.Log.push_back(formatString(
+          "round %d: decomposed %d/%d simulated candidates into %d "
+          "components",
+          Round, Res.DecomposedCandidates - RoundDecomp0,
+          static_cast<int>(SimList.size()),
+          Res.ComponentsSimulated - RoundComps0));
+      if (DecompC) {
+        DecompC->add(
+            static_cast<uint64_t>(Res.DecomposedCandidates - RoundDecomp0));
+        CompC->add(
+            static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
+      }
+    }
+    if (SimC)
+      SimC->add(static_cast<uint64_t>(Res.SimulationsRun - RoundSims0) +
+                static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
 
     if (RoundBest < 0) {
       // Every candidate in the round was invalid; resample all boosts.
@@ -303,18 +606,19 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       continue;
     }
 
-    // Adapt from the round's best candidate: grow the windows of its
-    // failed partitions; occasionally rebind the worst partition to the
-    // least-loaded core.
+    // Adapt from the round's best candidate: grow the windows of the
+    // partitions whose tasks miss at the first-miss instant (the only
+    // failure set every evaluation mode computes identically);
+    // occasionally rebind the worst partition to the least-loaded core.
     Current = Cands[static_cast<size_t>(RoundBest)].Config;
     Boost = Cands[static_cast<size_t>(RoundBest)].Boost;
     const analysis::VerdictOutcome &V =
         Evals[static_cast<size_t>(RoundBest)].V;
     std::vector<int64_t> FailedPerPartition(Current.Partitions.size(), 0);
-    for (size_t G = 0; G < V.TaskFailed.size(); ++G)
-      if (V.TaskFailed[G])
+    for (int32_t G : V.FirstMissTasks)
+      if (G >= 0 && G < Current.numTasks())
         ++FailedPerPartition[static_cast<size_t>(
-            Current.taskRefOf(static_cast<int>(G)).Partition)];
+            Current.taskRefOf(G).Partition)];
 
     int Worst = -1;
     for (size_t P = 0; P < FailedPerPartition.size(); ++P) {

@@ -59,17 +59,40 @@ struct SearchProblem {
   /// and passed to every candidate simulation, so an in-flight batch winds
   /// down quickly.
   const CancelToken *Cancel = nullptr;
+  /// Memoize verdicts under the canonical structural fingerprint
+  /// (cfg::fingerprintConfig): revisited and symmetry-equivalent
+  /// candidates skip the simulation. Hits are observationally identical
+  /// to re-evaluation — the SearchResult is byte-identical with the cache
+  /// on or off, for any Workers/BatchSize (the cache is consulted and
+  /// filled only on the serial reduce path).
+  bool UseVerdictCache = true;
+  /// Stop each candidate simulation at the first deadline miss
+  /// (nsa::SimOptions::StopOnFirstMiss) instead of running to the
+  /// hyperperiod. The verdict, badness and adaptive move are derived
+  /// from first-miss data that a full run computes identically.
+  bool UseEarlyExit = true;
+  /// Split candidates along the inter-core message graph
+  /// (cfg::decomposeConfig) and simulate the independent components as
+  /// separate, smaller NSA instances — in parallel across the worker
+  /// pool — then merge (analysis::mergeComponentVerdicts). Candidates
+  /// that do not decompose fall back to the monolithic run.
+  bool UseDecomposition = true;
 };
 
 struct SearchResult {
   bool Found = false;
   cfg::Config Best;              ///< Schedulable configuration when Found.
+  /// Decided candidates (verdict obtained by simulation *or* cache hit);
+  /// invalid and guard-rail-skipped candidates are excluded.
   int ConfigurationsEvaluated = 0;
   int SchedulableSeen = 0;
-  /// Badness — the failed-task count — of the best candidate seen (0 when
-  /// Found). Note: this is NOT a missed-job count; earlier revisions
-  /// exposed AnalysisResult::MissedJobs here under the name
-  /// BestMissedJobs, so the field was renamed when the metric changed.
+  /// Badness of the best candidate seen: 0 when schedulable, otherwise
+  /// L - FirstMissTime + 1 (hyperperiod minus the first-miss instant, so
+  /// "misses later" is "less bad" and the value is positive). Chosen
+  /// because a first-miss early-exit run computes it exactly — unlike the
+  /// full-run failed-task count earlier revisions used (the field has
+  /// been renamed/redefined before: BestMissedJobs -> BestBadness as
+  /// failed tasks -> this first-miss metric).
   int64_t BestBadness = 0;
   /// Best-so-far trajectory: (iteration, badness of the best candidate
   /// seen up to then), appended whenever the best improves. The last entry
@@ -81,6 +104,24 @@ struct SearchResult {
   int CandidatesSkipped = 0;
   /// The search stopped because SearchProblem::Cancel fired.
   bool Cancelled = false;
+  /// Verdict-cache statistics (all zero when UseVerdictCache is off).
+  /// Hits + Misses == cache lookups (one per valid, non-duplicate
+  /// candidate); SymmetryFolds counts the hits that only exist because of
+  /// core-relabeling canonicalization and DuplicateCandidates the
+  /// intra-batch fingerprint collisions resolved without a lookup.
+  int CacheHits = 0;
+  int CacheMisses = 0;
+  int SymmetryFolds = 0;
+  int DuplicateCandidates = 0;
+  /// Compositional-evaluation statistics (zero when UseDecomposition is
+  /// off): candidates that split, and total component NSA instances
+  /// simulated for them.
+  int DecomposedCandidates = 0;
+  int ComponentsSimulated = 0;
+  /// Monolithic simulations actually run (cache misses that did not
+  /// decompose). SimulationsRun + ComponentsSimulated is the number of
+  /// Simulator::run calls the search made.
+  int SimulationsRun = 0;
   std::vector<std::string> Log;
 };
 

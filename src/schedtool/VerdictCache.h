@@ -1,0 +1,87 @@
+//===- schedtool/VerdictCache.h - Memoized candidate verdicts ---*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe map from canonical config fingerprints
+/// (cfg::fingerprintConfig) to decided analysis verdicts. The local
+/// search revisits structurally identical candidates constantly — the
+/// adaptive state changes slowly and symmetric rebinds collapse under
+/// canonicalization — so memoizing the verdict makes those candidates
+/// free.
+///
+/// Determinism: the search consults and fills the cache only from the
+/// serial reduce thread, and only *before* dispatching a batch /
+/// *after* reducing it in candidate order, so the hit pattern is a pure
+/// function of the candidate sequence — independent of Workers and
+/// BatchSize timing. The mutex makes the container safe for callers that
+/// do share one cache across threads; it is uncontended in the search.
+///
+/// Only decided() verdicts are stored: guard-rail stops (budget, cancel)
+/// depend on wall-clock timing and must never be replayed as facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SCHEDTOOL_VERDICTCACHE_H
+#define SWA_SCHEDTOOL_VERDICTCACHE_H
+
+#include "analysis/Analyzer.h"
+#include "config/Fingerprint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace swa {
+namespace schedtool {
+
+class VerdictCache {
+public:
+  struct Entry {
+    /// The *raw* (non-canonicalized) fingerprint of the config that
+    /// produced the verdict. A later lookup whose raw fingerprint
+    /// differs hit through core-relabeling canonicalization — a
+    /// symmetry fold, counted separately from plain revisits.
+    cfg::Fingerprint Raw;
+    analysis::VerdictOutcome Verdict;
+  };
+
+  /// Returns the entry for \p Key, or nullptr. The pointer stays valid
+  /// until clear() (node-based container; inserts never move entries).
+  const Entry *lookup(const cfg::Fingerprint &Key) const {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(Key);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  /// Inserts \p Verdict under \p Key; first insert wins (re-evaluating
+  /// the same structure yields the same verdict, so overwriting is
+  /// pointless). Undecided verdicts are rejected.
+  void insert(const cfg::Fingerprint &Key, const cfg::Fingerprint &Raw,
+              const analysis::VerdictOutcome &Verdict) {
+    if (!Verdict.decided())
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    Map.emplace(Key, Entry{Raw, Verdict});
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Map.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Map.clear();
+  }
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<cfg::Fingerprint, Entry, cfg::FingerprintHash> Map;
+};
+
+} // namespace schedtool
+} // namespace swa
+
+#endif // SWA_SCHEDTOOL_VERDICTCACHE_H

@@ -24,8 +24,10 @@
 #include "difftest/Oracles.h"
 #include "difftest/Reproducer.h"
 #include "difftest/Shrink.h"
+#include "config/Decompose.h"
 #include "difftest/TraceInvariants.h"
 #include "gen/Adversarial.h"
+#include "gen/Workload.h"
 #include "nsa/Event.h"
 #include "nsa/Simulator.h"
 #include "obs/TraceSink.h"
@@ -447,6 +449,36 @@ TEST(DiffOracles, FixturesAreCleanAcrossAllPairs) {
                     << D.Expected << "' actual '" << D.Actual << "' ("
                     << D.Detail << ")";
     EXPECT_GE(Rep.PairsRun, 3); // invariants + vm/interp + round trip.
+  }
+}
+
+TEST(DiffOracles, EarlyExitAndDecomposedPairsAreExercised) {
+  // The adversarial campaign rarely produces decomposable configurations
+  // (its window layouts are not component-periodic), so this fixed-seed
+  // test guarantees both new oracle pairs actually run: message-free
+  // industrial workloads decompose per core group, and the moderate/high
+  // utilization pair covers a schedulable and an unschedulable subject.
+  for (double Util : {0.35, 0.85}) {
+    gen::IndustrialParams P;
+    P.Modules = 2;
+    P.CoresPerModule = 2;
+    P.PartitionsPerCore = 2;
+    P.CoreUtilization = Util;
+    P.MessageProbability = 0.0;
+    P.Seed = 5;
+    cfg::Config C = gen::industrialConfig(P);
+    ASSERT_FALSE(C.validate().isFailure());
+    ASSERT_TRUE(cfg::decomposeConfig(C).Decomposed) << "util " << Util;
+
+    difftest::OracleReport Rep = difftest::runOracles(C);
+    EXPECT_TRUE(Rep.SkipReason.empty()) << Rep.SkipReason;
+    for (const difftest::Discrepancy &D : Rep.Mismatches)
+      ADD_FAILURE() << "util " << Util << " pair="
+                    << difftest::oraclePairName(D.Pair) << ": expected '"
+                    << D.Expected << "' actual '" << D.Actual << "' ("
+                    << D.Detail << ")";
+    // invariants + vm/interp + round trip + early-exit + decomposed.
+    EXPECT_GE(Rep.PairsRun, 5);
   }
 }
 

@@ -249,6 +249,194 @@ TEST(Search, VerdictOnlyAgreesWithFullAnalysis) {
   }
 }
 
+namespace {
+
+/// Like unboundProblem but with no messages: every core group is an
+/// independent component, so the decomposition layer engages.
+cfg::Config decoupledProblem(double Utilization, uint64_t Seed) {
+  gen::IndustrialParams P;
+  P.Modules = 2;
+  P.CoresPerModule = 2;
+  P.PartitionsPerCore = 2;
+  P.CoreUtilization = Utilization;
+  P.MessageProbability = 0.0;
+  P.Seed = Seed;
+  cfg::Config C = gen::industrialConfig(P);
+  for (cfg::Partition &Part : C.Partitions) {
+    Part.Core = -1;
+    Part.Windows.clear();
+  }
+  return C;
+}
+
+/// The per-iteration lines of the search log. The acceleration layers add
+/// per-round statistics lines, so cross-flag comparisons look at these
+/// (and the scalar fields); full byte-identity of the Log is only asserted
+/// when the flags are held fixed.
+std::vector<std::string> iterLines(const SearchResult &R) {
+  std::vector<std::string> Out;
+  for (const std::string &L : R.Log)
+    if (L.rfind("iter ", 0) == 0)
+      Out.push_back(L);
+  return Out;
+}
+
+/// Everything an accelerated run must reproduce exactly: the verdict
+/// stream, the counters derived from it, the trajectory and the chosen
+/// configuration.
+void expectSameObservable(const SearchResult &A, const SearchResult &B) {
+  EXPECT_EQ(A.Found, B.Found);
+  EXPECT_EQ(A.ConfigurationsEvaluated, B.ConfigurationsEvaluated);
+  EXPECT_EQ(A.SchedulableSeen, B.SchedulableSeen);
+  EXPECT_EQ(A.BestBadness, B.BestBadness);
+  EXPECT_EQ(A.BestTrajectory, B.BestTrajectory);
+  EXPECT_EQ(iterLines(A), iterLines(B));
+  ASSERT_EQ(A.Best.Partitions.size(), B.Best.Partitions.size());
+  for (size_t P = 0; P < A.Best.Partitions.size(); ++P) {
+    EXPECT_EQ(A.Best.Partitions[P].Core, B.Best.Partitions[P].Core);
+    ASSERT_EQ(A.Best.Partitions[P].Windows.size(),
+              B.Best.Partitions[P].Windows.size());
+    for (size_t W = 0; W < A.Best.Partitions[P].Windows.size(); ++W) {
+      EXPECT_EQ(A.Best.Partitions[P].Windows[W].Start,
+                B.Best.Partitions[P].Windows[W].Start);
+      EXPECT_EQ(A.Best.Partitions[P].Windows[W].End,
+                B.Best.Partitions[P].Windows[W].End);
+    }
+  }
+}
+
+SearchProblem layeredProblem(cfg::Config Base, uint64_t Seed, int Iters,
+                             bool Cache, bool Early, bool Decompose) {
+  SearchProblem Problem;
+  Problem.Base = std::move(Base);
+  Problem.Seed = Seed;
+  Problem.MaxIterations = Iters;
+  Problem.UseVerdictCache = Cache;
+  Problem.UseEarlyExit = Early;
+  Problem.UseDecomposition = Decompose;
+  return Problem;
+}
+
+} // namespace
+
+TEST(Search, AccelerationLayersAreObservationallyTransparent) {
+  // Every combination of the three layers must reproduce the plain
+  // search's verdict stream, trajectory, counters and chosen
+  // configuration — on a workload that decomposes and at a utilization
+  // where candidates fail (so the early exit actually fires).
+  for (double Util : {0.45, 0.8}) {
+    auto Plain = searchConfiguration(layeredProblem(
+        decoupledProblem(Util, 21), 17, 12, false, false, false));
+    ASSERT_TRUE(Plain.ok()) << Plain.error().message();
+
+    for (int Mask = 1; Mask < 8; ++Mask) {
+      auto Fast = searchConfiguration(layeredProblem(
+          decoupledProblem(Util, 21), 17, 12, (Mask & 1) != 0,
+          (Mask & 2) != 0, (Mask & 4) != 0));
+      ASSERT_TRUE(Fast.ok()) << Fast.error().message();
+      expectSameObservable(*Plain, *Fast);
+    }
+  }
+}
+
+TEST(Search, AcceleratedResultIndependentOfWorkerCount) {
+  // With every layer on (the default), the SearchResult — including the
+  // cache and decomposition statistics, which are serial-path facts —
+  // must stay byte-identical for every worker count.
+  SearchProblem Problem;
+  Problem.Base = decoupledProblem(0.8, 22);
+  Problem.Seed = 19;
+  Problem.MaxIterations = 12;
+
+  Problem.Workers = 1;
+  auto Serial = searchConfiguration(Problem);
+  ASSERT_TRUE(Serial.ok()) << Serial.error().message();
+
+  for (int Workers : {2, 4}) {
+    Problem.Workers = Workers;
+    auto Parallel = searchConfiguration(Problem);
+    ASSERT_TRUE(Parallel.ok()) << Parallel.error().message();
+    expectSameResult(*Serial, *Parallel);
+    EXPECT_EQ(Serial->CacheHits, Parallel->CacheHits);
+    EXPECT_EQ(Serial->CacheMisses, Parallel->CacheMisses);
+    EXPECT_EQ(Serial->SymmetryFolds, Parallel->SymmetryFolds);
+    EXPECT_EQ(Serial->DuplicateCandidates, Parallel->DuplicateCandidates);
+    EXPECT_EQ(Serial->DecomposedCandidates, Parallel->DecomposedCandidates);
+    EXPECT_EQ(Serial->ComponentsSimulated, Parallel->ComponentsSimulated);
+    EXPECT_EQ(Serial->SimulationsRun, Parallel->SimulationsRun);
+  }
+}
+
+TEST(Search, PlainResultIndependentOfWorkerCount) {
+  // The same guarantee with every layer off: the acceleration rewrite
+  // must not have cost the original worker-count determinism.
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.8, 23);
+  Problem.Seed = 19;
+  Problem.MaxIterations = 12;
+  Problem.UseVerdictCache = false;
+  Problem.UseEarlyExit = false;
+  Problem.UseDecomposition = false;
+
+  Problem.Workers = 1;
+  auto Serial = searchConfiguration(Problem);
+  ASSERT_TRUE(Serial.ok()) << Serial.error().message();
+  for (int Workers : {2, 4}) {
+    Problem.Workers = Workers;
+    auto Parallel = searchConfiguration(Problem);
+    ASSERT_TRUE(Parallel.ok()) << Parallel.error().message();
+    expectSameResult(*Serial, *Parallel);
+  }
+}
+
+TEST(Search, CacheHitsHappenAndAreCounted) {
+  // At high utilization the boost vector saturates after a few rounds and
+  // candidate 0 (the unperturbed adaptive state) starts repeating — the
+  // cache must catch those revisits, and the statistics must be coherent:
+  // every decided candidate was a hit, a miss that simulated, or an
+  // intra-batch duplicate of one.
+  SearchProblem Problem;
+  Problem.Base = unboundProblem(0.8, 99);
+  Problem.Seed = 29;
+  Problem.MaxIterations = 60;
+  auto Res = searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  ASSERT_GT(Res->ConfigurationsEvaluated, 0);
+  ASSERT_FALSE(Res->Found); // overloaded on purpose
+  EXPECT_GT(Res->CacheHits, 0);
+  EXPECT_GT(Res->CacheMisses, 0);
+  EXPECT_EQ(Res->ConfigurationsEvaluated,
+            Res->CacheHits + Res->CacheMisses + Res->DuplicateCandidates);
+  bool StatsLogged = false;
+  for (const std::string &Line : Res->Log)
+    if (Line.rfind("round ", 0) == 0 &&
+        Line.find("cache") != std::string::npos)
+      StatsLogged = true;
+  EXPECT_TRUE(StatsLogged) << "no cache statistics in the search log";
+}
+
+TEST(Search, DecompositionEngagesOnDecoupledWorkloads) {
+  SearchProblem Problem;
+  Problem.Base = decoupledProblem(0.8, 25);
+  Problem.Seed = 31;
+  Problem.MaxIterations = 12;
+  auto Res = searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_GT(Res->DecomposedCandidates, 0);
+  // A decomposed candidate has at least two components.
+  EXPECT_GE(Res->ComponentsSimulated, 2 * Res->DecomposedCandidates);
+  // The per-round statistics lines appear once a round completes (a
+  // search that succeeds mid-round returns before logging them).
+  if (!Res->Found) {
+    bool StatsLogged = false;
+    for (const std::string &Line : Res->Log)
+      if (Line.rfind("round ", 0) == 0 &&
+          Line.find("decomposed") != std::string::npos)
+        StatsLogged = true;
+    EXPECT_TRUE(StatsLogged) << "no decomposition statistics in the log";
+  }
+}
+
 int main(int argc, char **argv) {
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
