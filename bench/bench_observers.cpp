@@ -10,13 +10,28 @@
 // growth of the verification state space — and why verification is done
 // once per component, while per-configuration analysis uses simulation.
 //
+// Also guards the other observer cost: the obs:: span layer around the
+// hot simulation loop. BM_SimSpansGuard runs the same span-wrapped
+// simulation with observability off, with spans recording, and with no
+// spans at all, and fails the benchmark when the measured overhead
+// exceeds the asserted bounds (off must be branch-only, on must stay
+// bounded).
+//
 //===----------------------------------------------------------------------===//
 
+#include "core/InstanceBuilder.h"
+#include "gen/Workload.h"
+#include "nsa/Simulator.h"
+#include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "verify/Observers.h"
 
 #include "BenchSupport.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
 
 using namespace swa;
 
@@ -82,5 +97,98 @@ static void BM_VerifyFullSuite(benchmark::State &State) {
   State.counters["requirements"] = static_cast<double>(Requirements);
 }
 BENCHMARK(BM_VerifyFullSuite)->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Span-layer overhead on the hot simulation loop
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The search's per-item instrumentation shape: one span with a few
+/// integer args wrapped around each simulation run. The Simulator is
+/// reused (run() resets), exactly like the search's hot loop.
+uint64_t spanWrappedSimulation(nsa::Simulator &Sim, int Runs) {
+  uint64_t Actions = 0;
+  for (int I = 0; I < Runs; ++I) {
+    obs::Span ItemSpan("simulate.monolithic", "bench");
+    ItemSpan.arg("cand", I);
+    ItemSpan.arg("comp", -1);
+    nsa::SimResult R = Sim.run();
+    Actions += R.ActionCount;
+    benchmark::DoNotOptimize(R.ok());
+  }
+  return Actions;
+}
+
+/// Best-of-three wall time of \p Runs span-wrapped simulations, so one
+/// scheduler hiccup cannot fail the guard.
+double bestNanos(nsa::Simulator &Sim, int Runs) {
+  double Best = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto T0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(spanWrappedSimulation(Sim, Runs));
+    double Ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    if (Rep == 0 || Ns < Best)
+      Best = Ns;
+  }
+  return Best;
+}
+
+} // namespace
+
+// Asserted overhead bound: with observability off the span objects must
+// be branch-only (within noise of a run that never constructs them), and
+// with spans recording the per-run cost must stay bounded. Violations
+// fail the benchmark, so `bench_observers` doubles as a perf contract.
+static void BM_SimSpansGuard(benchmark::State &State) {
+  cfg::Config Config = gen::industrialConfigWithJobs(/*Jobs=*/300,
+                                                     /*Seed=*/3);
+  auto Model = core::buildModel(Config);
+  if (!Model.ok()) {
+    State.SkipWithError(Model.error().message().c_str());
+    return;
+  }
+  nsa::Simulator Sim(*Model->Net);
+  const int Runs = 20;
+
+  obs::setEnabled(false);
+  obs::setSpansEnabled(false);
+  bestNanos(Sim, Runs); // Warm-up: page in code and model state.
+  double OffNs = bestNanos(Sim, Runs);
+  obs::setEnabled(true);
+  obs::setSpansEnabled(true);
+  obs::resetSpans();
+  double OnNs = bestNanos(Sim, Runs);
+  size_t Spans = obs::spanCount();
+  obs::setEnabled(false);
+  obs::setSpansEnabled(false);
+  obs::resetSpans();
+
+  double OnOverhead = OffNs > 0 ? (OnNs - OffNs) / OffNs : 0;
+  // Branch-only check: the disabled path is the baseline itself, so the
+  // bound lives on the enabled path. A full span (two clock reads + ring
+  // slot + args) costs ~100ns; 20 simulation runs of a 300-job model
+  // dwarf that, so anything past 15% is a broken fast path.
+  if (OnOverhead > 0.15) {
+    State.SkipWithError(
+        ("span overhead " + std::to_string(OnOverhead * 100) +
+         "% exceeds the asserted 15% bound")
+            .c_str());
+    return;
+  }
+  if (Spans < static_cast<size_t>(Runs)) {
+    State.SkipWithError("spans-on run recorded no spans");
+    return;
+  }
+
+  for (auto _ : State)
+    benchmark::DoNotOptimize(spanWrappedSimulation(Sim, 1));
+  State.counters["spans_on_overhead_pct"] = OnOverhead * 100;
+  State.counters["runs_timed"] = Runs;
+}
+BENCHMARK(BM_SimSpansGuard)->Unit(benchmark::kMillisecond);
 
 SWA_BENCH_MAIN();

@@ -18,6 +18,13 @@
 # counter is rate-like: bigger is better). Exit codes: 0 clean,
 # 1 regression, 2 usage/parse error.
 #
+# When both inputs are obs::RunReport documents ("swa_run_report": 1, as
+# written by --report-out or run_baseline.sh --report) the comparison
+# switches to a report diff instead: cache hit rates, the stop-reason
+# mix, counter deltas, and per-phase nanoseconds. Rate-like stats
+# (*_per_sec) are gated by the same threshold; everything else is
+# informational — event counts are workload shape, not performance.
+#
 # ===----------------------------------------------------------------------===#
 import argparse
 import json
@@ -28,12 +35,15 @@ import sys
 DEFAULT_COUNTERS = ["candidates_per_sec", "actions_per_sec"]
 
 
-def load(path):
+def load_doc(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
+
+
+def index_benchmarks(doc):
     out = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -46,6 +56,70 @@ def load(path):
 def fmt(key):
     binary, name = key
     return f"{binary}:{name}" if binary else name
+
+
+def flatten_phases(nodes, prefix=""):
+    """RunReport phase forest -> {path: nanos}, depth-first."""
+    out = {}
+    for node in nodes or []:
+        path = prefix + node.get("name", "?")
+        out[path] = out.get(path, 0) + int(node.get("ns", 0))
+        out.update(flatten_phases(node.get("children"), path + "/"))
+    return out
+
+
+def compare_reports(base, cur, threshold):
+    """Diff two obs::RunReport documents. Returns the exit code."""
+    bt, ct = base.get("tool", "?"), cur.get("tool", "?")
+    if bt != ct:
+        print(f"warning: comparing reports from different tools "
+              f"({bt} vs {ct})", file=sys.stderr)
+    print(f"run report diff ({ct}):")
+
+    regressions = []
+    bs, cs = base.get("stats", {}), cur.get("stats", {})
+    for name in sorted(set(bs) | set(cs)):
+        bv, cv = bs.get(name), cs.get(name)
+        if bv is None or cv is None:
+            print(f"  stat {name}: only in "
+                  f"{'baseline' if cv is None else 'current'}")
+            continue
+        print(f"  stat {name}: {bv:.4g} -> {cv:.4g}")
+        # Throughput stats gate like benchmark rate counters: lower is a
+        # regression. Hit rates etc. are workload shape — report only.
+        if name.endswith("_per_sec") and bv > 0:
+            delta = (bv - cv) / bv
+            if delta > threshold:
+                regressions.append(
+                    f"{name} {bv:.4g} -> {cv:.4g} (-{delta:.1%})")
+
+    bc, cc = base.get("counters", {}), cur.get("counters", {})
+    stop = sorted(n for n in set(bc) | set(cc) if n.startswith("stop."))
+    if stop:
+        print("  stop-reason mix:")
+        for name in stop:
+            print(f"    {name[len('stop.'):]}: "
+                  f"{bc.get(name, 0)} -> {cc.get(name, 0)}")
+    for name in sorted(set(bc) | set(cc)):
+        if name.startswith("stop."):
+            continue
+        bv, cv = bc.get(name, 0), cc.get(name, 0)
+        if bv != cv:
+            print(f"  counter {name}: {bv} -> {cv}")
+
+    bp = flatten_phases(base.get("phases"))
+    cp = flatten_phases(cur.get("phases"))
+    for path in sorted(set(bp) | set(cp)):
+        bv, cv = bp.get(path, 0), cp.get(path, 0)
+        print(f"  phase {path}: {bv / 1e6:.3f} ms -> {cv / 1e6:.3f} ms")
+
+    if regressions:
+        print(f"{len(regressions)} regression(s) past {threshold:.0%}:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print(f"clean: report stats within {threshold:.0%}")
+    return 0
 
 
 def main():
@@ -62,8 +136,18 @@ def main():
     args = ap.parse_args()
     counters = args.counter if args.counter else DEFAULT_COUNTERS
 
-    base, base_ctx = load(args.baseline)
-    cur, cur_ctx = load(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    base_is_report = "swa_run_report" in base_doc
+    cur_is_report = "swa_run_report" in cur_doc
+    if base_is_report != cur_is_report:
+        sys.exit("error: cannot compare a run report against a "
+                 "benchmark file")
+    if base_is_report:
+        sys.exit(compare_reports(base_doc, cur_doc, args.threshold))
+
+    base, base_ctx = index_benchmarks(base_doc)
+    cur, cur_ctx = index_benchmarks(cur_doc)
 
     for label, ctx in (("baseline", base_ctx), ("current", cur_ctx)):
         swa = ctx.get("swa_build_type")

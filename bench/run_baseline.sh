@@ -8,10 +8,17 @@
 # --benchmark_out JSON into one baseline file at the repo root. Each
 # benchmark entry is tagged with the binary it came from.
 #
-#   $ bench/run_baseline.sh [build-dir] [out-file]
+#   $ bench/run_baseline.sh [--report] [build-dir] [out-file]
 #
 # Defaults: build-dir = build, out-file = BENCH_PR5.json. Commit the output
 # so later PRs can compare against a recorded trajectory.
+#
+# --report additionally runs examples/config_search with --report-out and
+# writes the machine-readable obs::RunReport next to the baseline (out-file
+# with .json replaced by .report.json). compare_bench.py auto-detects two
+# such reports and diffs cache hit rates, the stop-reason mix, and
+# per-phase nanos. config_search legitimately exits 2 when the seed has no
+# schedulable layout; only a real error (exit 1) aborts the recording.
 #
 # The build directory must be configured Release: the script checks
 # CMakeCache.txt up front (configuring one if the directory is missing)
@@ -29,6 +36,11 @@
 #===----------------------------------------------------------------------===#
 set -euo pipefail
 
+REPORT=0
+if [ "${1:-}" = "--report" ]; then
+  REPORT=1
+  shift
+fi
 BUILD="${1:-build}"
 OUT="${2:-BENCH_PR5.json}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -93,3 +105,23 @@ done
 jq -s '{context: .[0].context, benchmarks: (map(.benchmarks) | add)}' \
   "${TAGGED[@]}" > "$ROOT/$OUT"
 echo "wrote $ROOT/$OUT" >&2
+
+if [ "$REPORT" = 1 ]; then
+  SEARCH="$ROOT/$BUILD/examples/config_search"
+  if [ ! -x "$SEARCH" ]; then
+    echo "error: $SEARCH not built (run: cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+  REPORT_OUT="${OUT%.json}.report.json"
+  echo "== config_search run report ==" >&2
+  # Exit 2 = searched cleanly but found nothing schedulable; the report is
+  # still written and still comparable. Only exit 1 is a real failure.
+  RC=0
+  "$SEARCH" --workers 2 --report-out "$ROOT/$REPORT_OUT" >&2 || RC=$?
+  if [ "$RC" != 0 ] && [ "$RC" != 2 ]; then
+    echo "error: config_search failed (exit $RC)" >&2
+    exit "$RC"
+  fi
+  jq -e '.swa_run_report == 1' "$ROOT/$REPORT_OUT" > /dev/null
+  echo "wrote $ROOT/$REPORT_OUT" >&2
+fi

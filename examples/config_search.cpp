@@ -10,6 +10,7 @@
 //
 //   $ ./config_search [seed] [--workers N] [--budget-ms MS]
 //                     [--no-cache] [--no-early-exit] [--no-decompose]
+//                     [--trace-out FILE] [--report-out FILE]
 //
 // --workers evaluates candidate batches on N threads; the result is
 // byte-identical for every N. --budget-ms caps each candidate's
@@ -17,17 +18,25 @@
 // skipped and the search keeps going. The --no-* flags switch off the
 // acceleration layers (verdict memoization, first-miss early exit,
 // per-core compositional evaluation); the verdict stream is identical
-// either way, only the cost changes.
+// either way, only the cost changes. --trace-out records per-candidate /
+// per-component spans and writes a chrome://tracing (Perfetto) timeline;
+// --report-out writes a machine-readable obs::RunReport JSON. Both turn
+// observability on; neither changes the search result.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Report.h"
 #include "gen/Workload.h"
+#include "obs/Metrics.h"
+#include "obs/RunReport.h"
+#include "obs/Span.h"
 #include "schedtool/ConfigSearch.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 using namespace swa;
 
@@ -36,6 +45,7 @@ int main(int argc, char **argv) {
   int Workers = 1;
   int64_t BudgetMs = -1;
   bool UseCache = true, UseEarlyExit = true, UseDecompose = true;
+  const char *TraceOut = nullptr, *ReportOut = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--workers") == 0 && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
@@ -47,9 +57,18 @@ int main(int argc, char **argv) {
       UseEarlyExit = false;
     else if (std::strcmp(argv[I], "--no-decompose") == 0)
       UseDecompose = false;
+    else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc)
+      TraceOut = argv[++I];
+    else if (std::strcmp(argv[I], "--report-out") == 0 && I + 1 < argc)
+      ReportOut = argv[++I];
     else
       Seed = std::strtoull(argv[I], nullptr, 10);
   }
+
+  if (TraceOut || ReportOut)
+    obs::setEnabled(true);
+  if (TraceOut)
+    obs::setSpansEnabled(true);
 
   // A generated task set whose bindings and windows we discard: the search
   // must find a feasible layout on its own.
@@ -79,8 +98,12 @@ int main(int argc, char **argv) {
   Problem.UseVerdictCache = UseCache;
   Problem.UseEarlyExit = UseEarlyExit;
   Problem.UseDecomposition = UseDecompose;
+  auto T0 = std::chrono::steady_clock::now();
   Result<schedtool::SearchResult> Res =
       schedtool::searchConfiguration(Problem);
+  double ElapsedSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   if (!Res.ok()) {
     std::fprintf(stderr, "error: %s\n", Res.error().message().c_str());
     return 1;
@@ -102,6 +125,28 @@ int main(int argc, char **argv) {
                 "(%d monolithic simulations)\n",
                 Res->DecomposedCandidates, Res->ComponentsSimulated,
                 Res->SimulationsRun);
+
+  if (TraceOut) {
+    std::ofstream OS(TraceOut);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOut);
+      return 1;
+    }
+    obs::writeChromeTrace(OS);
+    std::printf("trace: %zu spans -> %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                obs::spanCount(), TraceOut);
+  }
+  if (ReportOut) {
+    obs::RunReport Report("config_search");
+    schedtool::fillSearchReport(Report, *Res, ElapsedSec);
+    std::string Err;
+    if (!Report.writeFile(ReportOut, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", ReportOut);
+  }
 
   if (Res->Found) {
     std::printf("\nchosen binding and windows:\n");

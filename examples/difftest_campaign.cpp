@@ -12,6 +12,13 @@
 //
 //   $ ./difftest_campaign [--seed N] [--configs N] [--budget-ms N]
 //                         [--no-mc] [--out DIR]
+//                         [--trace-out FILE] [--report-out FILE]
+//
+// --trace-out records one span per campaign configuration plus the
+// VM/interpreter runs inside each oracle pass and writes a
+// chrome://tracing (Perfetto) timeline; --report-out writes a
+// machine-readable obs::RunReport JSON of the campaign totals. Neither
+// changes which configurations run or what the oracles compare.
 //
 // Exit status: 0 when the campaign is clean, 1 on any oracle mismatch or
 // usage error.
@@ -22,7 +29,11 @@
 #include "difftest/Campaign.h"
 #include "difftest/Reproducer.h"
 #include "difftest/Shrink.h"
+#include "obs/Metrics.h"
+#include "obs/RunReport.h"
+#include "obs/Span.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +45,7 @@ using namespace swa;
 int main(int argc, char **argv) {
   difftest::CampaignOptions Options;
   std::string OutDir = ".";
+  std::string TracePath, ReportPath;
   for (int I = 1; I < argc; ++I) {
     auto NextArg = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
@@ -54,15 +66,29 @@ int main(int argc, char **argv) {
       Options.Oracle.EnableMc = false;
     else if (std::strcmp(argv[I], "--out") == 0)
       OutDir = NextArg("--out");
+    else if (std::strcmp(argv[I], "--trace-out") == 0)
+      TracePath = NextArg("--trace-out");
+    else if (std::strcmp(argv[I], "--report-out") == 0)
+      ReportPath = NextArg("--report-out");
     else {
       std::fprintf(stderr,
                    "usage: difftest_campaign [--seed N] [--configs N] "
-                   "[--budget-ms N] [--no-mc] [--out DIR]\n");
+                   "[--budget-ms N] [--no-mc] [--out DIR] "
+                   "[--trace-out FILE] [--report-out FILE]\n");
       return 1;
     }
   }
 
+  if (!TracePath.empty() || !ReportPath.empty())
+    obs::setEnabled(true);
+  if (!TracePath.empty())
+    obs::setSpansEnabled(true);
+
+  auto T0 = std::chrono::steady_clock::now();
   difftest::CampaignResult Res = difftest::runCampaign(Options);
+  double ElapsedSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   std::printf("campaign: seed=%llu configs=%d run=%d rejected=%d "
               "skipped=%d oracle-pairs=%d xml-docs-fuzzed=%d "
               "mismatches=%zu\n",
@@ -70,6 +96,44 @@ int main(int argc, char **argv) {
               Options.NumConfigs, Res.ConfigsRun, Res.RejectedConfigs,
               Res.SkippedConfigs, Res.OraclePairsRun, Res.XmlDocsFuzzed,
               Res.Mismatches.size());
+
+  if (!TracePath.empty()) {
+    std::ofstream OS(TracePath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    obs::writeChromeTrace(OS);
+    std::printf("trace: %zu spans -> %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                obs::spanCount(), TracePath.c_str());
+  }
+  if (!ReportPath.empty()) {
+    obs::RunReport Report("difftest_campaign");
+    Report.addCount("configs.requested",
+                    static_cast<uint64_t>(Options.NumConfigs));
+    Report.addCount("configs.run", static_cast<uint64_t>(Res.ConfigsRun));
+    Report.addCount("configs.rejected",
+                    static_cast<uint64_t>(Res.RejectedConfigs));
+    Report.addCount("configs.skipped",
+                    static_cast<uint64_t>(Res.SkippedConfigs));
+    Report.addCount("oracle.pairs_run",
+                    static_cast<uint64_t>(Res.OraclePairsRun));
+    Report.addCount("xml.docs_fuzzed",
+                    static_cast<uint64_t>(Res.XmlDocsFuzzed));
+    Report.addCount("mismatches",
+                    static_cast<uint64_t>(Res.Mismatches.size()));
+    if (ElapsedSec > 0)
+      Report.addStat("configs_per_sec",
+                     static_cast<double>(Res.ConfigsRun) / ElapsedSec);
+    std::string Err;
+    if (!Report.writeFile(ReportPath, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", ReportPath.c_str());
+  }
+
   if (Res.clean())
     return 0;
 

@@ -11,17 +11,23 @@
 // summaries. Optionally streams every simulator step as JSONL.
 //
 //   $ ./profile_run [--jobs N] [--jsonl FILE] [--json]
+//                   [--trace-out FILE] [--report-out FILE]
 //
-//   --jobs N      target jobs per hyperperiod of the generated
-//                 industrial-style configuration (default 1000)
-//   --jsonl FILE  stream action/delay/variable-write events to FILE
-//   --json        dump the metrics report as JSON instead of text
+//   --jobs N          target jobs per hyperperiod of the generated
+//                     industrial-style configuration (default 1000)
+//   --jsonl FILE      stream action/delay/variable-write events to FILE
+//   --json            dump the metrics report as JSON instead of text
+//   --trace-out FILE  record phase spans and write a chrome://tracing
+//                     (Perfetto) timeline
+//   --report-out FILE write a machine-readable obs::RunReport JSON
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
 #include "gen/Workload.h"
 #include "obs/Metrics.h"
+#include "obs/RunReport.h"
+#include "obs/Span.h"
 #include "obs/Timer.h"
 #include "obs/TraceSink.h"
 
@@ -39,7 +45,7 @@ using namespace swa;
 
 int main(int argc, char **argv) {
   int64_t Jobs = 1000;
-  std::string JsonlPath;
+  std::string JsonlPath, TracePath, ReportPath;
   bool JsonReport = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
@@ -54,14 +60,21 @@ int main(int argc, char **argv) {
       JsonlPath = argv[++I];
     } else if (std::strcmp(argv[I], "--json") == 0) {
       JsonReport = true;
+    } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
+      TracePath = argv[++I];
+    } else if (std::strcmp(argv[I], "--report-out") == 0 && I + 1 < argc) {
+      ReportPath = argv[++I];
     } else {
       std::fprintf(stderr,
-                   "usage: profile_run [--jobs N] [--jsonl FILE] [--json]\n");
+                   "usage: profile_run [--jobs N] [--jsonl FILE] [--json] "
+                   "[--trace-out FILE] [--report-out FILE]\n");
       return 1;
     }
   }
 
   obs::setEnabled(true);
+  if (!TracePath.empty())
+    obs::setSpansEnabled(true);
 
   cfg::Config Config = gen::industrialConfigWithJobs(Jobs, /*Seed=*/1);
   std::printf("configuration: %d tasks, %zu partitions, %zu cores, "
@@ -104,14 +117,15 @@ int main(int argc, char **argv) {
   if (JsonReport) {
     obs::report(std::cout, /*Json=*/true);
   } else {
-    uint64_t PhaseNs = obs::PhaseTree::global().totalNanos();
+    obs::PhaseTree::Node Phases = obs::PhaseTree::mergedRoot();
+    uint64_t PhaseNs = obs::PhaseTree::totalNanos(Phases);
     std::printf("phase tree (total %.3f ms, %.1f%% of %.3f ms wall):\n",
                 static_cast<double>(PhaseNs) / 1e6,
                 WallNs ? 100.0 * static_cast<double>(PhaseNs) /
                              static_cast<double>(WallNs)
                        : 0.0,
                 static_cast<double>(WallNs) / 1e6);
-    obs::PhaseTree::global().render(std::cout);
+    obs::PhaseTree::render(std::cout, Phases);
 
     auto Counters = obs::Registry::global().counterValues();
     std::sort(Counters.begin(), Counters.end(),
@@ -130,9 +144,37 @@ int main(int argc, char **argv) {
     for (const auto &[Name, H] : obs::Registry::global().histograms())
       std::printf("  %-36s n=%llu min=%llu mean=%.1f max=%llu\n",
                   Name.c_str(),
-                  static_cast<unsigned long long>(H->count()),
-                  static_cast<unsigned long long>(H->min()), H->mean(),
-                  static_cast<unsigned long long>(H->max()));
+                  static_cast<unsigned long long>(H.count()),
+                  static_cast<unsigned long long>(H.min()), H.mean(),
+                  static_cast<unsigned long long>(H.max()));
+  }
+
+  if (!TracePath.empty()) {
+    std::ofstream OS(TracePath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    obs::writeChromeTrace(OS);
+    std::printf("\ntrace: %zu spans -> %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                obs::spanCount(), TracePath.c_str());
+  }
+  if (!ReportPath.empty()) {
+    obs::RunReport Report("profile_run");
+    Report.addCount("jobs.target", static_cast<uint64_t>(Jobs));
+    Report.addCount("schedulable", Out->Analysis.Schedulable ? 1 : 0);
+    Report.addCount("jobs.missed",
+                    static_cast<uint64_t>(Out->Analysis.MissedJobs));
+    Report.addCount("jobs.total",
+                    static_cast<uint64_t>(Out->Analysis.TotalJobs));
+    Report.addStat("wall_ms", static_cast<double>(WallNs) / 1e6);
+    std::string Err;
+    if (!Report.writeFile(ReportPath, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", ReportPath.c_str());
   }
 
   if (!JsonlPath.empty())

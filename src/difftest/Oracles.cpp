@@ -14,6 +14,7 @@
 #include "core/SystemTrace.h"
 #include "difftest/TraceInvariants.h"
 #include "mc/ModelChecker.h"
+#include "obs/Span.h"
 #include "sa/Compile.h"
 #include "support/StringUtils.h"
 
@@ -104,7 +105,10 @@ OracleReport swa::difftest::runOracles(const cfg::Config &Config,
     SimOpts.FailSlotCount = NT;
   }
   nsa::Simulator Sim(*Model->Net);
-  nsa::SimResult Primary = Sim.run(SimOpts);
+  nsa::SimResult Primary = [&] {
+    obs::Span VmSpan("vm.run", "difftest");
+    return Sim.run(SimOpts);
+  }();
   if (Options.CheckInvariants)
     ++Rep.PairsRun;
 
@@ -139,7 +143,10 @@ OracleReport swa::difftest::runOracles(const cfg::Config &Config,
       nsa::SimOptions NoVm;
       NoVm.WallClockBudgetMs = Options.SimBudgetMs;
       nsa::Simulator Sim2(*Stripped->Net);
-      nsa::SimResult Interp = Sim2.run(NoVm);
+      nsa::SimResult Interp = [&] {
+        obs::Span InterpSpan("interp.run", "difftest");
+        return Sim2.run(NoVm);
+      }();
       if (!Interp.ok()) {
         Mismatch(OraclePair::VmVsInterpreter, "run completes",
                  formatString("interpreter run stopped: %s",

@@ -188,6 +188,10 @@ enum class StopReason {
   DeadlineMiss,
 };
 
+/// Number of StopReason values — sized for taxonomy arrays (run reports,
+/// per-reason counters). Keep in step with the enum above.
+constexpr int NumStopReasons = static_cast<int>(StopReason::DeadlineMiss) + 1;
+
 /// Short stable name for a StopReason ("completed", "budget-exceeded", ...).
 const char *stopReasonName(StopReason R);
 

@@ -1,4 +1,4 @@
-//===- obs/Metrics.cpp - Process-wide counters and histograms --------------===//
+//===- obs/Metrics.cpp - Thread-sharded counters and histograms ------------===//
 //
 // Part of the swa-sched project.
 //
@@ -6,9 +6,11 @@
 
 #include "obs/Metrics.h"
 
+#include "obs/ThreadSharded.h"
 #include "obs/Timer.h"
 #include "support/StringUtils.h"
 
+#include <mutex>
 #include <ostream>
 
 using namespace swa;
@@ -17,13 +19,82 @@ using namespace swa::obs;
 namespace {
 bool EnabledFlag = false;
 thread_local int SuppressDepth = 0;
+
+/// One thread's instrument domain. The maps' *structure* is guarded by Mu
+/// so cross-thread merges can iterate safely; the owning thread's lookups
+/// take the lock only on first registration (its own inserts cannot race
+/// with its own finds, and merging threads only read).
+struct Shard {
+  std::mutex Mu;
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Histogram, std::less<>> Histograms;
+
+  Counter &counter(std::string_view Name) {
+    auto It = Counters.find(Name);
+    if (It != Counters.end())
+      return It->second;
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Counters.try_emplace(std::string(Name)).first->second;
+  }
+
+  Histogram &histogram(std::string_view Name) {
+    auto It = Histograms.find(Name);
+    if (It != Histograms.end())
+      return It->second;
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Histograms.try_emplace(std::string(Name)).first->second;
+  }
+};
+
+// Intentionally leaked: thread_local shard holders release their shard in
+// their destructor, which can run after static destruction at process
+// exit; leaking keeps the owner alive for them.
+detail::ThreadSharded<Shard> &shards() {
+  static auto *S = new detail::ThreadSharded<Shard>();
+  return *S;
+}
 } // namespace
 
 bool swa::obs::enabled() { return EnabledFlag && SuppressDepth == 0; }
 void swa::obs::setEnabled(bool On) { EnabledFlag = On; }
+bool swa::obs::threadSuppressed() { return SuppressDepth > 0; }
 
 ThreadSuppressGuard::ThreadSuppressGuard() { ++SuppressDepth; }
 ThreadSuppressGuard::~ThreadSuppressGuard() { --SuppressDepth; }
+
+void Histogram::merge(const Histogram &O) {
+  for (int B = 0; B < NumBuckets; ++B)
+    bump(Buckets[static_cast<size_t>(B)], O.bucketCount(B));
+  bump(N, O.N.load(std::memory_order_relaxed));
+  bump(Sum, O.Sum.load(std::memory_order_relaxed));
+  uint64_t OMin = O.MinV.load(std::memory_order_relaxed);
+  uint64_t OMax = O.MaxV.load(std::memory_order_relaxed);
+  if (OMin < MinV.load(std::memory_order_relaxed))
+    MinV.store(OMin, std::memory_order_relaxed);
+  if (OMax > MaxV.load(std::memory_order_relaxed))
+    MaxV.store(OMax, std::memory_order_relaxed);
+}
+
+void Histogram::copyFrom(const Histogram &O) {
+  for (int B = 0; B < NumBuckets; ++B)
+    Buckets[static_cast<size_t>(B)].store(O.bucketCount(B),
+                                          std::memory_order_relaxed);
+  N.store(O.N.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  Sum.store(O.Sum.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  MinV.store(O.MinV.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  MaxV.store(O.MaxV.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (int B = 0; B < NumBuckets; ++B)
+    Buckets[static_cast<size_t>(B)].store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  MinV.store(UINT64_MAX, std::memory_order_relaxed);
+  MaxV.store(0, std::memory_order_relaxed);
+}
 
 Registry &Registry::global() {
   static Registry R;
@@ -31,49 +102,55 @@ Registry &Registry::global() {
 }
 
 Counter &Registry::counter(std::string_view Name) {
-  auto It = Counters.find(Name);
-  if (It == Counters.end())
-    It = Counters.emplace(std::string(Name), Counter()).first;
-  return It->second;
+  return shards().local().counter(Name);
 }
 
 Histogram &Registry::histogram(std::string_view Name) {
-  auto It = Histograms_.find(Name);
-  if (It == Histograms_.end())
-    It = Histograms_.emplace(std::string(Name), Histogram()).first;
-  return It->second;
+  return shards().local().histogram(Name);
 }
 
 std::vector<std::pair<std::string, uint64_t>>
 Registry::counterValues() const {
-  std::vector<std::pair<std::string, uint64_t>> Out;
-  Out.reserve(Counters.size());
-  for (const auto &[Name, C] : Counters)
-    Out.push_back({Name, C.value()});
-  return Out;
+  // std::map keeps the merged view sorted by name; summation is
+  // order-independent, so the result does not depend on shard count or
+  // which thread published what.
+  std::map<std::string, uint64_t, std::less<>> Merged;
+  shards().forEach([&](Shard &S, int) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Name, C] : S.Counters)
+      Merged[Name] += C.value();
+  });
+  return {Merged.begin(), Merged.end()};
 }
 
-std::vector<std::pair<std::string, const Histogram *>>
-Registry::histograms() const {
-  std::vector<std::pair<std::string, const Histogram *>> Out;
-  Out.reserve(Histograms_.size());
-  for (const auto &[Name, H] : Histograms_)
-    Out.push_back({Name, &H});
-  return Out;
+std::vector<std::pair<std::string, Histogram>> Registry::histograms() const {
+  std::map<std::string, Histogram, std::less<>> Merged;
+  shards().forEach([&](Shard &S, int) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Name, H] : S.Histograms)
+      Merged[Name].merge(H);
+  });
+  return {Merged.begin(), Merged.end()};
 }
 
 void Registry::reset() {
-  for (auto &[Name, C] : Counters)
-    C.reset();
-  for (auto &[Name, H] : Histograms_)
-    H.reset();
+  shards().forEach([](Shard &S, int) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (auto &[Name, C] : S.Counters)
+      C.reset();
+    for (auto &[Name, H] : S.Histograms)
+      H.reset();
+  });
 }
+
+size_t Registry::shardCount() const { return shards().shardCount(); }
 
 void swa::obs::report(std::ostream &OS, bool Json) {
   Registry &Reg = Registry::global();
+  PhaseTree::Node Phases = PhaseTree::mergedRoot();
   if (!Json) {
     OS << "phases:\n";
-    PhaseTree::global().render(OS);
+    PhaseTree::render(OS, Phases);
     OS << "counters:\n";
     for (const auto &[Name, Value] : Reg.counterValues())
       OS << formatString("  %-36s %llu\n", Name.c_str(),
@@ -82,37 +159,18 @@ void swa::obs::report(std::ostream &OS, bool Json) {
     for (const auto &[Name, H] : Reg.histograms())
       OS << formatString(
           "  %-36s n=%llu sum=%llu min=%llu mean=%.1f max=%llu\n",
-          Name.c_str(), static_cast<unsigned long long>(H->count()),
-          static_cast<unsigned long long>(H->sum()),
-          static_cast<unsigned long long>(H->min()), H->mean(),
-          static_cast<unsigned long long>(H->max()));
+          Name.c_str(), static_cast<unsigned long long>(H.count()),
+          static_cast<unsigned long long>(H.sum()),
+          static_cast<unsigned long long>(H.min()), H.mean(),
+          static_cast<unsigned long long>(H.max()));
     return;
   }
 
   // JSON form: {"phases":[...],"counters":{...},"histograms":{...}}.
-  OS << "{\"phases\":[";
-  struct Emit {
-    std::ostream &OS;
-    void node(const PhaseTree::Node &N, bool First) {
-      if (!First)
-        OS << ",";
-      OS << "{\"name\":\"" << N.Name << "\",\"ns\":" << N.Nanos
-         << ",\"count\":" << N.Count << ",\"children\":[";
-      bool F = true;
-      for (const auto &C : N.Children) {
-        node(*C, F);
-        F = false;
-      }
-      OS << "]}";
-    }
-  } E{OS};
+  OS << "{\"phases\":";
+  writePhaseChildrenJson(OS, Phases);
+  OS << ",\"counters\":{";
   bool First = true;
-  for (const auto &C : PhaseTree::global().root().Children) {
-    E.node(*C, First);
-    First = false;
-  }
-  OS << "],\"counters\":{";
-  First = true;
   for (const auto &[Name, Value] : Reg.counterValues()) {
     if (!First)
       OS << ",";
@@ -124,9 +182,8 @@ void swa::obs::report(std::ostream &OS, bool Json) {
   for (const auto &[Name, H] : Reg.histograms()) {
     if (!First)
       OS << ",";
-    OS << "\"" << Name << "\":{\"n\":" << H->count()
-       << ",\"sum\":" << H->sum() << ",\"min\":" << H->min()
-       << ",\"max\":" << H->max() << "}";
+    OS << "\"" << Name << "\":{\"n\":" << H.count() << ",\"sum\":" << H.sum()
+       << ",\"min\":" << H.min() << ",\"max\":" << H.max() << "}";
     First = false;
   }
   OS << "}}\n";

@@ -1,4 +1,4 @@
-//===- obs/Metrics.h - Process-wide counters and histograms -----*- C++ -*-===//
+//===- obs/Metrics.h - Thread-sharded counters and histograms ---*- C++ -*-===//
 //
 // Part of the swa-sched project.
 //
@@ -6,17 +6,33 @@
 ///
 /// \file
 /// The metrics half of the observability layer: named monotonic counters
-/// and log2-bucketed histograms held in a process-wide registry. The hot
-/// layers (simulator, model checker, config search) accumulate into plain
-/// local integers and publish totals here once per run, so the engine's
-/// inner loops never touch the registry; everything is additionally gated
-/// on the global enable flag, making the layer free when observability is
-/// off.
+/// and log2-bucketed histograms, accumulated in *thread-sharded* domains.
+/// Each thread publishes into its own shard (created on first use and
+/// retired to a free list at thread exit); publication points merge the
+/// shards by stable instrument name into one ordered view, so the merged
+/// registry contents are a pure function of the work performed — identical
+/// for every worker count and every thread schedule. Worker threads of the
+/// parallel config search therefore publish freely; ThreadSuppressGuard
+/// remains available as an explicit opt-out, no longer a mandatory
+/// blackout.
+///
+/// The hot layers (simulator, model checker, config search) still
+/// accumulate into plain local integers and publish totals once per run,
+/// so the engines' inner loops never touch the registry; everything is
+/// additionally gated on the global enable flag, making the layer one
+/// branch per site when observability is off.
 ///
 /// Instruments are registered by name on first use and keep stable
-/// addresses for the life of the process (the registry stores them in a
-/// std::map), so callers may cache Counter*/Histogram* pointers across
-/// runs. reset() zeroes values but keeps registrations.
+/// addresses for the life of the process within their shard (each shard
+/// stores them in a transparent-comparator std::map), so callers may cache
+/// Counter*/Histogram* pointers across runs *on the thread that obtained
+/// them*. reset() zeroes values in every shard but keeps registrations.
+///
+/// Instrument cells are single-writer relaxed atomics: only the owning
+/// thread writes them, merges read them, so a merge concurrent with
+/// recording is tearing-free and ThreadSanitizer-clean. Exact totals are
+/// guaranteed at quiescent points (after ThreadPool::parallelFor returned,
+/// end of run) where the caller has a happens-before edge to every writer.
 ///
 /// Counters and histograms are *observers*: nothing in the engine reads
 /// them back, so enabling metrics can never change a verdict or a trace
@@ -27,6 +43,7 @@
 #ifndef SWA_OBS_METRICS_H
 #define SWA_OBS_METRICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -44,12 +61,17 @@ namespace obs {
 bool enabled();
 void setEnabled(bool On);
 
-/// RAII thread-local observability suppression. While alive, enabled()
-/// returns false *on this thread only*: instrumented code running on the
-/// thread publishes nothing and starts no phase timers. The registry and
-/// phase tree are single-threaded by design; worker threads (config-search
-/// candidate evaluation) hold one of these so they never touch either, and
-/// so registry contents are identical for every worker count. Nestable.
+/// True while a ThreadSuppressGuard is alive on this thread. Exposed so
+/// sibling layers (spans, phase timers) share the same opt-out.
+bool threadSuppressed();
+
+/// RAII thread-local observability opt-out. While alive, enabled() and
+/// spansEnabled() return false *on this thread only*: instrumented code
+/// running on the thread publishes nothing, starts no phase timers and
+/// records no spans. With the sharded registry this is no longer required
+/// for correctness anywhere — worker threads publish into their own
+/// shards — it exists for callers that want a telemetry-free region (e.g.
+/// a measurement loop that must not observe itself). Nestable.
 class ThreadSuppressGuard {
 public:
   ThreadSuppressGuard();
@@ -58,44 +80,64 @@ public:
   ThreadSuppressGuard &operator=(const ThreadSuppressGuard &) = delete;
 };
 
-/// A monotonic event counter.
+/// A monotonic event counter. Single-writer: only the thread owning the
+/// enclosing shard calls add()/reset(); value() may be read from any
+/// thread (relaxed — exact once the writer quiesced).
 class Counter {
 public:
-  void add(uint64_t N = 1) { Value += N; }
-  uint64_t value() const { return Value; }
-  void reset() { Value = 0; }
+  void add(uint64_t N = 1) {
+    Value.store(Value.load(std::memory_order_relaxed) + N,
+                std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
 
 private:
-  uint64_t Value = 0;
+  std::atomic<uint64_t> Value{0};
 };
 
 /// A histogram over uint64 samples with power-of-two buckets: bucket B
 /// counts samples V with floor(log2(V)) == B (bucket 0 also holds V == 0).
-/// Tracks count/sum/min/max exactly; the buckets give the shape.
+/// Tracks count/sum/min/max exactly; the buckets give the shape. Same
+/// single-writer contract as Counter; copyable so merged snapshots can be
+/// returned by value.
 class Histogram {
 public:
   static constexpr int NumBuckets = 64;
 
-  void record(uint64_t V) {
-    ++Buckets[bucketOf(V)];
-    ++N;
-    Sum += V;
-    if (V < MinV)
-      MinV = V;
-    if (V > MaxV)
-      MaxV = V;
+  Histogram() = default;
+  Histogram(const Histogram &O) { copyFrom(O); }
+  Histogram &operator=(const Histogram &O) {
+    if (this != &O)
+      copyFrom(O);
+    return *this;
   }
 
-  uint64_t count() const { return N; }
-  uint64_t sum() const { return Sum; }
+  void record(uint64_t V) {
+    bump(Buckets[static_cast<size_t>(bucketOf(V))], 1);
+    bump(N, 1);
+    bump(Sum, V);
+    if (V < MinV.load(std::memory_order_relaxed))
+      MinV.store(V, std::memory_order_relaxed);
+    if (V > MaxV.load(std::memory_order_relaxed))
+      MaxV.store(V, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
   /// Minimum/maximum recorded sample; 0 when empty.
-  uint64_t min() const { return N ? MinV : 0; }
-  uint64_t max() const { return N ? MaxV : 0; }
+  uint64_t min() const {
+    return count() ? MinV.load(std::memory_order_relaxed) : 0;
+  }
+  uint64_t max() const {
+    return count() ? MaxV.load(std::memory_order_relaxed) : 0;
+  }
   double mean() const {
-    return N ? static_cast<double>(Sum) / static_cast<double>(N) : 0.0;
+    uint64_t C = count();
+    return C ? static_cast<double>(sum()) / static_cast<double>(C) : 0.0;
   }
   uint64_t bucketCount(int B) const {
-    return Buckets[static_cast<size_t>(B)];
+    return Buckets[static_cast<size_t>(B)].load(std::memory_order_relaxed);
   }
 
   /// Bucket index of a sample: floor(log2(V)), with 0 mapping to bucket 0.
@@ -106,22 +148,31 @@ public:
     return B;
   }
 
-  void reset() { *this = Histogram(); }
+  /// Accumulates \p O into this histogram (merge step; writer-side only).
+  void merge(const Histogram &O);
+
+  void reset();
 
 private:
-  uint64_t Buckets[NumBuckets] = {};
-  uint64_t N = 0;
-  uint64_t Sum = 0;
-  uint64_t MinV = UINT64_MAX;
-  uint64_t MaxV = 0;
+  static void bump(std::atomic<uint64_t> &Cell, uint64_t By) {
+    Cell.store(Cell.load(std::memory_order_relaxed) + By,
+               std::memory_order_relaxed);
+  }
+  void copyFrom(const Histogram &O);
+
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> MinV{UINT64_MAX};
+  std::atomic<uint64_t> MaxV{0};
 };
 
-/// The process-wide instrument registry. Lookup is by name ("layer.what"
-/// convention, e.g. "nsa.heap.pops"); first use registers.
-///
-/// Registration is not thread-safe by design: the engines are
-/// single-threaded and publish once per run. Future multi-threaded layers
-/// must publish through per-thread locals.
+/// The process-wide instrument registry, sharded per thread. counter() and
+/// histogram() resolve in the *calling thread's* shard (lookup is by name,
+/// "layer.what" convention, e.g. "nsa.heap.pops"; first use registers —
+/// the shard maps use std::less<> so a string_view lookup allocates
+/// nothing). The merged views aggregate every shard by name, sorted, so
+/// their contents do not depend on which thread published what.
 class Registry {
 public:
   static Registry &global();
@@ -129,23 +180,24 @@ public:
   Counter &counter(std::string_view Name);
   Histogram &histogram(std::string_view Name);
 
-  /// Name/value pairs of every registered counter, sorted by name.
+  /// Name/value pairs of every registered counter, merged across shards
+  /// (values summed by name), sorted by name.
   std::vector<std::pair<std::string, uint64_t>> counterValues() const;
 
-  /// Every registered histogram, sorted by name.
-  std::vector<std::pair<std::string, const Histogram *>> histograms() const;
+  /// Every registered histogram, merged across shards, sorted by name.
+  std::vector<std::pair<std::string, Histogram>> histograms() const;
 
-  /// Zeroes every instrument; registrations (and cached pointers) survive.
+  /// Zeroes every instrument in every shard; registrations (and cached
+  /// pointers) survive. Call only at quiescent points.
   void reset();
 
-private:
-  std::map<std::string, Counter, std::less<>> Counters;
-  std::map<std::string, Histogram, std::less<>> Histograms_;
+  /// Shards ever created (live + retired) — diagnostics and tests.
+  size_t shardCount() const;
 };
 
-/// Dumps the phase tree, counters and histogram summaries. Text form is
-/// for humans; the JSON form is one object with "phases", "counters" and
-/// "histograms" keys.
+/// Dumps the merged phase tree, counters and histogram summaries. Text
+/// form is for humans; the JSON form is one object with "phases",
+/// "counters" and "histograms" keys.
 void report(std::ostream &OS, bool Json = false);
 
 } // namespace obs

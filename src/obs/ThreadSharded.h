@@ -1,0 +1,97 @@
+//===- obs/ThreadSharded.h - Per-thread instrument domains ------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharding substrate of the observability layer: a ThreadSharded<T>
+/// hands every thread its own T ("shard") on first use, keeps all shards
+/// alive for the life of the process, and lets publication points iterate
+/// over every shard to build a deterministic, scheduling-independent
+/// merged view.
+///
+/// Lifecycle: a shard is created (under the registry mutex) the first time
+/// a thread calls local(). When the thread exits, its shard is *retired*
+/// to a free list — values survive, so totals accumulated by a worker pool
+/// remain mergeable after the pool is destroyed — and the next new thread
+/// adopts a retired shard instead of growing the list. Shard count is
+/// therefore bounded by the peak concurrent thread count, not by how many
+/// pools a long-running process creates.
+///
+/// Synchronization contract: a shard is written only by its owning thread;
+/// forEach() takes the registry mutex, which orders shard *creation*, but
+/// deliberately does not stop the owners from writing concurrently. Merged
+/// views are exact at quiescent points (after a ThreadPool::parallelFor
+/// returned, at process shutdown) where the caller already has a
+/// happens-before edge to every writer; reads elsewhere are monotone
+/// snapshots. Instrument cells use relaxed atomics so a mid-run merge is
+/// tearing-free and clean under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_OBS_THREADSHARDED_H
+#define SWA_OBS_THREADSHARDED_H
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace swa {
+namespace obs {
+namespace detail {
+
+template <typename T> class ThreadSharded {
+public:
+  /// This thread's shard, created or adopted on first use. The reference
+  /// stays valid for the life of the process (shards are never destroyed,
+  /// only retired), so callers may cache pointers into it.
+  T &local() {
+    thread_local Holder H(*this);
+    return *H.Shard;
+  }
+
+  /// Calls Fn(shard, shardId) for every shard ever created (live and
+  /// retired), in creation order — a deterministic iteration order that
+  /// does not depend on which threads currently exist.
+  template <typename F> void forEach(F &&Fn) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (size_t I = 0; I < Shards.size(); ++I)
+      Fn(*Shards[I], static_cast<int>(I));
+  }
+
+  size_t shardCount() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Shards.size();
+  }
+
+private:
+  struct Holder {
+    explicit Holder(ThreadSharded &Owner) : Owner(Owner) {
+      std::lock_guard<std::mutex> Lock(Owner.Mu);
+      if (!Owner.Free.empty()) {
+        Shard = Owner.Free.back();
+        Owner.Free.pop_back();
+      } else {
+        Owner.Shards.push_back(std::make_unique<T>());
+        Shard = Owner.Shards.back().get();
+      }
+    }
+    ~Holder() {
+      std::lock_guard<std::mutex> Lock(Owner.Mu);
+      Owner.Free.push_back(Shard);
+    }
+    ThreadSharded &Owner;
+    T *Shard = nullptr;
+  };
+
+  std::mutex Mu;
+  std::vector<std::unique_ptr<T>> Shards;
+  std::vector<T *> Free;
+};
+
+} // namespace detail
+} // namespace obs
+} // namespace swa
+
+#endif // SWA_OBS_THREADSHARDED_H

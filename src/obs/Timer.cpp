@@ -6,6 +6,7 @@
 
 #include "obs/Timer.h"
 
+#include "obs/ThreadSharded.h"
 #include "support/StringUtils.h"
 
 #include <ostream>
@@ -13,30 +14,35 @@
 using namespace swa;
 using namespace swa::obs;
 
+namespace {
+// Intentionally leaked (see Metrics.cpp: thread_local holders may outlive
+// static destruction).
+detail::ThreadSharded<PhaseTree> &trees() {
+  static auto *T = new detail::ThreadSharded<PhaseTree>();
+  return *T;
+}
+} // namespace
+
 const PhaseTree::Node *
 PhaseTree::Node::child(std::string_view ChildName) const {
-  for (const auto &C : Children)
-    if (C->Name == ChildName)
-      return C.get();
-  return nullptr;
+  auto It = ChildIndex.find(ChildName);
+  return It == ChildIndex.end() ? nullptr : Children[It->second].get();
 }
 
-PhaseTree &PhaseTree::global() {
-  static PhaseTree T;
-  return T;
+PhaseTree::Node &PhaseTree::Node::childOrCreate(std::string_view ChildName) {
+  auto It = ChildIndex.find(ChildName);
+  if (It != ChildIndex.end())
+    return *Children[It->second];
+  Children.push_back(std::make_unique<Node>());
+  Children.back()->Name = std::string(ChildName);
+  ChildIndex.emplace(Children.back()->Name, Children.size() - 1);
+  return *Children.back();
 }
+
+PhaseTree &PhaseTree::current() { return trees().local(); }
 
 void PhaseTree::push(std::string_view Name) {
-  Node *Cur = Stack.back();
-  for (const auto &C : Cur->Children) {
-    if (C->Name == Name) {
-      Stack.push_back(C.get());
-      return;
-    }
-  }
-  Cur->Children.push_back(std::make_unique<Node>());
-  Cur->Children.back()->Name = std::string(Name);
-  Stack.push_back(Cur->Children.back().get());
+  Stack.push_back(&Stack.back()->childOrCreate(Name));
 }
 
 void PhaseTree::pop(uint64_t Nanos) {
@@ -48,7 +54,32 @@ void PhaseTree::pop(uint64_t Nanos) {
   ++Cur->Count;
 }
 
-uint64_t PhaseTree::totalNanos() const {
+namespace {
+
+void mergeInto(PhaseTree::Node &Dst, const PhaseTree::Node &Src) {
+  Dst.Nanos += Src.Nanos;
+  Dst.Count += Src.Count;
+  for (const auto &C : Src.Children)
+    mergeInto(Dst.childOrCreate(C->Name), *C);
+}
+
+} // namespace
+
+PhaseTree::Node PhaseTree::mergedRoot() {
+  Node Out;
+  trees().forEach([&](PhaseTree &T, int) { mergeInto(Out, T.root()); });
+  // mergeInto accumulated the roots' (zero) nanos too; keep the merged
+  // root itself clean.
+  Out.Nanos = 0;
+  Out.Count = 0;
+  return Out;
+}
+
+void PhaseTree::resetAll() {
+  trees().forEach([](PhaseTree &T, int) { T.reset(); });
+}
+
+uint64_t PhaseTree::totalNanos(const Node &Root) {
   uint64_t Total = 0;
   for (const auto &C : Root.Children)
     Total += C->Nanos;
@@ -68,7 +99,7 @@ void renderNode(std::ostream &OS, const PhaseTree::Node &N, int Depth) {
 
 } // namespace
 
-void PhaseTree::render(std::ostream &OS) const {
+void PhaseTree::render(std::ostream &OS, const Node &Root) {
   if (Root.Children.empty()) {
     OS << "  (no phases recorded)\n";
     return;
@@ -78,8 +109,32 @@ void PhaseTree::render(std::ostream &OS) const {
 }
 
 void PhaseTree::reset() {
-  Root.Children.clear();
-  Root.Nanos = 0;
-  Root.Count = 0;
+  Root = Node();
   Stack.assign(1, &Root);
+}
+
+void swa::obs::writePhaseChildrenJson(std::ostream &OS,
+                                      const PhaseTree::Node &Root) {
+  struct Emit {
+    std::ostream &OS;
+    void node(const PhaseTree::Node &N, bool First) {
+      if (!First)
+        OS << ",";
+      OS << "{\"name\":\"" << N.Name << "\",\"ns\":" << N.Nanos
+         << ",\"count\":" << N.Count << ",\"children\":[";
+      bool F = true;
+      for (const auto &C : N.Children) {
+        node(*C, F);
+        F = false;
+      }
+      OS << "]}";
+    }
+  } E{OS};
+  OS << "[";
+  bool First = true;
+  for (const auto &C : Root.Children) {
+    E.node(*C, First);
+    First = false;
+  }
+  OS << "]";
 }

@@ -6,14 +6,28 @@
 ///
 /// \file
 /// Hierarchical phase timing: a ScopedTimer pushes a named phase onto the
-/// process-wide PhaseTree on construction and records the elapsed
+/// *calling thread's* PhaseTree on construction and records the elapsed
 /// steady-clock nanoseconds on destruction. Nested timers build a tree
 /// (build -> compile, simulate, analyze -> criterion, ...), so a report
 /// shows where a pipeline's wall time went.
 ///
+/// Each thread owns its own tree (sharded like the metrics registry), so
+/// parallel-search workers time their phases without locks or suppression;
+/// PhaseTree::mergedRoot() folds all per-thread trees into one by phase
+/// name. Note the merged *shape* can legitimately differ across worker
+/// counts — with inline execution a worker phase nests under the caller's
+/// phase, with pool execution it is a top-level phase of the worker's
+/// tree — which is why the determinism contract covers counters, not
+/// phase-tree shape (see DESIGN.md).
+///
 /// When obs::enabled() is false a ScopedTimer is a single branch and no
 /// clock read — the instrumented code paths cost nothing in production
-/// runs.
+/// runs. When span recording is also on, every finished phase is recorded
+/// as a "phase"-category span into the same Chrome-trace timeline.
+///
+/// Phase names must be string literals (or otherwise outlive the process):
+/// spans store the pointer, and every instrumented phase in the tree is
+/// named by a literal anyway.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,8 +35,10 @@
 #define SWA_OBS_TIMER_H
 
 #include "obs/Metrics.h"
+#include "obs/Span.h"
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,8 +46,9 @@
 namespace swa {
 namespace obs {
 
-/// The tree of timed phases. One global instance; phases with the same
-/// name under the same parent accumulate (Nanos summed, Count bumped).
+/// A tree of timed phases. One instance per thread (see current());
+/// phases with the same name under the same parent accumulate (Nanos
+/// summed, Count bumped).
 class PhaseTree {
 public:
   struct Node {
@@ -40,11 +57,36 @@ public:
     uint64_t Count = 0;
     std::vector<std::unique_ptr<Node>> Children;
 
-    /// Child with the given name, or null.
+    /// Child with the given name, or null. Indexed — no allocation, no
+    /// linear scan (the transparent comparator lets string_view probe the
+    /// map directly).
     const Node *child(std::string_view ChildName) const;
+
+    /// Child with the given name, created (appended) if absent.
+    Node &childOrCreate(std::string_view ChildName);
+
+  private:
+    std::map<std::string, size_t, std::less<>> ChildIndex;
   };
 
-  static PhaseTree &global();
+  /// The calling thread's tree, created on first use.
+  static PhaseTree &current();
+
+  /// Deterministic name-keyed merge of every thread's tree: children keep
+  /// first-registration order within each shard, shards fold in creation
+  /// order, and Nanos/Count accumulate per (parent, name).
+  static Node mergedRoot();
+
+  /// Clears every thread's tree. Must not be called while timers are open
+  /// anywhere; quiescent points only.
+  static void resetAll();
+
+  /// Indented text rendering of \p Root's children ("name 12.3ms x4").
+  static void render(std::ostream &OS, const Node &Root);
+
+  /// Sum over \p Root's top-level phases (what a "coverage" check compares
+  /// against wall time).
+  static uint64_t totalNanos(const Node &Root);
 
   /// Enters a phase as a child of the current one.
   void push(std::string_view Name);
@@ -52,15 +94,9 @@ public:
   void pop(uint64_t Nanos);
 
   const Node &root() const { return Root; }
-  /// Sum over the top-level phases (what a "coverage" check compares
-  /// against wall time).
-  uint64_t totalNanos() const;
 
-  /// Indented text rendering ("name  12.3ms  x4").
-  void render(std::ostream &OS) const;
-
-  /// Clears all phases (back to an empty root). Must not be called while
-  /// timers are open.
+  /// Clears this tree (back to an empty root). Must not be called while
+  /// timers are open on the owning thread.
   void reset();
 
 private:
@@ -68,15 +104,22 @@ private:
   std::vector<Node *> Stack{&Root};
 };
 
+/// Serializes \p Root's children as a JSON array of
+/// {"name","ns","count","children"} objects (shared by obs::report and
+/// RunReport).
+void writePhaseChildrenJson(std::ostream &OS, const PhaseTree::Node &Root);
+
 /// RAII phase timer. Inactive (and free apart from one branch) when
-/// obs::enabled() is false at construction.
+/// obs::enabled() is false at construction. \p Phase must be a string
+/// literal.
 class ScopedTimer {
 public:
-  explicit ScopedTimer(std::string_view Phase) {
+  explicit ScopedTimer(const char *Phase) {
     if (!enabled())
       return;
     Active = true;
-    PhaseTree::global().push(Phase);
+    Name = Phase;
+    PhaseTree::current().push(Phase);
     Start = std::chrono::steady_clock::now();
   }
 
@@ -86,14 +129,18 @@ public:
   ~ScopedTimer() {
     if (!Active)
       return;
-    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - Start)
-                  .count();
-    PhaseTree::global().pop(static_cast<uint64_t>(Ns));
+    auto End = std::chrono::steady_clock::now();
+    auto Ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count();
+    PhaseTree::current().pop(static_cast<uint64_t>(Ns));
+    if (spansEnabled())
+      recordSpan(Name, "phase", Start, End);
   }
 
 private:
   bool Active = false;
+  const char *Name = nullptr;
   std::chrono::steady_clock::time_point Start;
 };
 

@@ -10,6 +10,7 @@
 #include "config/Decompose.h"
 #include "config/Fingerprint.h"
 #include "obs/Metrics.h"
+#include "obs/Span.h"
 #include "obs/Timer.h"
 #include "schedtool/VerdictCache.h"
 #include "support/Rng.h"
@@ -191,11 +192,12 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   SearchResult Res;
   Rng R(Problem.Seed);
 
-  // Counters live in the registry (stable addresses), cached here so the
-  // loop pays one pointer test per event when metrics are off. Only the
-  // calling thread touches them; workers run with observability
-  // suppressed, so registry contents are identical for every Workers
-  // value.
+  // Counters live in the registry (stable addresses within this thread's
+  // shard), cached here so the loop pays one pointer test per event when
+  // metrics are off. Only the calling thread touches these; workers
+  // publish engine-level counters into their own shards, and the merged
+  // totals are identical for every Workers value because the work-item
+  // set and each item's publications are fixed by (Seed, BatchSize).
   obs::Counter *CandC = nullptr, *SimC = nullptr, *SchedC = nullptr;
   obs::Counter *HitC = nullptr, *MissC = nullptr, *FoldC = nullptr;
   obs::Counter *DecompC = nullptr, *CompC = nullptr;
@@ -239,6 +241,9 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   // Per-round scratch for the cache / decomposition pipeline.
   std::vector<cfg::Fingerprint> Canon, Raw;
   std::vector<int> DupOf;
+  // Verdict provenance per candidate, for the "candidate" span: 0 =
+  // simulated, 1 = cache hit, 2 = symmetry fold, 3 = intra-batch dup.
+  std::vector<int> Src;
   std::vector<int> SimList;
   std::vector<cfg::Decomposition> Decs;
   std::vector<WorkItem> Items;
@@ -261,6 +266,9 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       break;
     }
     int N = std::min(Batch, Problem.MaxIterations - Iter);
+    obs::Span RoundSpan("batch", "search");
+    RoundSpan.arg("round", Round);
+    RoundSpan.arg("n", N);
 
     // Candidate 0 is the current adaptive state; candidates 1..N-1 are
     // seeded perturbations of it (boost resampling, an occasional random
@@ -304,6 +312,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     const int RoundSims0 = Res.SimulationsRun;
     SimList.clear();
     DupOf.assign(static_cast<size_t>(N), -1);
+    Src.assign(static_cast<size_t>(N), 0);
     if (Problem.UseVerdictCache) {
       Canon.assign(static_cast<size_t>(N), {});
       Raw.assign(static_cast<size_t>(N), {});
@@ -323,6 +332,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           }
         if (Dup >= 0) {
           DupOf[static_cast<size_t>(J)] = Dup;
+          Src[static_cast<size_t>(J)] = 3;
           ++Res.DuplicateCandidates;
           continue;
         }
@@ -332,8 +342,11 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           EV.Ok = true;
           EV.V = E->Verdict;
           ++Res.CacheHits;
-          if (E->Raw != Raw[static_cast<size_t>(J)])
+          Src[static_cast<size_t>(J)] = 1;
+          if (E->Raw != Raw[static_cast<size_t>(J)]) {
             ++Res.SymmetryFolds;
+            Src[static_cast<size_t>(J)] = 2;
+          }
         } else {
           ++Res.CacheMisses;
           SimList.push_back(J);
@@ -381,13 +394,22 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     }
 
     // Evaluate the batch. Each worker builds its own model and simulator
-    // (no shared mutable state) and suppresses observability for the
-    // duration, so attaching more workers can neither race on the
-    // registry nor change what gets published.
+    // (no shared mutable state) and publishes counters, phase timings and
+    // spans into its own thread shard, so attaching more workers cannot
+    // race on the registry — and the merged totals stay identical because
+    // every item publishes the same numbers on whichever thread runs it.
     ItemEvals.assign(Items.size(), Eval());
     Pool.parallelFor(static_cast<int>(Items.size()), [&](int I) {
-      obs::ThreadSuppressGuard Guard;
       const WorkItem &It = Items[static_cast<size_t>(I)];
+      obs::Span ItemSpan(It.Comp == WorkItem::kMonolithic
+                             ? "simulate.monolithic"
+                             : (It.Comp == WorkItem::kCappedChain
+                                    ? "simulate.chain"
+                                    : "simulate.component"),
+                         "search");
+      ItemSpan.arg("cand", It.Cand);
+      if (It.Comp >= 0)
+        ItemSpan.arg("comp", It.Comp);
       nsa::SimOptions Opt = CandOpts;
       Opt.StopOnFirstMiss = Problem.UseEarlyExit;
       Eval &E = ItemEvals[static_cast<size_t>(I)];
@@ -406,6 +428,9 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         bool AllOk = true;
         for (size_t K : chainOrder(D)) {
           const cfg::Component &Comp = D.Components[K];
+          obs::Span CompSpan("simulate.component", "search");
+          CompSpan.arg("cand", It.Cand);
+          CompSpan.arg("comp", static_cast<int64_t>(K));
           nsa::SimOptions ChainOpt = Opt;
           ChainOpt.Horizon = Cap;
           Result<analysis::VerdictOutcome> Out =
@@ -515,6 +540,20 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       Eval &E = Evals[static_cast<size_t>(J)];
       if (!E.Ok)
         return Error::failure(E.ErrMsg);
+      // Per-candidate metadata span: fingerprint, verdict provenance
+      // (src: 0 sim / 1 hit / 2 fold / 3 dup), stop reason, badness. The
+      // span rides the serial reduce, so its args — like the counters —
+      // are identical for any worker count.
+      obs::Span CandSpan("candidate", "search");
+      if (Problem.UseVerdictCache) {
+        CandSpan.arg("fp_hi", static_cast<int64_t>(
+                                  Canon[static_cast<size_t>(J)].Hi));
+        CandSpan.arg("fp_lo", static_cast<int64_t>(
+                                  Canon[static_cast<size_t>(J)].Lo));
+      }
+      CandSpan.arg("src", Src[static_cast<size_t>(J)]);
+      CandSpan.arg("stop", static_cast<int64_t>(E.V.Stop));
+      ++Res.StopReasonCounts[static_cast<size_t>(E.V.Stop)];
       if (!E.V.decided()) {
         // The guard rails (per-candidate budget / cancellation) ended the
         // run before a verdict existed: record the reason and move on —
@@ -530,6 +569,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       if (CandC)
         CandC->add(1);
       int64_t Badness = BadnessOf(E.V);
+      CandSpan.arg("badness", Badness);
       if (E.V.Schedulable)
         Res.Log.push_back(formatString("iter %d: schedulable", IterJ));
       else
@@ -644,4 +684,45 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     }
   }
   return Res;
+}
+
+void swa::schedtool::fillSearchReport(obs::RunReport &Report,
+                                      const SearchResult &Res,
+                                      double ElapsedSec) {
+  Report.addCount("found", Res.Found ? 1 : 0);
+  Report.addCount("cancelled", Res.Cancelled ? 1 : 0);
+  Report.addCount("candidates.evaluated",
+                  static_cast<uint64_t>(Res.ConfigurationsEvaluated));
+  Report.addCount("candidates.skipped",
+                  static_cast<uint64_t>(Res.CandidatesSkipped));
+  Report.addCount("schedulable.seen",
+                  static_cast<uint64_t>(Res.SchedulableSeen));
+  Report.addCount("cache.hits", static_cast<uint64_t>(Res.CacheHits));
+  Report.addCount("cache.misses", static_cast<uint64_t>(Res.CacheMisses));
+  Report.addCount("cache.folds", static_cast<uint64_t>(Res.SymmetryFolds));
+  Report.addCount("cache.duplicates",
+                  static_cast<uint64_t>(Res.DuplicateCandidates));
+  int Lookups = Res.CacheHits + Res.CacheMisses;
+  if (Lookups > 0)
+    Report.addStat("cache.hit_rate",
+                   static_cast<double>(Res.CacheHits) /
+                       static_cast<double>(Lookups));
+  Report.addCount("decomposed.candidates",
+                  static_cast<uint64_t>(Res.DecomposedCandidates));
+  Report.addCount("components.simulated",
+                  static_cast<uint64_t>(Res.ComponentsSimulated));
+  Report.addCount("simulations.run",
+                  static_cast<uint64_t>(Res.SimulationsRun));
+  Report.addStat("best.badness", static_cast<double>(Res.BestBadness));
+  for (int R = 0; R < nsa::NumStopReasons; ++R)
+    if (Res.StopReasonCounts[static_cast<size_t>(R)] > 0)
+      Report.addCount(
+          std::string("stop.") +
+              nsa::stopReasonName(static_cast<nsa::StopReason>(R)),
+          static_cast<uint64_t>(
+              Res.StopReasonCounts[static_cast<size_t>(R)]));
+  if (ElapsedSec > 0)
+    Report.addStat("candidates_per_sec",
+                   static_cast<double>(Res.ConfigurationsEvaluated) /
+                       ElapsedSec);
 }

@@ -23,8 +23,11 @@
 
 #include "analysis/Schedulability.h"
 #include "config/Config.h"
+#include "nsa/Simulator.h"
+#include "obs/RunReport.h"
 #include "support/CancelToken.h"
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -122,6 +125,12 @@ struct SearchResult {
   /// decompose). SimulationsRun + ComponentsSimulated is the number of
   /// Simulator::run calls the search made.
   int SimulationsRun = 0;
+  /// How candidate evaluations ended, indexed by nsa::StopReason: decided
+  /// candidates land on Completed/DeadlineMiss, guard-rail skips on
+  /// Cancelled/BudgetExceeded. Tallied on the serial reduce path (cache
+  /// hits replay the cached verdict's reason), so the taxonomy — like
+  /// every other field — is identical for any Workers/BatchSize.
+  std::array<int, nsa::NumStopReasons> StopReasonCounts{};
   std::vector<std::string> Log;
 };
 
@@ -137,6 +146,14 @@ void synthesizeWindows(cfg::Config &Config,
 
 /// Runs the search.
 Result<SearchResult> searchConfiguration(const SearchProblem &Problem);
+
+/// Populates \p Report with the search outcome: evaluation counts, cache
+/// hit/miss/fold numbers and rates, decomposition stats, the StopReason
+/// taxonomy, and candidates/s when \p ElapsedSec is positive. The numbers
+/// are read from \p Res alone, so the report matches the stats the search
+/// prints whether or not observability was on.
+void fillSearchReport(obs::RunReport &Report, const SearchResult &Res,
+                      double ElapsedSec);
 
 } // namespace schedtool
 } // namespace swa

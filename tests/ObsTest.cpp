@@ -4,11 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Covers the src/obs layer (counters, histograms, registry, phase tree,
-// JSONL sink) and its engine integration: the overhead guard proving that
-// attaching metrics and a JSONL sink never perturbs the deterministic
-// run, the enriched action-budget diagnostics, and the config-search
-// best-so-far trajectory.
+// Covers the src/obs layer (thread-sharded counters/histograms/registry,
+// per-thread phase trees with deterministic merge, span ring buffers with
+// Chrome trace export, run reports, JSONL sink) and its engine
+// integration: the overhead guard proving that attaching metrics and a
+// JSONL sink never perturbs the deterministic run, the full-observability
+// worker-count determinism guard, the enriched action-budget diagnostics,
+// and the config-search best-so-far trajectory.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +18,8 @@
 #include "core/InstanceBuilder.h"
 #include "nsa/Simulator.h"
 #include "obs/Metrics.h"
+#include "obs/RunReport.h"
+#include "obs/Span.h"
 #include "obs/Timer.h"
 #include "obs/TraceSink.h"
 #include "schedtool/ConfigSearch.h"
@@ -26,23 +30,29 @@
 #include <cctype>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 using namespace swa;
 
 namespace {
 
 /// Enables the observability layer for one test and restores a clean
-/// global state (flag, registry values, phase tree) afterwards.
+/// global state (flags, registry values in every shard, phase trees, span
+/// rings) afterwards.
 struct ObsScope {
-  explicit ObsScope(bool On = true) {
+  explicit ObsScope(bool On = true, bool Spans = false) {
     obs::Registry::global().reset();
-    obs::PhaseTree::global().reset();
+    obs::PhaseTree::resetAll();
+    obs::resetSpans();
     obs::setEnabled(On);
+    obs::setSpansEnabled(Spans);
   }
   ~ObsScope() {
     obs::setEnabled(false);
+    obs::setSpansEnabled(false);
     obs::Registry::global().reset();
-    obs::PhaseTree::global().reset();
+    obs::PhaseTree::resetAll();
+    obs::resetSpans();
   }
 };
 
@@ -143,7 +153,7 @@ TEST(ObsTimer, PhaseTreeNesting) {
     obs::ScopedTimer Outer("outer"); // Re-entering accumulates too.
   }
 
-  const obs::PhaseTree::Node &Root = obs::PhaseTree::global().root();
+  const obs::PhaseTree::Node &Root = obs::PhaseTree::current().root();
   ASSERT_EQ(Root.Children.size(), 1u);
   const obs::PhaseTree::Node *Outer = Root.child("outer");
   ASSERT_NE(Outer, nullptr);
@@ -156,10 +166,17 @@ TEST(ObsTimer, PhaseTreeNesting) {
   EXPECT_EQ(Outer->child("missing"), nullptr);
 
   // Total is the sum over top-level phases only.
-  EXPECT_EQ(obs::PhaseTree::global().totalNanos(), Outer->Nanos);
+  EXPECT_EQ(obs::PhaseTree::totalNanos(Root), Outer->Nanos);
+
+  // The merged view folds the (single) shard by name.
+  obs::PhaseTree::Node Merged = obs::PhaseTree::mergedRoot();
+  const obs::PhaseTree::Node *MergedOuter = Merged.child("outer");
+  ASSERT_NE(MergedOuter, nullptr);
+  EXPECT_EQ(MergedOuter->Count, 2u);
+  EXPECT_EQ(MergedOuter->Nanos, Outer->Nanos);
 
   std::ostringstream OS;
-  obs::PhaseTree::global().render(OS);
+  obs::PhaseTree::render(OS, Root);
   EXPECT_NE(OS.str().find("outer"), std::string::npos);
   EXPECT_NE(OS.str().find("inner"), std::string::npos);
 }
@@ -169,7 +186,7 @@ TEST(ObsTimer, DisabledTimersRecordNothing) {
   {
     obs::ScopedTimer T("should-not-appear");
   }
-  EXPECT_TRUE(obs::PhaseTree::global().root().Children.empty());
+  EXPECT_TRUE(obs::PhaseTree::current().root().Children.empty());
 }
 
 //===----------------------------------------------------------------------===//
@@ -238,13 +255,30 @@ private:
     ++P; // Closing quote.
     return true;
   }
-  bool number() {
+  bool digits() {
     size_t Start = P;
-    if (P < S.size() && S[P] == '-')
-      ++P;
     while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
       ++P;
-    return P > Start && S[P - 1] != '-';
+    return P > Start;
+  }
+  bool number() {
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    if (!digits())
+      return false;
+    if (P < S.size() && S[P] == '.') {
+      ++P;
+      if (!digits())
+        return false;
+    }
+    if (P < S.size() && (S[P] == 'e' || S[P] == 'E')) {
+      ++P;
+      if (P < S.size() && (S[P] == '+' || S[P] == '-'))
+        ++P;
+      if (!digits())
+        return false;
+    }
+    return true;
   }
   bool value() {
     skipWs();
@@ -435,7 +469,7 @@ TEST(ObsEngine, PhaseTreeCoversPipeline) {
       analysis::analyzeConfiguration(testcfg::twoTasksOneCore());
   ASSERT_TRUE(Out.ok()) << Out.error().message();
 
-  const obs::PhaseTree::Node &Root = obs::PhaseTree::global().root();
+  const obs::PhaseTree::Node &Root = obs::PhaseTree::current().root();
   const obs::PhaseTree::Node *Build = Root.child("build");
   ASSERT_NE(Build, nullptr);
   EXPECT_NE(Build->child("compile"), nullptr);
@@ -444,7 +478,7 @@ TEST(ObsEngine, PhaseTreeCoversPipeline) {
   ASSERT_NE(Analyze, nullptr);
   EXPECT_NE(Analyze->child("map_trace"), nullptr);
   EXPECT_NE(Analyze->child("criterion"), nullptr);
-  EXPECT_GT(obs::PhaseTree::global().totalNanos(), 0u);
+  EXPECT_GT(obs::PhaseTree::totalNanos(Root), 0u);
 }
 
 TEST(ObsEngine, ActionBudgetExhaustionIsDiagnosable) {
@@ -502,8 +536,9 @@ TEST(ObsEngine, SearchRecordsBestTrajectory) {
     EXPECT_GT(Res->BestTrajectory[I].first,
               Res->BestTrajectory[I - 1].first);
   }
-  if (Res->Found)
+  if (Res->Found) {
     EXPECT_EQ(Res->BestTrajectory.back().second, 0);
+  }
   EXPECT_EQ(obs::Registry::global()
                 .counter("schedtool.candidates.evaluated")
                 .value(),
@@ -532,6 +567,263 @@ TEST(ObsReport, TextAndJsonForms) {
     Line.pop_back();
   EXPECT_TRUE(JsonChecker(Line).valid()) << Line;
   EXPECT_NE(Line.find("\"report.test\":3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-sharded registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsSharded, CountersAndHistogramsMergeAcrossThreads) {
+  ObsScope Scope;
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.counter("shard.test").add(5);
+  std::thread T1([&] {
+    Reg.counter("shard.test").add(7);
+    Reg.histogram("shard.hist").record(4);
+  });
+  T1.join();
+  std::thread T2([&] {
+    Reg.counter("shard.test").add(1);
+    Reg.counter("shard.other").add(2);
+    Reg.histogram("shard.hist").record(64);
+  });
+  T2.join();
+
+  uint64_t Test = 0, Other = 0;
+  for (const auto &[Name, Value] : Reg.counterValues()) {
+    if (Name == "shard.test")
+      Test = Value;
+    if (Name == "shard.other")
+      Other = Value;
+  }
+  EXPECT_EQ(Test, 13u);
+  EXPECT_EQ(Other, 2u);
+  for (const auto &[Name, H] : Reg.histograms()) {
+    if (Name != "shard.hist")
+      continue;
+    EXPECT_EQ(H.count(), 2u);
+    EXPECT_EQ(H.sum(), 68u);
+    EXPECT_EQ(H.min(), 4u);
+    EXPECT_EQ(H.max(), 64u);
+  }
+  EXPECT_GE(Reg.shardCount(), 2u);
+
+  // reset() reaches every shard, including the retired ones of the two
+  // exited threads.
+  Reg.reset();
+  for (const auto &[Name, Value] : Reg.counterValues())
+    EXPECT_EQ(Value, 0u) << Name;
+}
+
+TEST(ObsSharded, SuppressGuardIsAnOptOut) {
+  ObsScope Scope(/*On=*/true, /*Spans=*/true);
+  EXPECT_TRUE(obs::enabled());
+  EXPECT_TRUE(obs::spansEnabled());
+  {
+    obs::ThreadSuppressGuard Guard;
+    EXPECT_TRUE(obs::threadSuppressed());
+    EXPECT_FALSE(obs::enabled());
+    EXPECT_FALSE(obs::spansEnabled());
+    obs::Span S("suppressed", "test");
+    obs::ScopedTimer T("suppressed");
+  }
+  EXPECT_FALSE(obs::threadSuppressed());
+  EXPECT_EQ(obs::spanCount(), 0u);
+  EXPECT_TRUE(obs::PhaseTree::current().root().Children.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Spans and the Chrome trace exporter
+//===----------------------------------------------------------------------===//
+
+TEST(ObsSpan, RecordsAndExportsChromeTrace) {
+  ObsScope Scope(/*On=*/true, /*Spans=*/true);
+  {
+    obs::Span S("unit-span", "test");
+    S.arg("x", 42);
+    S.arg("y", -7);
+  }
+  {
+    obs::ScopedTimer T("span-phase"); // Phases land in the same timeline.
+  }
+  EXPECT_GE(obs::spanCount(), 2u);
+  EXPECT_EQ(obs::spansDropped(), 0u);
+
+  std::ostringstream OS;
+  obs::writeChromeTrace(OS);
+  std::string Doc = OS.str();
+  if (!Doc.empty() && Doc.back() == '\n')
+    Doc.pop_back();
+  EXPECT_TRUE(JsonChecker(Doc).valid()) << Doc;
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"unit-span\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"span-phase\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"x\":42"), std::string::npos);
+  EXPECT_NE(Doc.find("\"y\":-7"), std::string::npos);
+}
+
+TEST(ObsSpan, DisabledSpansRecordNothing) {
+  ObsScope Scope(/*On=*/true, /*Spans=*/false);
+  {
+    obs::Span S("invisible", "test");
+    S.arg("x", 1);
+  }
+  EXPECT_EQ(obs::spanCount(), 0u);
+  std::ostringstream OS;
+  obs::writeChromeTrace(OS);
+  EXPECT_EQ(OS.str().find("invisible"), std::string::npos);
+}
+
+TEST(ObsSpan, RingOverwritesOldestAndCountsDrops) {
+  ObsScope Scope(/*On=*/true, /*Spans=*/true);
+  auto Now = std::chrono::steady_clock::now();
+  const size_t Extra = 10;
+  for (size_t I = 0; I < obs::spanRingCapacity() + Extra; ++I)
+    obs::recordSpan("flood", "test", Now, Now);
+  EXPECT_EQ(obs::spanCount(), obs::spanRingCapacity());
+  EXPECT_EQ(obs::spansDropped(), Extra);
+  obs::resetSpans();
+  EXPECT_EQ(obs::spanCount(), 0u);
+  EXPECT_EQ(obs::spansDropped(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Run reports
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRunReport, VersionedJsonWithStatsCountersAndPhases) {
+  ObsScope Scope;
+  obs::Registry::global().counter("rr.count").add(4);
+  obs::Registry::global().histogram("rr.hist").record(16);
+  {
+    obs::ScopedTimer T("rr-phase");
+  }
+
+  obs::RunReport Report("unit-test");
+  Report.addCount("alpha", 3);
+  Report.addStat("beta", 0.5);
+  std::ostringstream OS;
+  Report.write(OS);
+  std::string Doc = OS.str();
+  if (!Doc.empty() && Doc.back() == '\n')
+    Doc.pop_back();
+  EXPECT_TRUE(JsonChecker(Doc).valid()) << Doc;
+  EXPECT_NE(Doc.find("\"swa_run_report\":1"), std::string::npos);
+  EXPECT_NE(Doc.find("\"tool\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"alpha\":3"), std::string::npos);
+  EXPECT_NE(Doc.find("\"beta\":0.5"), std::string::npos);
+  EXPECT_NE(Doc.find("\"rr.count\":4"), std::string::npos);
+  EXPECT_NE(Doc.find("\"rr.hist\""), std::string::npos);
+  EXPECT_NE(Doc.find("rr-phase"), std::string::npos);
+}
+
+TEST(ObsRunReport, SearchReportMatchesSearchResult) {
+  schedtool::SearchProblem Problem;
+  Problem.Base = testcfg::twoTasksOneCore();
+  for (cfg::Partition &P : Problem.Base.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+  Problem.MaxIterations = 10;
+  Result<schedtool::SearchResult> Res =
+      schedtool::searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+
+  obs::RunReport Report("config_search");
+  schedtool::fillSearchReport(Report, *Res, /*ElapsedSec=*/2.0);
+  std::ostringstream OS;
+  Report.write(OS);
+  const std::string Doc = OS.str();
+  auto Expect = [&](const std::string &Frag) {
+    EXPECT_NE(Doc.find(Frag), std::string::npos) << Frag << "\nin: " << Doc;
+  };
+  Expect("\"cache.hits\":" + std::to_string(Res->CacheHits));
+  Expect("\"cache.misses\":" + std::to_string(Res->CacheMisses));
+  Expect("\"cache.folds\":" + std::to_string(Res->SymmetryFolds));
+  Expect("\"candidates.evaluated\":" +
+         std::to_string(Res->ConfigurationsEvaluated));
+  Expect("\"candidates_per_sec\":");
+  // The stop-reason taxonomy sums to evaluated + skipped candidates.
+  int Tallied = 0;
+  for (int C : Res->StopReasonCounts)
+    Tallied += C;
+  EXPECT_EQ(Tallied,
+            Res->ConfigurationsEvaluated + Res->CandidatesSkipped);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker-count determinism under full observability
+//===----------------------------------------------------------------------===//
+
+/// Byte-exact rendering of everything a SearchResult carries; two runs are
+/// equivalent iff these strings match exactly.
+std::string renderSearchResult(const schedtool::SearchResult &R) {
+  std::ostringstream OS;
+  OS << R.Found << ' ' << R.ConfigurationsEvaluated << ' '
+     << R.SchedulableSeen << ' ' << R.BestBadness << ' '
+     << R.CandidatesSkipped << ' ' << R.Cancelled << ' ' << R.CacheHits
+     << ' ' << R.CacheMisses << ' ' << R.SymmetryFolds << ' '
+     << R.DuplicateCandidates << ' ' << R.DecomposedCandidates << ' '
+     << R.ComponentsSimulated << ' ' << R.SimulationsRun << '\n';
+  for (int C : R.StopReasonCounts)
+    OS << C << ' ';
+  OS << '\n';
+  for (const auto &[Iter, Badness] : R.BestTrajectory)
+    OS << Iter << ':' << Badness << ' ';
+  OS << '\n';
+  for (const std::string &Line : R.Log)
+    OS << Line << '\n';
+  for (const cfg::Partition &P : R.Best.Partitions) {
+    OS << P.Name << "->" << P.Core;
+    for (const cfg::Window &W : P.Windows)
+      OS << " [" << W.Start << ',' << W.End << ')';
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+TEST(ObsSharded, SearchIsWorkerCountInvariantUnderFullObservability) {
+  schedtool::SearchProblem Problem;
+  Problem.Base = testcfg::twoTasksOneCore();
+  for (cfg::Partition &P : Problem.Base.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+  Problem.MaxIterations = 12;
+
+  // Reference: observability fully off.
+  std::string Baseline;
+  {
+    ObsScope Scope(/*On=*/false, /*Spans=*/false);
+    Result<schedtool::SearchResult> Res =
+        schedtool::searchConfiguration(Problem);
+    ASSERT_TRUE(Res.ok()) << Res.error().message();
+    Baseline = renderSearchResult(*Res);
+  }
+
+  // With metrics AND spans on, every worker count must (a) reproduce the
+  // obs-off result byte-for-byte and (b) merge to identical registry
+  // contents — the sharded-domain determinism contract.
+  std::vector<std::pair<std::string, uint64_t>> BaselineCounters;
+  for (int Workers : {1, 2, 4}) {
+    ObsScope Scope(/*On=*/true, /*Spans=*/true);
+    Problem.Workers = Workers;
+    Result<schedtool::SearchResult> Res =
+        schedtool::searchConfiguration(Problem);
+    ASSERT_TRUE(Res.ok()) << Res.error().message();
+    EXPECT_EQ(renderSearchResult(*Res), Baseline)
+        << "Workers=" << Workers << " diverged from the obs-off run";
+    EXPECT_GT(obs::spanCount(), 0u) << "Workers=" << Workers;
+
+    auto Counters = obs::Registry::global().counterValues();
+    EXPECT_FALSE(Counters.empty());
+    if (Workers == 1)
+      BaselineCounters = Counters;
+    else
+      EXPECT_EQ(Counters, BaselineCounters)
+          << "merged counters depend on Workers=" << Workers;
+  }
 }
 
 } // namespace
