@@ -164,4 +164,90 @@ BENCHMARK(BM_SearchUnschedulable)
     ->UseRealTime()
     ->Iterations(1);
 
+// The incremental headline: a neighborhood search where candidates are
+// small mutations of a shared base, every candidate decomposes per core
+// (message-free), and the deadline misses land at the *tail* of the
+// horizon — so the early exit barely helps and the old layers pay a
+// near-full-horizon simulation per component per candidate. The
+// workload is a generated industrial config (4 cores, 8 partitions,
+// heterogeneous periods) pushed to utilization 0.80: proportional
+// window shares misalign with the longer-period tasks' release times,
+// so no boost assignment the search reaches is schedulable — seed 27
+// runs all 120 rounds without a find, with first misses at t = L/2 or
+// t = L. A boost resample dirties one core's component and leaves the
+// other three byte-identical to the round base, so with the incremental
+// layers on most components replay from the component cache (the hit
+// rate climbs toward ~50% as the neighborhood revisits window splits)
+// and the rest rebind an arena instance instead of rebuilding. Arg 0
+// toggles the three incremental layers (component cache, dirty
+// tracking, instance reuse) with the older layers on in both rows:
+// identical candidate sequence, like-for-like candidates_per_sec.
+static cfg::Config neighborhoodConfig() {
+  gen::IndustrialParams Params;
+  Params.Modules = 2;
+  Params.CoresPerModule = 2;
+  Params.PartitionsPerCore = 2;
+  Params.CoreUtilization = 0.8;
+  Params.MessageProbability = 0.0;
+  Params.Seed = 27;
+  cfg::Config Base = gen::industrialConfig(Params);
+  for (cfg::Partition &P : Base.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+  return Base;
+}
+
+static void BM_SearchNeighborhood(benchmark::State &State) {
+  bool Incremental = State.range(0) != 0;
+  int Workers = static_cast<int>(State.range(1));
+  cfg::Config Base = neighborhoodConfig();
+
+  int64_t TotalEvaluated = 0;
+  int64_t CompHits = 0, CompMisses = 0, Dirty = 0, Clean = 0, Sims = 0;
+  for (auto _ : State) {
+    schedtool::SearchProblem Problem;
+    Problem.Base = Base;
+    Problem.Seed = 41;
+    Problem.MaxIterations = 120;
+    Problem.Workers = Workers;
+    Problem.UseComponentCache = Incremental;
+    Problem.UseDirtyTracking = Incremental;
+    Problem.UseInstanceReuse = Incremental;
+    Result<schedtool::SearchResult> Res =
+        schedtool::searchConfiguration(Problem);
+    if (!Res.ok()) {
+      State.SkipWithError(Res.error().message().c_str());
+      return;
+    }
+    TotalEvaluated += Res->ConfigurationsEvaluated;
+    CompHits += Res->ComponentCacheHits;
+    CompMisses += Res->ComponentCacheMisses;
+    Dirty += Res->DirtyComponents;
+    Clean += Res->CleanComponentsReused;
+    Sims += Res->ComponentsSimulated;
+  }
+  State.counters["incremental"] = Incremental ? 1 : 0;
+  State.counters["workers"] = Workers;
+  State.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(TotalEvaluated), benchmark::Counter::kIsRate);
+  State.counters["components_simulated"] = static_cast<double>(Sims);
+  State.counters["component_hit_rate"] =
+      CompHits + CompMisses > 0
+          ? static_cast<double>(CompHits) /
+                static_cast<double>(CompHits + CompMisses)
+          : 0.0;
+  State.counters["dirty_components_per_candidate"] =
+      TotalEvaluated > 0 ? static_cast<double>(Dirty) /
+                               static_cast<double>(TotalEvaluated)
+                         : 0.0;
+  State.counters["clean_components_reused"] = static_cast<double>(Clean);
+  swa::benchsupport::exportObsCounters(State);
+}
+BENCHMARK(BM_SearchNeighborhood)
+    ->ArgsProduct({{0, 1}, {1, 2}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
 SWA_BENCH_MAIN();

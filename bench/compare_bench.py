@@ -13,6 +13,14 @@
 #   $ bench/compare_bench.py BASELINE.json CURRENT.json \
 #         [--threshold 0.10] [--counter candidates_per_sec ...]
 #
+# Committed baselines live at the repo root, so bare names resolve there
+# when no such file exists relative to the working directory:
+#
+#   $ bench/compare_bench.py BENCH_PR5.json BENCH_PR7.json
+#
+# compares the two recorded trajectory points from anywhere in the tree,
+# with the same >10% default gate on wall time and candidates_per_sec.
+#
 # Time regressions are "current slower than baseline"; counter
 # regressions are "current rate lower than baseline" (every watched
 # counter is rate-like: bigger is better). Exit codes: 0 clean,
@@ -28,6 +36,7 @@
 # ===----------------------------------------------------------------------===#
 import argparse
 import json
+import os
 import sys
 
 # Rate-style user counters worth gating by default. Wall time covers the
@@ -35,7 +44,18 @@ import sys
 DEFAULT_COUNTERS = ["candidates_per_sec", "actions_per_sec"]
 
 
+def resolve_baseline(path):
+    """A bare file name that does not exist locally names a committed
+    baseline at the repo root (where run_baseline.sh writes them)."""
+    if os.path.exists(path) or os.path.dirname(path):
+        return path
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    rooted = os.path.join(root, path)
+    return rooted if os.path.exists(rooted) else path
+
+
 def load_doc(path):
+    path = resolve_baseline(path)
     try:
         with open(path) as f:
             return json.load(f)

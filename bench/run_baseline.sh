@@ -8,10 +8,16 @@
 # --benchmark_out JSON into one baseline file at the repo root. Each
 # benchmark entry is tagged with the binary it came from.
 #
-#   $ bench/run_baseline.sh [--report] [build-dir] [out-file]
+#   $ bench/run_baseline.sh [--report] [--record out-file] [build-dir] [out-file]
 #
 # Defaults: build-dir = build, out-file = BENCH_PR5.json. Commit the output
-# so later PRs can compare against a recorded trajectory.
+# so later PRs can compare against a recorded trajectory. --record names
+# the output without displacing the build-dir positional — the PR 7
+# baseline was recorded with
+#   bench/run_baseline.sh --record BENCH_PR7.json build-release
+# and compared against its predecessor with
+#   bench/compare_bench.py BENCH_PR5.json BENCH_PR7.json
+# (compare_bench.py resolves bare baseline names at the repo root).
 #
 # --report additionally runs examples/config_search with --report-out and
 # writes the machine-readable obs::RunReport next to the baseline (out-file
@@ -37,12 +43,28 @@
 set -euo pipefail
 
 REPORT=0
-if [ "${1:-}" = "--report" ]; then
-  REPORT=1
-  shift
-fi
+RECORD=""
+while :; do
+  case "${1:-}" in
+  --report)
+    REPORT=1
+    shift
+    ;;
+  --record)
+    if [ -z "${2:-}" ]; then
+      echo "error: --record needs an output file name" >&2
+      exit 2
+    fi
+    RECORD="$2"
+    shift 2
+    ;;
+  *)
+    break
+    ;;
+  esac
+done
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-${RECORD:-BENCH_PR5.json}}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCHES=(bench_table1 bench_engine bench_scale bench_schedtool)
 

@@ -10,6 +10,7 @@
 //
 //   $ ./config_search [seed] [--workers N] [--budget-ms MS]
 //                     [--no-cache] [--no-early-exit] [--no-decompose]
+//                     [--no-component-cache] [--no-incremental]
 //                     [--trace-out FILE] [--report-out FILE]
 //
 // --workers evaluates candidate batches on N threads; the result is
@@ -17,8 +18,10 @@
 // simulation wall-clock time: a candidate that exceeds it is logged as
 // skipped and the search keeps going. The --no-* flags switch off the
 // acceleration layers (verdict memoization, first-miss early exit,
-// per-core compositional evaluation); the verdict stream is identical
-// either way, only the cost changes. --trace-out records per-candidate /
+// per-core compositional evaluation, component-verdict memoization, and
+// — via --no-incremental — both mutation-driven dirty tracking and NSA
+// instance reuse); the verdict stream is identical either way, only the
+// cost changes. --trace-out records per-candidate /
 // per-component spans and writes a chrome://tracing (Perfetto) timeline;
 // --report-out writes a machine-readable obs::RunReport JSON. Both turn
 // observability on; neither changes the search result.
@@ -45,6 +48,7 @@ int main(int argc, char **argv) {
   int Workers = 1;
   int64_t BudgetMs = -1;
   bool UseCache = true, UseEarlyExit = true, UseDecompose = true;
+  bool UseComponentCache = true, UseIncremental = true;
   const char *TraceOut = nullptr, *ReportOut = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--workers") == 0 && I + 1 < argc)
@@ -57,6 +61,10 @@ int main(int argc, char **argv) {
       UseEarlyExit = false;
     else if (std::strcmp(argv[I], "--no-decompose") == 0)
       UseDecompose = false;
+    else if (std::strcmp(argv[I], "--no-component-cache") == 0)
+      UseComponentCache = false;
+    else if (std::strcmp(argv[I], "--no-incremental") == 0)
+      UseIncremental = false;
     else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc)
       TraceOut = argv[++I];
     else if (std::strcmp(argv[I], "--report-out") == 0 && I + 1 < argc)
@@ -98,6 +106,9 @@ int main(int argc, char **argv) {
   Problem.UseVerdictCache = UseCache;
   Problem.UseEarlyExit = UseEarlyExit;
   Problem.UseDecomposition = UseDecompose;
+  Problem.UseComponentCache = UseComponentCache;
+  Problem.UseDirtyTracking = UseIncremental;
+  Problem.UseInstanceReuse = UseIncremental;
   auto T0 = std::chrono::steady_clock::now();
   Result<schedtool::SearchResult> Res =
       schedtool::searchConfiguration(Problem);
@@ -125,6 +136,23 @@ int main(int argc, char **argv) {
                 "(%d monolithic simulations)\n",
                 Res->DecomposedCandidates, Res->ComponentsSimulated,
                 Res->SimulationsRun);
+  if (UseDecompose && UseComponentCache) {
+    int Lookups = Res->ComponentCacheHits + Res->ComponentCacheMisses;
+    std::printf("component cache: %d hits / %d misses (%.0f%% hit rate, "
+                "%d unique sims)\n",
+                Res->ComponentCacheHits, Res->ComponentCacheMisses,
+                Lookups > 0 ? 100.0 * Res->ComponentCacheHits / Lookups
+                            : 0.0,
+                Res->ComponentsSimulated);
+  }
+  if (UseDecompose && UseIncremental) {
+    int Planned = Res->DirtyComponents + Res->CleanComponentsReused;
+    std::printf("incremental: %d dirty / %d clean components (%.0f%% "
+                "dirty)\n",
+                Res->DirtyComponents, Res->CleanComponentsReused,
+                Planned > 0 ? 100.0 * Res->DirtyComponents / Planned
+                            : 0.0);
+  }
 
   if (TraceOut) {
     std::ofstream OS(TraceOut);

@@ -6,6 +6,7 @@
 
 #include "analysis/Analyzer.h"
 
+#include "analysis/ModelArena.h"
 #include "obs/Metrics.h"
 #include "obs/Timer.h"
 
@@ -56,14 +57,16 @@ swa::analysis::analyzeConfiguration(const cfg::Config &Config,
   return Out;
 }
 
-Result<VerdictOutcome>
-swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
-                                  const nsa::SimOptions &SimOptions) {
-  Result<core::BuiltModel> Model = core::buildModel(Config);
-  if (!Model.ok())
-    return Model.takeError();
+namespace {
 
-  int NT = static_cast<int>(Model->TaskAutomaton.size());
+/// The shared back half of both analyzeVerdictOnly overloads: run \p Sim
+/// over \p Model and extract the verdict. The caller owns model and
+/// simulator so the arena overload can substitute cached ones.
+Result<VerdictOutcome> runVerdictOn(const core::BuiltModel &Model,
+                                    nsa::Simulator &Sim,
+                                    const cfg::Config &Config,
+                                    const nsa::SimOptions &SimOptions) {
+  int NT = static_cast<int>(Model.TaskAutomaton.size());
   VerdictOutcome Out;
   Out.TaskFailed.assign(static_cast<size_t>(NT), 0);
 
@@ -71,14 +74,13 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
   // feeds the criterion fallback. Either way the run is executed here so
   // a guard-rail stop (budget/cancel) surfaces structurally instead of as
   // an opaque error string.
-  const bool HasFlags = Model->IsFailedSlot >= 0;
-  nsa::Simulator Sim(*Model->Net);
+  const bool HasFlags = Model.IsFailedSlot >= 0;
   nsa::SimOptions Opt = SimOptions;
   Opt.RecordTrace = !HasFlags;
   if (HasFlags) {
     // Watch the contiguous is_failed block so every run — early-exit or
     // full — reports the first-miss instant and its task set.
-    Opt.FailSlotBase = Model->IsFailedSlot;
+    Opt.FailSlotBase = Model.IsFailedSlot;
     Opt.FailSlotCount = NT;
   } else {
     // Early exit needs the flags; without them fall through to the full
@@ -99,7 +101,7 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
   if (HasFlags) {
     Out.Stop = R.Stop;
     for (int G = 0; G < NT; ++G) {
-      if (R.Final.Store[static_cast<size_t>(Model->IsFailedSlot + G)] !=
+      if (R.Final.Store[static_cast<size_t>(Model.IsFailedSlot + G)] !=
           0) {
         Out.TaskFailed[static_cast<size_t>(G)] = 1;
         ++Out.FailedTasks;
@@ -113,7 +115,7 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
     // trace and derive the per-task flags from the job statistics. The
     // first-miss instant is the earliest absolute deadline among missed
     // jobs — exactly when the watch would have seen the flag trip.
-    core::SystemTrace Trace = core::mapTrace(*Model, R.Events);
+    core::SystemTrace Trace = core::mapTrace(Model, R.Events);
     AnalysisResult Analysis = analyzeTrace(Config, Trace);
     Out.Schedulable = Analysis.Schedulable;
     for (const JobStats &J : Analysis.Jobs) {
@@ -139,6 +141,54 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
   if (obs::enabled())
     obs::Registry::global().counter("analysis.configurations").add(1);
   return Out;
+}
+
+} // namespace
+
+Result<VerdictOutcome>
+swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
+                                  const nsa::SimOptions &SimOptions) {
+  return analyzeVerdictOnly(Config, SimOptions, nullptr);
+}
+
+Result<VerdictOutcome>
+swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
+                                  const nsa::SimOptions &SimOptions,
+                                  ModelArena *Arena) {
+  if (Arena) {
+    cfg::Fingerprint Shape = cfg::fingerprintShape(Config);
+    if (ModelArena::Slot *S = Arena->find(Shape)) {
+      // On any rebind failure (invalid config, shape-fingerprint
+      // collision) fall through to a fresh build, which reproduces the
+      // plain overload's behavior — including its error — exactly.
+      if (!core::rebindWindows(S->Model, S->Rebinder, Config))
+        return runVerdictOn(S->Model, *S->Sim, Config, SimOptions);
+    }
+  }
+
+  Result<core::BuiltModel> Model =
+      core::buildModel(Config, /*PublishMetrics=*/Arena == nullptr);
+  if (!Model.ok())
+    return Model.takeError();
+
+  // Seed the arena only with models the rebinder can retarget and the
+  // flags fast path can evaluate; anything else is used once, as the
+  // plain overload would.
+  if (Arena && Model->IsFailedSlot >= 0) {
+    if (ModelArena::Slot *S =
+            Arena->emplace(cfg::fingerprintShape(Config), std::move(*Model)))
+      return runVerdictOn(S->Model, *S->Sim, Config, SimOptions);
+    // emplace declined (foreign model): *Model was consumed, rebuild.
+    Result<core::BuiltModel> Fresh =
+        core::buildModel(Config, /*PublishMetrics=*/false);
+    if (!Fresh.ok())
+      return Fresh.takeError();
+    nsa::Simulator Sim(*Fresh->Net);
+    return runVerdictOn(*Fresh, Sim, Config, SimOptions);
+  }
+
+  nsa::Simulator Sim(*Model->Net);
+  return runVerdictOn(*Model, Sim, Config, SimOptions);
 }
 
 VerdictOutcome swa::analysis::mergeComponentVerdicts(

@@ -90,6 +90,19 @@ Result<VerdictOutcome>
 analyzeVerdictOnly(const cfg::Config &Config,
                    const nsa::SimOptions &SimOptions = {});
 
+class ModelArena;
+
+/// Arena-accelerated variant: when \p Arena is non-null and a model of
+/// the same shape (cfg::fingerprintShape) is cached, the candidate's
+/// window tables are patched into the cached model (core::rebindWindows)
+/// and its simulator is reused — no Algorithm-1 rebuild. Misses build
+/// fresh (with build metrics suppressed; see ModelArena.h on why) and
+/// seed the arena. The verdict is identical to the plain overload for
+/// every config; a null \p Arena is exactly the plain overload.
+Result<VerdictOutcome> analyzeVerdictOnly(const cfg::Config &Config,
+                                          const nsa::SimOptions &SimOptions,
+                                          ModelArena *Arena);
+
 /// One decomposed component's verdict plus the map from its local task
 /// gids to the gids of the original (pre-decomposition) configuration.
 struct ComponentVerdict {

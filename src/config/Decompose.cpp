@@ -7,7 +7,6 @@
 #include "config/Decompose.h"
 
 #include "support/MathExtras.h"
-#include "support/UnionFind.h"
 
 #include <algorithm>
 #include <limits>
@@ -51,97 +50,182 @@ bool truncateWindows(Partition &P, int64_t LSub, int64_t LGlobal) {
   return true;
 }
 
-} // namespace
-
-Decomposition cfg::decomposeConfig(const Config &Config) {
-  Decomposition Out;
+/// Numbers components by first appearance scanning partitions by index
+/// and fills CompOfPart/CompOfCore. Assumes every partition is bound
+/// (checked by the callers before any unite).
+void numberComponents(const Config &Config, support::UnionFind &UF,
+                      ComponentStructure &S) {
   const size_t NP = Config.Partitions.size();
   const size_t NC = Config.Cores.size();
-  if (NP == 0 || NC == 0)
-    return Out;
+  S.CompOfPart.assign(NP, -1);
+  S.CompOfCore.assign(NC, -1);
+  std::vector<int32_t> CompOfRoot(NC, -1);
+  S.NumComps = 0;
+  for (size_t P = 0; P < NP; ++P) {
+    int32_t Core = Config.Partitions[P].Core;
+    int32_t R = UF.find(Core);
+    if (CompOfRoot[static_cast<size_t>(R)] < 0)
+      CompOfRoot[static_cast<size_t>(R)] = S.NumComps++;
+    S.CompOfPart[P] = CompOfRoot[static_cast<size_t>(R)];
+    S.CompOfCore[static_cast<size_t>(Core)] = S.CompOfPart[P];
+  }
+  S.Valid = true;
+}
+
+bool allPartitionsBound(const Config &Config) {
+  const size_t NC = Config.Cores.size();
   for (const Partition &P : Config.Partitions)
     if (P.Core < 0 || static_cast<size_t>(P.Core) >= NC)
-      return Out; // unbound or dangling binding: not decomposable
+      return false;
+  return true;
+}
 
-  support::UnionFind UF(NC);
+} // namespace
+
+MessageGroups cfg::messageGroups(const Config &Config) {
+  MessageGroups G;
+  const size_t NP = Config.Partitions.size();
+  support::UnionFind UF(NP);
   for (const Message &M : Config.Messages) {
     if (M.Sender.Partition < 0 ||
         static_cast<size_t>(M.Sender.Partition) >= NP ||
         M.Receiver.Partition < 0 ||
         static_cast<size_t>(M.Receiver.Partition) >= NP)
-      return Out; // dangling message ref: leave it to validate()
+      return G; // dangling message ref: leave it to validate()
+    UF.unite(M.Sender.Partition, M.Receiver.Partition);
+  }
+  G.GroupOfPart.assign(NP, -1);
+  std::vector<int32_t> GroupOfRoot(NP, -1);
+  for (size_t P = 0; P < NP; ++P) {
+    int32_t R = UF.find(static_cast<int32_t>(P));
+    if (GroupOfRoot[static_cast<size_t>(R)] < 0)
+      GroupOfRoot[static_cast<size_t>(R)] = G.NumGroups++;
+    G.GroupOfPart[P] = GroupOfRoot[static_cast<size_t>(R)];
+  }
+  G.Valid = true;
+  return G;
+}
+
+ComponentStructure cfg::componentStructure(const Config &Config,
+                                           support::UnionFind &UF) {
+  ComponentStructure S;
+  const size_t NP = Config.Partitions.size();
+  const size_t NC = Config.Cores.size();
+  if (NP == 0 || NC == 0 || UF.size() != NC || !allPartitionsBound(Config))
+    return S;
+  UF.reset();
+  for (const Message &M : Config.Messages) {
+    if (M.Sender.Partition < 0 ||
+        static_cast<size_t>(M.Sender.Partition) >= NP ||
+        M.Receiver.Partition < 0 ||
+        static_cast<size_t>(M.Receiver.Partition) >= NP)
+      return S; // dangling message ref
     UF.unite(Config.Partitions[static_cast<size_t>(M.Sender.Partition)].Core,
              Config.Partitions[static_cast<size_t>(M.Receiver.Partition)].Core);
   }
+  numberComponents(Config, UF, S);
+  return S;
+}
 
-  // Group used cores by component root; component order = order of first
-  // appearance scanning partitions by index, so task gids stay aligned
-  // with the original numbering as far as possible (deterministic either
-  // way).
-  std::vector<int32_t> RootOf(NC, -1);
-  std::vector<int32_t> CompOfRoot(NC, -1);
-  int NumComps = 0;
-  std::vector<int32_t> CompOfPart(NP, -1);
+ComponentStructure
+cfg::componentStructureFromGroups(const Config &Config,
+                                  const MessageGroups &G,
+                                  support::UnionFind &UF) {
+  ComponentStructure S;
+  const size_t NP = Config.Partitions.size();
+  const size_t NC = Config.Cores.size();
+  if (NP == 0 || NC == 0 || !G.Valid || G.GroupOfPart.size() != NP ||
+      UF.size() != NC || !allPartitionsBound(Config))
+    return S;
+  UF.reset();
+  // One unite per partition: cores sharing a partition group are one
+  // component. Transitivity through the group representative reproduces
+  // exactly the message-edge unions of componentStructure().
+  std::vector<int32_t> FirstCoreOfGroup(static_cast<size_t>(G.NumGroups), -1);
   for (size_t P = 0; P < NP; ++P) {
-    int32_t R = UF.find(Config.Partitions[P].Core);
-    if (CompOfRoot[static_cast<size_t>(R)] < 0)
-      CompOfRoot[static_cast<size_t>(R)] = NumComps++;
-    CompOfPart[P] = CompOfRoot[static_cast<size_t>(R)];
+    int32_t Core = Config.Partitions[P].Core;
+    int32_t &First =
+        FirstCoreOfGroup[static_cast<size_t>(G.GroupOfPart[P])];
+    if (First < 0)
+      First = Core;
+    else
+      UF.unite(First, Core);
   }
-  if (NumComps < 2)
+  numberComponents(Config, UF, S);
+  return S;
+}
+
+bool cfg::materializeComponent(const Config &Config,
+                               const ComponentStructure &S, int32_t Comp,
+                               int64_t LGlobal, Component &Out) {
+  Out.Sub = swa::cfg::Config();
+  Out.GidMap.clear();
+  const size_t NP = Config.Partitions.size();
+  const size_t NC = Config.Cores.size();
+  std::vector<int32_t> CoreMap(NC, -1); // original core -> sub core
+  std::vector<int32_t> PartMap(NP, -1); // original part -> sub part
+  int32_t GidBase = 0;
+  for (size_t P = 0; P < NP; ++P) {
+    int32_t NT = static_cast<int32_t>(Config.Partitions[P].Tasks.size());
+    if (S.CompOfPart[P] != Comp) {
+      GidBase += NT;
+      continue;
+    }
+    int32_t OrigCore = Config.Partitions[P].Core;
+    if (CoreMap[static_cast<size_t>(OrigCore)] < 0) {
+      CoreMap[static_cast<size_t>(OrigCore)] =
+          static_cast<int32_t>(Out.Sub.Cores.size());
+      Out.Sub.Cores.push_back(Config.Cores[static_cast<size_t>(OrigCore)]);
+    }
+    PartMap[P] = static_cast<int32_t>(Out.Sub.Partitions.size());
+    Out.Sub.Partitions.push_back(Config.Partitions[P]);
+    Out.Sub.Partitions.back().Core = CoreMap[static_cast<size_t>(OrigCore)];
+    for (int32_t T = 0; T < NT; ++T)
+      Out.GidMap.push_back(GidBase + T);
+    GidBase += NT;
+  }
+
+  for (const Message &M : Config.Messages) {
+    if (S.CompOfPart[static_cast<size_t>(M.Sender.Partition)] != Comp)
+      continue;
+    Message Sub = M;
+    Sub.Sender.Partition = PartMap[static_cast<size_t>(M.Sender.Partition)];
+    Sub.Receiver.Partition =
+        PartMap[static_cast<size_t>(M.Receiver.Partition)];
+    Out.Sub.Messages.push_back(Sub);
+  }
+
+  Out.Sub.Name = Config.Name + "/c" + std::to_string(Comp);
+  Out.Sub.NumCoreTypes = Config.NumCoreTypes;
+  int64_t LSub = Out.Sub.hyperperiod();
+  if (LSub <= 0 || LGlobal % LSub != 0)
+    return false; // no tasks, or inconsistent periods
+  for (Partition &P : Out.Sub.Partitions)
+    if (!truncateWindows(P, LSub, LGlobal))
+      return false; // window pattern not LSub-periodic
+  return true;
+}
+
+Decomposition cfg::decomposeConfig(const Config &Config) {
+  Decomposition Out;
+  const size_t NC = Config.Cores.size();
+  if (Config.Partitions.empty() || NC == 0)
+    return Out;
+
+  support::UnionFind UF(NC);
+  ComponentStructure S = componentStructure(Config, UF);
+  if (!S.Valid || S.NumComps < 2)
     return Out;
 
   int64_t LGlobal = Config.hyperperiod();
   if (LGlobal <= 0 || LGlobal == std::numeric_limits<int64_t>::max())
     return Out;
 
-  // Original gid offsets per partition.
-  std::vector<int32_t> GidBase(NP, 0);
-  for (size_t P = 1; P < NP; ++P)
-    GidBase[P] = GidBase[P - 1] +
-                 static_cast<int32_t>(Config.Partitions[P - 1].Tasks.size());
-
-  Out.Components.resize(static_cast<size_t>(NumComps));
-  std::vector<int32_t> CoreMap(NC, -1); // original core -> sub core
-  std::vector<int32_t> PartMap(NP, -1); // original part -> sub part
-
-  for (size_t P = 0; P < NP; ++P) {
-    Component &CP = Out.Components[static_cast<size_t>(CompOfPart[P])];
-    int32_t OrigCore = Config.Partitions[P].Core;
-    if (CoreMap[static_cast<size_t>(OrigCore)] < 0) {
-      CoreMap[static_cast<size_t>(OrigCore)] =
-          static_cast<int32_t>(CP.Sub.Cores.size());
-      CP.Sub.Cores.push_back(Config.Cores[static_cast<size_t>(OrigCore)]);
-    }
-    PartMap[P] = static_cast<int32_t>(CP.Sub.Partitions.size());
-    CP.Sub.Partitions.push_back(Config.Partitions[P]);
-    CP.Sub.Partitions.back().Core = CoreMap[static_cast<size_t>(OrigCore)];
-    for (size_t T = 0; T < Config.Partitions[P].Tasks.size(); ++T)
-      CP.GidMap.push_back(GidBase[P] + static_cast<int32_t>(T));
-  }
-
-  for (const Message &M : Config.Messages) {
-    Component &CP =
-        Out.Components[static_cast<size_t>(
-            CompOfPart[static_cast<size_t>(M.Sender.Partition)])];
-    Message Sub = M;
-    Sub.Sender.Partition = PartMap[static_cast<size_t>(M.Sender.Partition)];
-    Sub.Receiver.Partition =
-        PartMap[static_cast<size_t>(M.Receiver.Partition)];
-    CP.Sub.Messages.push_back(Sub);
-  }
-
-  for (size_t K = 0; K < Out.Components.size(); ++K) {
-    Component &CP = Out.Components[K];
-    CP.Sub.Name = Config.Name + "/c" + std::to_string(K);
-    CP.Sub.NumCoreTypes = Config.NumCoreTypes;
-    int64_t LSub = CP.Sub.hyperperiod();
-    if (LSub <= 0 || LGlobal % LSub != 0)
-      return Decomposition{}; // no tasks, or inconsistent periods
-    for (Partition &P : CP.Sub.Partitions)
-      if (!truncateWindows(P, LSub, LGlobal))
-        return Decomposition{}; // window pattern not LSub-periodic
-  }
+  Out.Components.resize(static_cast<size_t>(S.NumComps));
+  for (int32_t K = 0; K < S.NumComps; ++K)
+    if (!materializeComponent(Config, S, K, LGlobal,
+                              Out.Components[static_cast<size_t>(K)]))
+      return Decomposition{};
 
   Out.Decomposed = true;
   Out.Horizon = LGlobal;

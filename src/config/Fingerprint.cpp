@@ -115,3 +115,69 @@ Fingerprint cfg::fingerprintConfig(const Config &Config,
 
   return {H.A, H.B};
 }
+
+Fingerprint cfg::fingerprintComponent(const Config &Sub, int64_t Horizon,
+                                      bool CanonicalizeCores) {
+  Fingerprint F = fingerprintConfig(Sub, CanonicalizeCores);
+  // A component simulated at its own hyperperiod is indistinguishable
+  // from the standalone config — keep the fingerprints equal so whole-
+  // config and component cache entries agree by construction. Only an
+  // extended horizon (carried-over backlog is observed further) changes
+  // the verdict and must change the key.
+  if (Horizon == Sub.hyperperiod())
+    return F;
+  Hash128 H;
+  H.A = F.Hi;
+  H.B = F.Lo;
+  H.add(uint64_t{0x5357412d48525a4eULL}); // "SWA-HRZN" domain tag
+  H.add(Horizon);
+  return {H.A, H.B};
+}
+
+Fingerprint cfg::fingerprintShape(const Config &Config) {
+  Hash128 H;
+  H.add(uint64_t{0x5357412d53484150ULL}); // "SWA-SHAP" domain tag
+  H.add(Config.NumCoreTypes);
+  H.add(static_cast<uint64_t>(Config.Partitions.size()));
+
+  for (const Partition &P : Config.Partitions) {
+    H.add(static_cast<int>(P.Scheduler));
+    if (P.Core >= 0 && static_cast<size_t>(P.Core) < Config.Cores.size()) {
+      const Core &C = Config.Cores[static_cast<size_t>(P.Core)];
+      H.add(C.Module);
+      H.add(C.CoreType);
+      // Raw index, never the canonical rank: the instance layout (one
+      // CoreScheduler automaton per used core, in core-index order)
+      // depends on the actual indices, and the rebinder patches slots by
+      // that layout.
+      H.add(P.Core);
+    } else {
+      H.add(uint64_t{0xffffffffffffffffULL}); // unbound sentinel
+    }
+    H.add(static_cast<uint64_t>(P.Tasks.size()));
+    for (const Task &T : P.Tasks) {
+      H.add(T.Priority);
+      H.add(T.Period);
+      H.add(T.Deadline);
+      H.add(static_cast<uint64_t>(T.Wcet.size()));
+      for (TimeValue W : T.Wcet)
+        H.add(W);
+    }
+    // Window *count* only: the positions live in patchable const arrays,
+    // but the count is folded into compiled guards (nw) and sizes the
+    // tables.
+    H.add(static_cast<uint64_t>(P.Windows.size()));
+  }
+
+  H.add(static_cast<uint64_t>(Config.Messages.size()));
+  for (const Message &M : Config.Messages) {
+    H.add(M.Sender.Partition);
+    H.add(M.Sender.Task);
+    H.add(M.Receiver.Partition);
+    H.add(M.Receiver.Task);
+    H.add(M.MemDelay);
+    H.add(M.NetDelay);
+  }
+
+  return {H.A, H.B};
+}

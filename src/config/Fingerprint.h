@@ -72,6 +72,26 @@ struct FingerprintHash {
 Fingerprint fingerprintConfig(const Config &Config,
                               bool CanonicalizeCores = true);
 
+/// Fingerprints one decomposition component for the component-level
+/// verdict cache. A component is simulated to the *global* hyperperiod
+/// (Decomposition::Horizon), so its verdict depends on (Sub, Horizon),
+/// not on Sub alone. When \p Horizon equals Sub's own hyperperiod the
+/// result is exactly fingerprintConfig(Sub) — a component that happens to
+/// cover the whole hyperperiod hashes like the standalone config it is;
+/// otherwise the horizon is folded in and the value diverges.
+Fingerprint fingerprintComponent(const Config &Sub, int64_t Horizon,
+                                 bool CanonicalizeCores = true);
+
+/// Structural *shape* of a config as seen by core::buildModel's compiled
+/// output: everything fingerprintConfig covers except the window
+/// positions, with raw (uncanonicalized) core indices, plus each
+/// partition's window count. Two configs with equal shapes compile to
+/// networks that differ only in the CoreScheduler window tables
+/// (w_start/w_end/w_part const arrays and the Config copy) — exactly
+/// what core::WindowRebinder can patch in place, so this is the arena
+/// key for NSA instance reuse.
+Fingerprint fingerprintShape(const Config &Config);
+
 } // namespace cfg
 } // namespace swa
 

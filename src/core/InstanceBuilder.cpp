@@ -19,7 +19,55 @@
 using namespace swa;
 using namespace swa::core;
 
-Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
+namespace {
+
+/// The per-core window table exactly as buildModel feeds it to the
+/// CoreScheduler instance: windows of all partitions on core \p C,
+/// sorted by start, with the non-empty placeholder row when the core
+/// hosts partitions but no windows. Shared by buildModel and
+/// rebindWindows so a rebind reproduces the build bit-for-bit.
+struct CoreWindowTable {
+  bool HasPartition = false;
+  int64_t NumWindows = 0;
+  std::vector<int64_t> Starts, Ends, Parts;
+};
+
+CoreWindowTable coreWindowTable(const cfg::Config &Config, size_t C) {
+  struct Win {
+    cfg::TimeValue Start, End;
+    int64_t Part;
+  };
+  CoreWindowTable Out;
+  std::vector<Win> Wins;
+  for (size_t P = 0; P < Config.Partitions.size(); ++P) {
+    if (Config.Partitions[P].Core != static_cast<int>(C))
+      continue;
+    Out.HasPartition = true;
+    for (const cfg::Window &W : Config.Partitions[P].Windows)
+      Wins.push_back({W.Start, W.End, static_cast<int64_t>(P)});
+  }
+  if (!Out.HasPartition)
+    return Out;
+  std::sort(Wins.begin(), Wins.end(),
+            [](const Win &A, const Win &B) { return A.Start < B.Start; });
+  for (const Win &W : Wins) {
+    Out.Starts.push_back(W.Start);
+    Out.Ends.push_back(W.End);
+    Out.Parts.push_back(W.Part);
+  }
+  Out.NumWindows = static_cast<int64_t>(Wins.size());
+  if (Wins.empty()) {
+    Out.Starts.push_back(0);
+    Out.Ends.push_back(0);
+    Out.Parts.push_back(0);
+  }
+  return Out;
+}
+
+} // namespace
+
+Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config,
+                                         bool PublishMetrics) {
   obs::ScopedTimer Timer("build");
   if (Error E = Config.validate())
     return E.withContext("invalid configuration");
@@ -104,39 +152,13 @@ Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
 
   // Core schedulers: one per core that hosts at least one partition.
   for (size_t C = 0; C < Config.Cores.size(); ++C) {
-    struct Win {
-      cfg::TimeValue Start, End;
-      int64_t Part;
-    };
-    std::vector<Win> Wins;
-    bool HasPartition = false;
-    for (size_t P = 0; P < Config.Partitions.size(); ++P) {
-      if (Config.Partitions[P].Core != static_cast<int>(C))
-        continue;
-      HasPartition = true;
-      for (const cfg::Window &W : Config.Partitions[P].Windows)
-        Wins.push_back({W.Start, W.End, static_cast<int64_t>(P)});
-    }
-    if (!HasPartition)
+    CoreWindowTable WT = coreWindowTable(Config, C);
+    if (!WT.HasPartition)
       continue;
-    std::sort(Wins.begin(), Wins.end(),
-              [](const Win &A, const Win &B) { return A.Start < B.Start; });
-
-    std::vector<int64_t> Starts, Ends, Parts;
-    for (const Win &W : Wins) {
-      Starts.push_back(W.Start);
-      Ends.push_back(W.End);
-      Parts.push_back(W.Part);
-    }
-    int64_t NW = static_cast<int64_t>(Wins.size());
-    if (Wins.empty()) {
-      Starts.push_back(0);
-      Ends.push_back(0);
-      Parts.push_back(0);
-    }
     sa::NetworkBuilder::ParamMap CsParams = {
-        {"nw", {NW}},         {"w_start", Starts}, {"w_end", Ends},
-        {"w_part", Parts},    {"hyper", {L}},
+        {"nw", {WT.NumWindows}}, {"w_start", WT.Starts},
+        {"w_end", WT.Ends},      {"w_part", WT.Parts},
+        {"hyper", {L}},
     };
     Result<sa::Automaton *> CS =
         NB.addInstance(Lib.coreScheduler(), formatString("cs_%zu", C),
@@ -179,7 +201,7 @@ Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
   Out.Net->Meta["horizon"] = L;
   Out.Net->Meta["numTasks"] = NT;
 
-  if (obs::enabled()) {
+  if (PublishMetrics && obs::enabled()) {
     obs::Registry &Reg = obs::Registry::global();
     Reg.counter("core.models.built").add(1);
     Reg.counter("core.automata.instantiated")
@@ -196,4 +218,67 @@ Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config) {
   Out.DeliverBase = Out.Net->channelId("deliver");
   Out.IsFailedSlot = Out.Net->slotOf("is_failed");
   return Out;
+}
+
+WindowRebinder swa::core::makeWindowRebinder(const BuiltModel &Model) {
+  WindowRebinder RB;
+  if (!Model.Net)
+    return RB;
+  for (const auto &A : Model.Net->Automata) {
+    if (A->metaOr("kind", 0) != 3) // CoreScheduler instances only.
+      continue;
+    WindowRebinder::CoreSlots S;
+    S.Core = static_cast<int>(A->metaOr("core", -1));
+    S.StartSlot = static_cast<int>(A->metaOr("carr.w_start", -1));
+    S.EndSlot = static_cast<int>(A->metaOr("carr.w_end", -1));
+    S.PartSlot = static_cast<int>(A->metaOr("carr.w_part", -1));
+    if (S.Core < 0 || S.StartSlot < 0 || S.EndSlot < 0 || S.PartSlot < 0)
+      return RB; // foreign model: no patchable slots recorded
+    CoreWindowTable WT =
+        coreWindowTable(Model.Config, static_cast<size_t>(S.Core));
+    S.NumWindows = WT.NumWindows;
+    RB.Cores.push_back(S);
+  }
+  RB.Valid = !RB.Cores.empty();
+  return RB;
+}
+
+Error swa::core::rebindWindows(BuiltModel &Model, const WindowRebinder &RB,
+                               const cfg::Config &NewConfig) {
+  if (!RB.Valid)
+    return Error::failure("model has no window rebind plan");
+  // Mirror buildModel: an invalid config must fail here too, or a reused
+  // model would accept configs a fresh build rejects.
+  if (Error E = NewConfig.validate())
+    return E.withContext("invalid configuration");
+
+  auto &Arrays = Model.Net->Bind.ConstArrays;
+  size_t UsedCores = 0;
+  for (size_t C = 0; C < NewConfig.Cores.size(); ++C) {
+    CoreWindowTable WT = coreWindowTable(NewConfig, C);
+    if (!WT.HasPartition)
+      continue;
+    ++UsedCores;
+    const WindowRebinder::CoreSlots *S = nullptr;
+    for (const WindowRebinder::CoreSlots &E : RB.Cores)
+      if (E.Core == static_cast<int>(C)) {
+        S = &E;
+        break;
+      }
+    // nw is folded into bytecode; only a same-shape config (equal
+    // per-core window counts, same used-core set) can be rebound.
+    if (!S || WT.NumWindows != S->NumWindows)
+      return Error::failure("window rebind shape mismatch on core " +
+                            std::to_string(C));
+    // The VM reads const arrays element-wise through the outer table
+    // (never caches inner pointers across runs), so assigning the inner
+    // vectors retargets every compiled w_* access.
+    Arrays[static_cast<size_t>(S->StartSlot)] = std::move(WT.Starts);
+    Arrays[static_cast<size_t>(S->EndSlot)] = std::move(WT.Ends);
+    Arrays[static_cast<size_t>(S->PartSlot)] = std::move(WT.Parts);
+  }
+  if (UsedCores != RB.Cores.size())
+    return Error::failure("window rebind used-core set mismatch");
+  Model.Config = NewConfig;
+  return Error::success();
 }

@@ -54,7 +54,47 @@ struct BuiltModel {
 };
 
 /// Runs Algorithm 1. The configuration is validated first.
-Result<BuiltModel> buildModel(const cfg::Config &Config);
+///
+/// \p PublishMetrics gates the obs build counters (core.models.built,
+/// core.automata.instantiated). Model-arena rebuilds pass false: whether
+/// an arena slot exists is a timing fact under parallel workers, and the
+/// search's merged metrics must stay worker-count-invariant.
+Result<BuiltModel> buildModel(const cfg::Config &Config,
+                              bool PublishMetrics = true);
+
+/// Patch plan for retargeting a built model's CoreScheduler window
+/// tables in place. The window positions are the only part of a config
+/// that reaches the compiled network as *data* (per-instance const
+/// arrays, always indexed through a runtime variable); everything else —
+/// task parameters, nw, hyper, the instance layout — is folded into
+/// bytecode at build time. Two configs with equal cfg::fingerprintShape
+/// therefore differ only in these arrays, and rebinding turns a full
+/// Algorithm-1 rebuild into three vector assignments per core.
+struct WindowRebinder {
+  struct CoreSlots {
+    int Core = -1;      ///< Original config core index.
+    int StartSlot = -1; ///< ConstArrays slot of w_start.
+    int EndSlot = -1;   ///< ConstArrays slot of w_end.
+    int PartSlot = -1;  ///< ConstArrays slot of w_part.
+    int64_t NumWindows = 0; ///< Folded nw — must match on rebind.
+  };
+  std::vector<CoreSlots> Cores;
+  /// False when the model's CoreScheduler instances do not expose their
+  /// array slots (foreign model); rebinding is then unavailable.
+  bool Valid = false;
+};
+
+/// Builds the patch plan for \p Model from the cs_* automata metadata.
+WindowRebinder makeWindowRebinder(const BuiltModel &Model);
+
+/// Retargets \p Model to \p NewConfig by patching the window tables.
+/// \p NewConfig must validate and have the same shape
+/// (cfg::fingerprintShape) as the model's current config; the per-core
+/// window counts and used-core set are re-checked defensively. After a
+/// successful rebind the next Simulator::run (which resets first)
+/// simulates exactly the model buildModel(NewConfig) would produce.
+Error rebindWindows(BuiltModel &Model, const WindowRebinder &RB,
+                    const cfg::Config &NewConfig);
 
 } // namespace core
 } // namespace swa

@@ -371,6 +371,17 @@ Result<Automaton *> NetworkBuilder::addInstance(const Template &T,
   Reads.erase(std::unique(Reads.begin(), Reads.end()), Reads.end());
   A->StaticReads = std::move(Reads);
 
+  // Record which ConstArrays slot each array parameter was interned at,
+  // so post-build passes (core::WindowRebinder) can patch an instance's
+  // array parameters in place. Slots are per-instance by construction.
+  for (const usl::Symbol *P : T.decls().Params) {
+    if (!P->Ty.isArray())
+      continue;
+    auto It = Binder.constArraySlots().find(P);
+    if (It != Binder.constArraySlots().end())
+      A->Meta["carr." + P->Name] = It->second;
+  }
+
   Net->Automata.push_back(std::move(A));
   return Net->Automata.back().get();
 }

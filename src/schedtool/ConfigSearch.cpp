@@ -7,6 +7,7 @@
 #include "schedtool/ConfigSearch.h"
 
 #include "analysis/Analyzer.h"
+#include "analysis/ModelArena.h"
 #include "config/Decompose.h"
 #include "config/Fingerprint.h"
 #include "obs/Metrics.h"
@@ -16,9 +17,15 @@
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "support/UnionFind.h"
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 using namespace swa;
 using namespace swa::schedtool;
@@ -135,17 +142,132 @@ struct Eval {
 };
 
 /// One unit of parallel work: a candidate evaluated monolithically
-/// (Comp == kMonolithic), one decomposed component of it (Comp >= 0), or
-/// a whole decomposed candidate whose components run sequentially inside
+/// (Comp == kMonolithic), one decomposed component of it (Comp >= 0), a
+/// whole decomposed candidate whose components run sequentially inside
 /// the item under a shrinking first-miss horizon cap (Comp ==
-/// kCappedChain, used when early exit and decomposition combine). The
-/// flattened item list keeps ThreadPool::parallelFor non-reentrant while
-/// work of different candidates still overlaps.
+/// kCappedChain, used when early exit and decomposition combine without
+/// the component cache), or one deduplicated component shared by every
+/// candidate in the batch that needs it (Comp == kUniqueComp, Unique
+/// indexes the round's unique-sim list). The flattened item list keeps
+/// ThreadPool::parallelFor non-reentrant while work of different
+/// candidates still overlaps.
 struct WorkItem {
   static constexpr int kMonolithic = -1;
   static constexpr int kCappedChain = -2;
+  static constexpr int kUniqueComp = -3;
   int Cand = -1;
   int Comp = kMonolithic;
+  int Unique = -1;
+};
+
+/// One component of a candidate's evaluation plan. Sub/GidMap point into
+/// round-stable storage (the candidate's own Decomposition or Owned list,
+/// or the round base's component list); Hit/Unique record how the
+/// component cache resolved it.
+struct PlannedComp {
+  const cfg::Config *Sub = nullptr;
+  const std::vector<int32_t> *GidMap = nullptr;
+  /// Cache hit: the verdict replays from this entry (stable address —
+  /// see VerdictCache.h on entry immutability).
+  const VerdictCache::ComponentEntry *Hit = nullptr;
+  /// Cache miss: index into the round's unique-sim list.
+  int Unique = -1;
+  /// Clean component reused from the round base (>= 0 = base component
+  /// id, shares the base's fingerprints); -1 = candidate-owned.
+  int BaseComp = -1;
+};
+
+/// A candidate's evaluation plan: not decomposed (monolithic item), or a
+/// component list backed by either a full cfg::Decomposition (dirty
+/// tracking off) or the Owned deque plus base-round references (dirty
+/// tracking on; deque for pointer stability under growth).
+struct CandPlan {
+  bool Decomposed = false;
+  std::vector<PlannedComp> Comps;
+  cfg::Decomposition D;
+  std::deque<cfg::Component> Owned;
+};
+
+/// One deduplicated component simulation of a round: the first candidate
+/// needing the fingerprint contributes the sub-config pointer; every
+/// later one shares the verdict.
+struct UniqueSim {
+  const cfg::Config *Sub = nullptr;
+  cfg::Fingerprint Canon, Raw;
+  int FirstCand = -1;
+  int ItemSlot = -1;
+};
+
+/// The mutation delta candidate J applied to the round's base (candidate
+/// 0): which partitions' boosts were resampled, and the endpoints of the
+/// random rebind (RebindPart < 0 when none, or when the rebind drew the
+/// partition's current core — a no-op). Recorded during generation
+/// without touching the RNG call sequence, so candidate configs are
+/// byte-identical with dirty tracking on or off.
+struct Delta {
+  std::vector<int32_t> BoostChanged;
+  int32_t RebindPart = -1;
+  int32_t OldCore = -1;
+  int32_t NewCore = -1;
+};
+
+/// The round base's decomposition state, computed lazily on the first
+/// candidate that plans incrementally: component structure of candidate
+/// 0, its materialized components, and their fingerprints (filled on
+/// first need when the component cache is on).
+struct BaseRound {
+  bool Ready = false;
+  cfg::ComponentStructure S;
+  std::vector<cfg::Component> Comps;
+  std::vector<char> Ok;
+  std::vector<cfg::Fingerprint> Canon, Raw;
+  std::vector<char> FpReady;
+};
+
+/// A pool of model arenas for instance reuse. ThreadPool::parallelFor
+/// exposes no worker identity, so items lease an arena per evaluation;
+/// with W workers at most W arenas ever exist and the steady state is
+/// one per worker. Verdicts are arena-independent (ModelArena.h), so
+/// which item draws which arena — a timing fact — cannot influence any
+/// result.
+class ArenaPool {
+public:
+  std::unique_ptr<analysis::ModelArena> acquire() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Free.empty())
+      return std::make_unique<analysis::ModelArena>();
+    std::unique_ptr<analysis::ModelArena> A = std::move(Free.back());
+    Free.pop_back();
+    return A;
+  }
+  void release(std::unique_ptr<analysis::ModelArena> A) {
+    std::lock_guard<std::mutex> Lock(M);
+    Free.push_back(std::move(A));
+  }
+
+private:
+  std::mutex M;
+  std::vector<std::unique_ptr<analysis::ModelArena>> Free;
+};
+
+/// RAII lease of one arena for one work item (no-op on a null pool).
+class ArenaLease {
+public:
+  explicit ArenaLease(ArenaPool *Pool) : Pool(Pool) {
+    if (Pool)
+      A = Pool->acquire();
+  }
+  ~ArenaLease() {
+    if (Pool && A)
+      Pool->release(std::move(A));
+  }
+  ArenaLease(const ArenaLease &) = delete;
+  ArenaLease &operator=(const ArenaLease &) = delete;
+  analysis::ModelArena *get() const { return A.get(); }
+
+private:
+  ArenaPool *Pool;
+  std::unique_ptr<analysis::ModelArena> A;
 };
 
 /// Deterministic evaluation order for a capped chain: most-starved
@@ -155,10 +277,10 @@ struct WorkItem {
 /// then collapse to that miss instant. A pure function of the
 /// decomposition: worker count and batch order cannot change it, and any
 /// order yields the same merged verdict (the heuristic only moves cost).
-std::vector<size_t> chainOrder(const cfg::Decomposition &D) {
-  std::vector<double> Score(D.Components.size(), 0.0);
-  for (size_t K = 0; K < D.Components.size(); ++K) {
-    const cfg::Config &Sub = D.Components[K].Sub;
+std::vector<size_t> chainOrder(const std::vector<PlannedComp> &Comps) {
+  std::vector<double> Score(Comps.size(), 0.0);
+  for (size_t K = 0; K < Comps.size(); ++K) {
+    const cfg::Config &Sub = *Comps[K].Sub;
     for (size_t P = 0; P < Sub.Partitions.size(); ++P) {
       double Demand = Sub.partitionUtilization(static_cast<int>(P));
       double Supply = Sub.windowShare(static_cast<int>(P));
@@ -167,7 +289,7 @@ std::vector<size_t> chainOrder(const cfg::Decomposition &D) {
       Score[K] = std::max(Score[K], S);
     }
   }
-  std::vector<size_t> Order(D.Components.size());
+  std::vector<size_t> Order(Comps.size());
   for (size_t K = 0; K < Order.size(); ++K)
     Order[K] = K;
   std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
@@ -201,6 +323,8 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   obs::Counter *CandC = nullptr, *SimC = nullptr, *SchedC = nullptr;
   obs::Counter *HitC = nullptr, *MissC = nullptr, *FoldC = nullptr;
   obs::Counter *DecompC = nullptr, *CompC = nullptr;
+  obs::Counter *CompHitC = nullptr, *CompMissC = nullptr;
+  obs::Counter *DirtyC = nullptr, *CleanC = nullptr;
   if (obs::enabled()) {
     obs::Registry &Reg = obs::Registry::global();
     CandC = &Reg.counter("schedtool.candidates.evaluated");
@@ -211,6 +335,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     FoldC = &Reg.counter("schedtool.cache.folds");
     DecompC = &Reg.counter("schedtool.decomposed.candidates");
     CompC = &Reg.counter("schedtool.components.simulated");
+    CompHitC = &Reg.counter("schedtool.component_cache.hits");
+    CompMissC = &Reg.counter("schedtool.component_cache.misses");
+    DirtyC = &Reg.counter("schedtool.components.dirty");
+    CleanC = &Reg.counter("schedtool.components.clean_reused");
   }
 
   cfg::Config Current = Problem.Base;
@@ -245,9 +373,26 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   // simulated, 1 = cache hit, 2 = symmetry fold, 3 = intra-batch dup.
   std::vector<int> Src;
   std::vector<int> SimList;
-  std::vector<cfg::Decomposition> Decs;
+  std::vector<CandPlan> Plans;
+  std::vector<Delta> Deltas;
+  std::vector<UniqueSim> UniqueSims;
+  std::unordered_map<cfg::Fingerprint, int, cfg::FingerprintHash> UniqueOf;
+  BaseRound Base;
   std::vector<WorkItem> Items;
   std::vector<Eval> ItemEvals;
+
+  // Incremental-structure state. Message groups depend only on the
+  // message topology, which no search move touches, so they are computed
+  // once per search; the per-candidate union-find runs over the grouped
+  // edges (one unite per partition) against this scratch instance.
+  const bool Incremental = Problem.UseDecomposition && Problem.UseDirtyTracking;
+  const bool CompCache = Problem.UseDecomposition && Problem.UseComponentCache;
+  const bool LDecomposable = L > 0 && L != std::numeric_limits<int64_t>::max();
+  cfg::MessageGroups MsgGroups;
+  support::UnionFind UFScratch(Current.Cores.size());
+  if (Incremental)
+    MsgGroups = cfg::messageGroups(Current);
+  ArenaPool Arenas;
 
   // Guard rails handed to every candidate simulation. When neither is set
   // the options are all-default and the evaluation path is bit-for-bit
@@ -275,21 +420,32 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     // rebind). Generation is serial and depends only on (Seed, Round, J).
     Cands.assign(static_cast<size_t>(N), Candidate());
     Evals.assign(static_cast<size_t>(N), Eval());
+    Deltas.assign(static_cast<size_t>(N), Delta());
     for (int J = 0; J < N; ++J) {
       Candidate &C = Cands[static_cast<size_t>(J)];
+      Delta &DJ = Deltas[static_cast<size_t>(J)];
       C.Config = Current;
       C.Boost = Boost;
       if (J > 0) {
         Rng PJ(candidateSeed(Problem.Seed, Round, J));
-        for (double &B : C.Boost)
-          if (PJ.chance(0.4))
-            B = Problem.MinBoost +
+        for (size_t P = 0; P < C.Boost.size(); ++P)
+          if (PJ.chance(0.4)) {
+            C.Boost[P] =
+                Problem.MinBoost +
                 PJ.uniformDouble() * (Problem.MaxBoost - Problem.MinBoost);
+            DJ.BoostChanged.push_back(static_cast<int32_t>(P));
+          }
         if (!C.Config.Partitions.empty() && !C.Config.Cores.empty() &&
             PJ.chance(0.3)) {
           size_t P = PJ.index(C.Config.Partitions.size());
-          C.Config.Partitions[P].Core =
-              static_cast<int>(PJ.index(C.Config.Cores.size()));
+          int NewCore = static_cast<int>(PJ.index(C.Config.Cores.size()));
+          int OldCore = C.Config.Partitions[P].Core;
+          C.Config.Partitions[P].Core = NewCore;
+          if (NewCore != OldCore) {
+            DJ.RebindPart = static_cast<int32_t>(P);
+            DJ.OldCore = OldCore;
+            DJ.NewCore = NewCore;
+          }
         }
       }
       synthesizeWindows(C.Config, C.Boost);
@@ -310,6 +466,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     const int RoundDecomp0 = Res.DecomposedCandidates;
     const int RoundComps0 = Res.ComponentsSimulated;
     const int RoundSims0 = Res.SimulationsRun;
+    const int RoundCompHits0 = Res.ComponentCacheHits;
+    const int RoundCompMisses0 = Res.ComponentCacheMisses;
+    const int RoundDirty0 = Res.DirtyComponents;
+    const int RoundClean0 = Res.CleanComponentsReused;
     SimList.clear();
     DupOf.assign(static_cast<size_t>(N), -1);
     Src.assign(static_cast<size_t>(N), 0);
@@ -358,39 +518,215 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           SimList.push_back(J);
     }
 
-    // Decomposition — also serial: the component structure of each
-    // to-be-simulated candidate is fixed before any thread runs, then one
-    // flattened item list (monolithic candidates and individual
-    // components side by side) is dispatched in a single parallelFor, so
-    // the pool is never re-entered and small components of different
-    // candidates overlap freely.
-    Decs.assign(static_cast<size_t>(N), cfg::Decomposition());
+    // Component planning — also serial: the component structure of each
+    // to-be-simulated candidate is fixed before any thread runs. With
+    // dirty tracking the structure is derived from the mutation delta
+    // (clean components reuse the round base's sub-configs outright);
+    // otherwise cfg::decomposeConfig recomputes it from scratch —
+    // byte-identical components either way. With the component cache the
+    // planned components are then resolved against the cache and misses
+    // deduplicated into one unique-sim list for the round, in order of
+    // first need, so the fill order — like the hit pattern — is a pure
+    // function of the candidate sequence. Finally one flattened item
+    // list (monolithic candidates, individual components, capped chains
+    // and unique sims side by side) is dispatched in a single
+    // parallelFor, so the pool is never re-entered and small components
+    // of different candidates overlap freely.
+    Plans.assign(static_cast<size_t>(N), CandPlan());
+    Base = BaseRound();
+    UniqueSims.clear();
+    UniqueOf.clear();
     Items.clear();
-    for (int J : SimList) {
-      if (Problem.UseDecomposition) {
-        Decs[static_cast<size_t>(J)] =
-            cfg::decomposeConfig(Cands[static_cast<size_t>(J)].Config);
-        if (Decs[static_cast<size_t>(J)].Decomposed) {
-          ++Res.DecomposedCandidates;
-          Res.ComponentsSimulated += static_cast<int>(
-              Decs[static_cast<size_t>(J)].Components.size());
-          // With early exit on, the candidate's components run
-          // sequentially in one item so each later component inherits the
-          // earliest miss found so far as its horizon cap — a passing
-          // component then costs min(first miss, L) instead of L, exactly
-          // what the monolithic early-exit run pays.
-          if (Problem.UseEarlyExit) {
-            Items.push_back({J, WorkItem::kCappedChain});
-          } else {
-            for (size_t K = 0;
-                 K < Decs[static_cast<size_t>(J)].Components.size(); ++K)
-              Items.push_back({J, static_cast<int>(K)});
-          }
+
+    // Lazy round base for the incremental planner: candidate 0 carries
+    // the round's shared binding, so its structure and components are
+    // the reuse substrate for every un-rebound candidate.
+    auto EnsureBase = [&]() {
+      if (Base.Ready)
+        return;
+      Base.Ready = true;
+      Base.S = cfg::componentStructureFromGroups(Cands[0].Config, MsgGroups,
+                                                 UFScratch);
+      if (!Base.S.Valid || Base.S.NumComps < 2)
+        return;
+      size_t NK = static_cast<size_t>(Base.S.NumComps);
+      Base.Comps.assign(NK, cfg::Component());
+      Base.Ok.assign(NK, 0);
+      for (size_t K = 0; K < NK; ++K)
+        Base.Ok[K] = cfg::materializeComponent(Cands[0].Config, Base.S,
+                                               static_cast<int32_t>(K), L,
+                                               Base.Comps[K])
+                         ? 1
+                         : 0;
+      Base.Canon.assign(NK, {});
+      Base.Raw.assign(NK, {});
+      Base.FpReady.assign(NK, 0);
+    };
+
+    // Incremental plan for candidate J. Returns false when the candidate
+    // does not decompose (monolithic fallback) — the same condition
+    // cfg::decomposeConfig reports, because the mutated-core set is
+    // conservative: a boost resample only moves window shares on the
+    // resampled partition's core, and a rebind changes membership of
+    // exactly the components containing its endpoint cores (the rebound
+    // partition's message group follows it). Any component with no
+    // mutated core is therefore byte-identical to its base counterpart
+    // (matched through CompOfCore, which the rebind cannot have touched
+    // for clean cores) — including materialization failure, so declining
+    // when the base counterpart failed is exact parity.
+    auto PlanIncremental = [&](int J) -> bool {
+      if (!LDecomposable)
+        return false;
+      EnsureBase();
+      const Candidate &C = Cands[static_cast<size_t>(J)];
+      const Delta &DJ = Deltas[static_cast<size_t>(J)];
+      CandPlan &Plan = Plans[static_cast<size_t>(J)];
+      const cfg::ComponentStructure *S = &Base.S;
+      cfg::ComponentStructure LocalS;
+      if (DJ.RebindPart >= 0) {
+        LocalS = cfg::componentStructureFromGroups(C.Config, MsgGroups,
+                                                   UFScratch);
+        S = &LocalS;
+      }
+      if (!S->Valid || S->NumComps < 2)
+        return false;
+
+      std::vector<char> DirtyCore(C.Config.Cores.size(), 0);
+      for (int32_t P : DJ.BoostChanged)
+        DirtyCore[static_cast<size_t>(
+            C.Config.Partitions[static_cast<size_t>(P)].Core)] = 1;
+      if (DJ.RebindPart >= 0) {
+        DirtyCore[static_cast<size_t>(DJ.OldCore)] = 1;
+        DirtyCore[static_cast<size_t>(DJ.NewCore)] = 1;
+      }
+
+      size_t NK = static_cast<size_t>(S->NumComps);
+      std::vector<char> CompDirty(NK, 0);
+      std::vector<int32_t> RepCore(NK, -1);
+      for (size_t Core = 0; Core < S->CompOfCore.size(); ++Core) {
+        int32_t K = S->CompOfCore[Core];
+        if (K < 0)
+          continue;
+        if (RepCore[static_cast<size_t>(K)] < 0)
+          RepCore[static_cast<size_t>(K)] = static_cast<int32_t>(Core);
+        if (DirtyCore[Core])
+          CompDirty[static_cast<size_t>(K)] = 1;
+      }
+
+      int NewDirty = 0, NewClean = 0;
+      Plan.Comps.assign(NK, PlannedComp());
+      for (size_t K = 0; K < NK; ++K) {
+        PlannedComp &PC = Plan.Comps[K];
+        if (!CompDirty[K]) {
+          int32_t B = Base.S.CompOfCore[static_cast<size_t>(
+              RepCore[K])];
+          if (B < 0 || static_cast<size_t>(B) >= Base.Ok.size() ||
+              !Base.Ok[static_cast<size_t>(B)])
+            return false;
+          PC.Sub = &Base.Comps[static_cast<size_t>(B)].Sub;
+          PC.GidMap = &Base.Comps[static_cast<size_t>(B)].GidMap;
+          PC.BaseComp = B;
+          ++NewClean;
           continue;
         }
+        Plan.Owned.emplace_back();
+        if (!cfg::materializeComponent(C.Config, *S, static_cast<int32_t>(K),
+                                       L, Plan.Owned.back()))
+          return false; // window pattern not sub-periodic: decline whole
+        PC.Sub = &Plan.Owned.back().Sub;
+        PC.GidMap = &Plan.Owned.back().GidMap;
+        ++NewDirty;
       }
-      ++Res.SimulationsRun;
-      Items.push_back({J, -1});
+      Res.DirtyComponents += NewDirty;
+      Res.CleanComponentsReused += NewClean;
+      return true;
+    };
+
+    for (int J : SimList) {
+      CandPlan &Plan = Plans[static_cast<size_t>(J)];
+      if (Problem.UseDecomposition) {
+        if (Incremental) {
+          Plan.Decomposed = PlanIncremental(J);
+        } else {
+          Plan.D = cfg::decomposeConfig(Cands[static_cast<size_t>(J)].Config);
+          if (Plan.D.Decomposed) {
+            Plan.Decomposed = true;
+            Plan.Comps.assign(Plan.D.Components.size(), PlannedComp());
+            for (size_t K = 0; K < Plan.D.Components.size(); ++K) {
+              Plan.Comps[K].Sub = &Plan.D.Components[K].Sub;
+              Plan.Comps[K].GidMap = &Plan.D.Components[K].GidMap;
+            }
+          }
+        }
+      }
+      if (!Plan.Decomposed) {
+        ++Res.SimulationsRun;
+        Items.push_back({J, WorkItem::kMonolithic, -1});
+        continue;
+      }
+      ++Res.DecomposedCandidates;
+      if (CompCache) {
+        // Resolve each component against the cache. Misses join the
+        // round's unique-sim list (first occurrence wins the slot); the
+        // candidate contributes no work item of its own — its verdict is
+        // stitched from hits and shared sims after the batch.
+        for (size_t K = 0; K < Plan.Comps.size(); ++K) {
+          PlannedComp &PC = Plan.Comps[K];
+          cfg::Fingerprint CanonK, RawK;
+          if (PC.BaseComp >= 0) {
+            // Clean components share the base sub-config — and its
+            // fingerprints, computed once per base component per round.
+            size_t B = static_cast<size_t>(PC.BaseComp);
+            if (!Base.FpReady[B]) {
+              Base.Canon[B] = cfg::fingerprintComponent(*PC.Sub, L);
+              Base.Raw[B] = cfg::fingerprintComponent(
+                  *PC.Sub, L, /*CanonicalizeCores=*/false);
+              Base.FpReady[B] = 1;
+            }
+            CanonK = Base.Canon[B];
+            RawK = Base.Raw[B];
+          } else {
+            CanonK = cfg::fingerprintComponent(*PC.Sub, L);
+            RawK = cfg::fingerprintComponent(*PC.Sub, L,
+                                             /*CanonicalizeCores=*/false);
+          }
+          if (const VerdictCache::ComponentEntry *CE =
+                  Cache.lookupComponent(CanonK)) {
+            PC.Hit = CE;
+            ++Res.ComponentCacheHits;
+            continue;
+          }
+          ++Res.ComponentCacheMisses;
+          auto Ins =
+              UniqueOf.emplace(CanonK, static_cast<int>(UniqueSims.size()));
+          if (Ins.second) {
+            UniqueSims.push_back({PC.Sub, CanonK, RawK, J, -1});
+            ++Res.ComponentsSimulated;
+          }
+          PC.Unique = Ins.first->second;
+        }
+        continue;
+      }
+      Res.ComponentsSimulated += static_cast<int>(Plan.Comps.size());
+      // With early exit on, the candidate's components run sequentially
+      // in one item so each later component inherits the earliest miss
+      // found so far as its horizon cap — a passing component then costs
+      // min(first miss, L) instead of L, exactly what the monolithic
+      // early-exit run pays.
+      if (Problem.UseEarlyExit) {
+        Items.push_back({J, WorkItem::kCappedChain, -1});
+      } else {
+        for (size_t K = 0; K < Plan.Comps.size(); ++K)
+          Items.push_back({J, static_cast<int>(K), -1});
+      }
+    }
+    // Unique sims run full-horizon with the early exit the flags allow:
+    // the verdict's invariant fields are cap-free, so the entry is valid
+    // for any future candidate regardless of what its siblings miss.
+    for (size_t U = 0; U < UniqueSims.size(); ++U) {
+      UniqueSims[U].ItemSlot = static_cast<int>(Items.size());
+      Items.push_back({UniqueSims[U].FirstCand, WorkItem::kUniqueComp,
+                       static_cast<int>(U)});
     }
 
     // Evaluate the batch. Each worker builds its own model and simulator
@@ -410,9 +746,31 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       ItemSpan.arg("cand", It.Cand);
       if (It.Comp >= 0)
         ItemSpan.arg("comp", It.Comp);
+      if (It.Unique >= 0)
+        ItemSpan.arg("unique", It.Unique);
+      // Each item leases a model arena for instance reuse and returns it
+      // for whatever item runs next. Verdicts are arena-independent, so
+      // the lease pattern — a timing fact — only moves wall-clock.
+      ArenaLease Lease(Problem.UseInstanceReuse ? &Arenas : nullptr);
+      analysis::ModelArena *Arena = Lease.get();
       nsa::SimOptions Opt = CandOpts;
       Opt.StopOnFirstMiss = Problem.UseEarlyExit;
       Eval &E = ItemEvals[static_cast<size_t>(I)];
+      if (It.Unique >= 0) {
+        // One deduplicated component at the full global horizon: the
+        // verdict must be cap-free so the component cache can serve it
+        // to any candidate.
+        Opt.Horizon = L;
+        Result<analysis::VerdictOutcome> Out = analysis::analyzeVerdictOnly(
+            *UniqueSims[static_cast<size_t>(It.Unique)].Sub, Opt, Arena);
+        if (Out.ok()) {
+          E.Ok = true;
+          E.V = std::move(*Out);
+        } else {
+          E.ErrMsg = Out.error().message();
+        }
+        return;
+      }
       if (It.Comp == WorkItem::kCappedChain) {
         // Early exit + decomposition: run the components in index order,
         // shrinking the horizon to the earliest miss seen so far. A miss
@@ -421,20 +779,20 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         // FirstMissTime/FirstMissTasks are identical to independent
         // full-horizon component runs — later misses that the cap hides
         // cannot win the min and are invisible to the merge.
-        const cfg::Decomposition &D = Decs[static_cast<size_t>(It.Cand)];
+        const CandPlan &Plan = Plans[static_cast<size_t>(It.Cand)];
         std::vector<analysis::ComponentVerdict> Parts;
-        Parts.reserve(D.Components.size());
-        int64_t Cap = D.Horizon;
+        Parts.reserve(Plan.Comps.size());
+        int64_t Cap = L;
         bool AllOk = true;
-        for (size_t K : chainOrder(D)) {
-          const cfg::Component &Comp = D.Components[K];
+        for (size_t K : chainOrder(Plan.Comps)) {
+          const PlannedComp &Comp = Plan.Comps[K];
           obs::Span CompSpan("simulate.component", "search");
           CompSpan.arg("cand", It.Cand);
           CompSpan.arg("comp", static_cast<int64_t>(K));
           nsa::SimOptions ChainOpt = Opt;
           ChainOpt.Horizon = Cap;
           Result<analysis::VerdictOutcome> Out =
-              analysis::analyzeVerdictOnly(Comp.Sub, ChainOpt);
+              analysis::analyzeVerdictOnly(*Comp.Sub, ChainOpt, Arena);
           if (!Out.ok()) {
             if (AllOk) // first failing component wins, deterministically
               E.ErrMsg = Out.error().message();
@@ -443,7 +801,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           }
           if (Out->FirstMissTime >= 0 && Out->FirstMissTime < Cap)
             Cap = Out->FirstMissTime;
-          Parts.push_back({std::move(*Out), Comp.GidMap});
+          Parts.push_back({std::move(*Out), *Comp.GidMap});
         }
         if (AllOk) {
           E.Ok = true;
@@ -455,17 +813,18 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       }
       const cfg::Config *Cfg;
       if (It.Comp >= 0) {
-        const cfg::Decomposition &D = Decs[static_cast<size_t>(It.Cand)];
-        Cfg = &D.Components[static_cast<size_t>(It.Comp)].Sub;
+        Cfg = Plans[static_cast<size_t>(It.Cand)]
+                  .Comps[static_cast<size_t>(It.Comp)]
+                  .Sub;
         // Components carry their own (smaller) hyperperiod; simulate to
         // the global one so backlog beyond it is observed exactly as the
         // monolithic run observes it.
-        Opt.Horizon = D.Horizon;
+        Opt.Horizon = L;
       } else {
         Cfg = &Cands[static_cast<size_t>(It.Cand)].Config;
       }
       Result<analysis::VerdictOutcome> Out =
-          analysis::analyzeVerdictOnly(*Cfg, Opt);
+          analysis::analyzeVerdictOnly(*Cfg, Opt, Arena);
       if (Out.ok()) {
         E.Ok = true;
         E.V = std::move(*Out);
@@ -474,6 +833,17 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       }
     });
 
+    // Fill the component cache from the round's unique sims, in order of
+    // first need — like the whole-config fills, a serial-path fact.
+    // Undecided verdicts (guard-rail stops) are rejected by insertComponent
+    // itself; failed items simply leave no entry.
+    if (CompCache)
+      for (const UniqueSim &U : UniqueSims) {
+        const Eval &UE = ItemEvals[static_cast<size_t>(U.ItemSlot)];
+        if (UE.Ok)
+          Cache.insertComponent(U.Canon, U.Raw, UE.V);
+      }
+
     // Assemble per-candidate verdicts in candidate order: merge component
     // results, insert decided verdicts into the cache, then resolve
     // intra-batch duplicates from their first occurrence.
@@ -481,17 +851,45 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       size_t ItemAt = 0;
       for (int J : SimList) {
         Eval &E = Evals[static_cast<size_t>(J)];
-        const cfg::Decomposition &D = Decs[static_cast<size_t>(J)];
-        if (D.Decomposed && Problem.UseEarlyExit) {
+        CandPlan &Plan = Plans[static_cast<size_t>(J)];
+        if (Plan.Decomposed && CompCache) {
+          // Stitch the verdict from cache hits and shared unique sims —
+          // the candidate had no work item of its own. Verdicts are
+          // copied, never moved: a unique sim's result may serve several
+          // candidates of the batch.
+          std::vector<analysis::ComponentVerdict> Parts;
+          Parts.reserve(Plan.Comps.size());
+          bool AllOk = true;
+          for (const PlannedComp &PC : Plan.Comps) {
+            if (PC.Hit) {
+              Parts.push_back({PC.Hit->Verdict, *PC.GidMap});
+              continue;
+            }
+            const Eval &IE = ItemEvals[static_cast<size_t>(
+                UniqueSims[static_cast<size_t>(PC.Unique)].ItemSlot)];
+            if (!IE.Ok) {
+              if (AllOk) // first failing component wins, deterministically
+                E.ErrMsg = IE.ErrMsg;
+              AllOk = false;
+              continue;
+            }
+            Parts.push_back({IE.V, *PC.GidMap});
+          }
+          if (AllOk) {
+            E.Ok = true;
+            E.V = analysis::mergeComponentVerdicts(
+                Parts, Cands[static_cast<size_t>(J)].Config.numTasks());
+          }
+        } else if (Plan.Decomposed && Problem.UseEarlyExit) {
           // Capped-chain items merged their components inside the worker;
           // the single slot already holds the candidate verdict.
           E = std::move(ItemEvals[ItemAt]);
           ++ItemAt;
-        } else if (D.Decomposed) {
+        } else if (Plan.Decomposed) {
           std::vector<analysis::ComponentVerdict> Parts;
-          Parts.reserve(D.Components.size());
+          Parts.reserve(Plan.Comps.size());
           bool AllOk = true;
-          for (size_t K = 0; K < D.Components.size(); ++K, ++ItemAt) {
+          for (size_t K = 0; K < Plan.Comps.size(); ++K, ++ItemAt) {
             Eval &IE = ItemEvals[ItemAt];
             if (!IE.Ok) {
               if (AllOk) // first failing component wins, deterministically
@@ -499,8 +897,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
               AllOk = false;
               continue;
             }
-            Parts.push_back(
-                {std::move(IE.V), D.Components[K].GidMap});
+            Parts.push_back({std::move(IE.V), *Plan.Comps[K].GidMap});
           }
           if (AllOk) {
             E.Ok = true;
@@ -634,6 +1031,32 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
             static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
       }
     }
+    if (CompCache) {
+      Res.Log.push_back(formatString(
+          "round %d: component cache %d hits / %d misses / %d simulated "
+          "(%d entries)",
+          Round, Res.ComponentCacheHits - RoundCompHits0,
+          Res.ComponentCacheMisses - RoundCompMisses0,
+          Res.ComponentsSimulated - RoundComps0,
+          static_cast<int>(Cache.componentSize())));
+      if (CompHitC) {
+        CompHitC->add(
+            static_cast<uint64_t>(Res.ComponentCacheHits - RoundCompHits0));
+        CompMissC->add(static_cast<uint64_t>(Res.ComponentCacheMisses -
+                                             RoundCompMisses0));
+      }
+    }
+    if (Incremental) {
+      Res.Log.push_back(formatString(
+          "round %d: incremental %d dirty / %d clean components", Round,
+          Res.DirtyComponents - RoundDirty0,
+          Res.CleanComponentsReused - RoundClean0));
+      if (DirtyC) {
+        DirtyC->add(static_cast<uint64_t>(Res.DirtyComponents - RoundDirty0));
+        CleanC->add(
+            static_cast<uint64_t>(Res.CleanComponentsReused - RoundClean0));
+      }
+    }
     if (SimC)
       SimC->add(static_cast<uint64_t>(Res.SimulationsRun - RoundSims0) +
                 static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
@@ -711,6 +1134,24 @@ void swa::schedtool::fillSearchReport(obs::RunReport &Report,
                   static_cast<uint64_t>(Res.DecomposedCandidates));
   Report.addCount("components.simulated",
                   static_cast<uint64_t>(Res.ComponentsSimulated));
+  Report.addCount("component_cache.hits",
+                  static_cast<uint64_t>(Res.ComponentCacheHits));
+  Report.addCount("component_cache.misses",
+                  static_cast<uint64_t>(Res.ComponentCacheMisses));
+  int CompLookups = Res.ComponentCacheHits + Res.ComponentCacheMisses;
+  if (CompLookups > 0)
+    Report.addStat("component_cache.hit_rate",
+                   static_cast<double>(Res.ComponentCacheHits) /
+                       static_cast<double>(CompLookups));
+  Report.addCount("components.dirty",
+                  static_cast<uint64_t>(Res.DirtyComponents));
+  Report.addCount("components.clean_reused",
+                  static_cast<uint64_t>(Res.CleanComponentsReused));
+  if (Res.DirtyComponents + Res.CleanComponentsReused > 0 &&
+      Res.ConfigurationsEvaluated > 0)
+    Report.addStat("components.dirty_per_candidate",
+                   static_cast<double>(Res.DirtyComponents) /
+                       static_cast<double>(Res.ConfigurationsEvaluated));
   Report.addCount("simulations.run",
                   static_cast<uint64_t>(Res.SimulationsRun));
   Report.addStat("best.badness", static_cast<double>(Res.BestBadness));

@@ -80,6 +80,39 @@ struct SearchProblem {
   /// pool — then merge (analysis::mergeComponentVerdicts). Candidates
   /// that do not decompose fall back to the monolithic run.
   bool UseDecomposition = true;
+  /// Memoize *component* verdicts under cfg::fingerprintComponent (the
+  /// second cache level): a mutation dirties one or two components, and
+  /// every clean component's verdict replays from the cache — a
+  /// candidate whose components all hit never constructs a simulator.
+  /// Missing components are simulated once per distinct fingerprint per
+  /// round (full horizon, so the verdict is cap-free and cacheable) and
+  /// shared by every candidate in the batch that needs them. Like the
+  /// whole-config cache, lookups and fills ride the serial path only, so
+  /// the hit pattern — and the SearchResult — is Workers-independent.
+  /// No effect unless UseDecomposition is on.
+  bool UseComponentCache = true;
+  /// Derive each candidate's component structure incrementally from the
+  /// mutation delta instead of re-running the union-find and
+  /// re-materializing every sub-config per candidate: message groups are
+  /// computed once per search (mutations never touch messages), the
+  /// round's base decomposition once per round, and only components
+  /// containing a mutated core are re-materialized — clean components
+  /// reuse the base round's sub-configs (and their fingerprints)
+  /// outright. Produces byte-identical components to
+  /// cfg::decomposeConfig, so every SearchResult field except the
+  /// DirtyComponents/CleanComponentsReused counters (and their log line)
+  /// is identical with the flag on or off. No effect unless
+  /// UseDecomposition is on.
+  bool UseDirtyTracking = true;
+  /// Reuse NSA instances across candidates: each worker leases an arena
+  /// of built models keyed by cfg::fingerprintShape and retargets a
+  /// same-shape model by patching its CoreScheduler window tables
+  /// (core::rebindWindows) instead of rebuilding — Algorithm 1 drops out
+  /// of the steady-state per-candidate cost. Verdicts are identical with
+  /// the flag on or off (the simulator fully resets per run), and no
+  /// SearchResult field depends on arena state, so flipping this flag
+  /// alone never changes the result byte-wise.
+  bool UseInstanceReuse = true;
 };
 
 struct SearchResult {
@@ -117,10 +150,25 @@ struct SearchResult {
   int SymmetryFolds = 0;
   int DuplicateCandidates = 0;
   /// Compositional-evaluation statistics (zero when UseDecomposition is
-  /// off): candidates that split, and total component NSA instances
-  /// simulated for them.
+  /// off): candidates that split, and component NSA instances *actually
+  /// simulated* for them — with UseComponentCache on, component-cache
+  /// hits and intra-round duplicate components are excluded, so the
+  /// count can be far below DecomposedCandidates times the component
+  /// count.
   int DecomposedCandidates = 0;
   int ComponentsSimulated = 0;
+  /// Component-cache statistics (zero unless UseComponentCache and
+  /// UseDecomposition are both on). Hits + Misses is the total component
+  /// count over decomposed candidates; Misses >= ComponentsSimulated
+  /// because intra-round duplicates are simulated once.
+  int ComponentCacheHits = 0;
+  int ComponentCacheMisses = 0;
+  /// Incremental-structure statistics (zero unless UseDirtyTracking and
+  /// UseDecomposition are both on): components re-materialized because a
+  /// mutation touched one of their cores, and components reused verbatim
+  /// from the round's base decomposition.
+  int DirtyComponents = 0;
+  int CleanComponentsReused = 0;
   /// Monolithic simulations actually run (cache misses that did not
   /// decompose). SimulationsRun + ComponentsSimulated is the number of
   /// Simulator::run calls the search made.

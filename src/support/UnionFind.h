@@ -14,6 +14,7 @@
 #ifndef SWA_SUPPORT_UNIONFIND_H
 #define SWA_SUPPORT_UNIONFIND_H
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -26,6 +27,16 @@ public:
   explicit UnionFind(size_t N) : Parent(N), Size(N, 1) {
     std::iota(Parent.begin(), Parent.end(), 0);
   }
+
+  /// Returns every element to its own singleton set, keeping the
+  /// allocation. Lets the config search reuse one instance across
+  /// thousands of candidate decompositions instead of reallocating.
+  void reset() {
+    std::iota(Parent.begin(), Parent.end(), 0);
+    std::fill(Size.begin(), Size.end(), 1);
+  }
+
+  size_t size() const { return Parent.size(); }
 
   int32_t find(int32_t X) {
     while (Parent[static_cast<size_t>(X)] != X) {

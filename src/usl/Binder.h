@@ -81,6 +81,17 @@ public:
   /// Convenience: binds and constant-folds an int expression.
   Result<int64_t> bindAndFold(const Expr &E);
 
+  /// The BindTarget::ConstArrays slots this binder interned for array
+  /// parameters and const arrays, keyed by symbol. Slots are
+  /// per-instance (internConstArray never dedupes across binders), so a
+  /// caller may patch `ConstArrays[slot]` to retarget one instance
+  /// without affecting any other — the basis of window rebinding for
+  /// model reuse. Only symbols actually referenced by the bound body
+  /// appear here.
+  const std::unordered_map<const Symbol *, int> &constArraySlots() const {
+    return ConstArrayMap;
+  }
+
 private:
   int internConstArray(const std::vector<int64_t> &Values);
 

@@ -352,6 +352,70 @@ TEST(EarlyExit, SchedulableRunsAreUntouched) {
   EXPECT_TRUE(Early->FirstMissTasks.empty());
 }
 
+TEST(ComponentFingerprint, OwnHyperperiodEqualsStandaloneKey) {
+  // A component simulated to its own hyperperiod is indistinguishable
+  // from the same config analyzed standalone, so the keys must coincide
+  // — the component cache then serves standalone-analysis revisits too.
+  cfg::Decomposition D = cfg::decomposeConfig(twoComponents());
+  ASSERT_TRUE(D.Decomposed);
+  const cfg::Config &C1 = D.Components[1].Sub; // hyperperiod 8 == L
+  EXPECT_EQ(C1.hyperperiod(), D.Horizon);
+  EXPECT_EQ(cfg::fingerprintComponent(C1, D.Horizon),
+            cfg::fingerprintConfig(C1));
+}
+
+TEST(ComponentFingerprint, ForeignHorizonDivergesFromStandaloneKey) {
+  // Component 0's hyperperiod (4) divides the global horizon (8): a run
+  // to 8 observes different backlog than a run to 4, so the key must
+  // separate the two — and separate every other horizon as well.
+  cfg::Decomposition D = cfg::decomposeConfig(twoComponents());
+  ASSERT_TRUE(D.Decomposed);
+  const cfg::Config &C0 = D.Components[0].Sub; // hyperperiod 4 < L = 8
+  ASSERT_EQ(C0.hyperperiod(), 4);
+  cfg::Fingerprint At8 = cfg::fingerprintComponent(C0, 8);
+  EXPECT_NE(At8, cfg::fingerprintConfig(C0));
+  EXPECT_NE(At8, cfg::fingerprintComponent(C0, 4));
+  EXPECT_NE(At8, cfg::fingerprintComponent(C0, 16));
+  // At its own hyperperiod the standalone identity holds here too.
+  EXPECT_EQ(cfg::fingerprintComponent(C0, 4), cfg::fingerprintConfig(C0));
+}
+
+TEST(ComponentFingerprint, CoreRelabelingFoldsLikeTheConfigKey) {
+  // The canonical component key folds core relabelings exactly like
+  // fingerprintConfig; the raw variant keeps them apart (the symmetry-
+  // fold statistic relies on the distinction).
+  cfg::Config A = symmetricBase();
+  A.Partitions[0].Core = 0;
+  A.Partitions[1].Core = 0;
+  A.Partitions[2].Core = 2;
+  A.Partitions[3].Core = 2;
+  cfg::Config B = A;
+  B.Partitions[0].Core = 1; // same-class sibling core
+  B.Partitions[1].Core = 1;
+  int64_t L = A.hyperperiod() * 2;
+  EXPECT_EQ(cfg::fingerprintComponent(A, L), cfg::fingerprintComponent(B, L));
+  EXPECT_NE(cfg::fingerprintComponent(A, L, /*CanonicalizeCores=*/false),
+            cfg::fingerprintComponent(B, L, /*CanonicalizeCores=*/false));
+}
+
+TEST(ShapeFingerprint, WindowPlacementIsNotPartOfTheShape) {
+  // The arena key must survive exactly the mutations rebindWindows can
+  // patch: moving or resizing windows keeps the shape; changing the
+  // window *count* (different table sizes) or the binding changes it.
+  cfg::Config A = symmetricBase();
+  for (int P = 0; P < 4; ++P)
+    A.Partitions[static_cast<size_t>(P)].Core = P;
+  cfg::Config B = A;
+  B.Partitions[0].Windows = {{1, 3}}; // moved, same count
+  EXPECT_EQ(cfg::fingerprintShape(A), cfg::fingerprintShape(B));
+  cfg::Config C = A;
+  C.Partitions[0].Windows.push_back({10, 12}); // extra window
+  EXPECT_NE(cfg::fingerprintShape(A), cfg::fingerprintShape(C));
+  cfg::Config E = A;
+  E.Partitions[0].Core = 1; // rebind: different automaton network
+  EXPECT_NE(cfg::fingerprintShape(A), cfg::fingerprintShape(E));
+}
+
 int main(int argc, char **argv) {
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

@@ -423,8 +423,12 @@ TEST(Search, DecompositionEngagesOnDecoupledWorkloads) {
   auto Res = searchConfiguration(Problem);
   ASSERT_TRUE(Res.ok()) << Res.error().message();
   EXPECT_GT(Res->DecomposedCandidates, 0);
-  // A decomposed candidate has at least two components.
-  EXPECT_GE(Res->ComponentsSimulated, 2 * Res->DecomposedCandidates);
+  // A decomposed candidate has at least two components, each resolved
+  // against the component cache. (ComponentsSimulated can fall below
+  // two-per-candidate: hits and intra-round duplicates are not re-run.)
+  EXPECT_GE(Res->ComponentCacheHits + Res->ComponentCacheMisses,
+            2 * Res->DecomposedCandidates);
+  EXPECT_GE(Res->ComponentCacheMisses, Res->ComponentsSimulated);
   // The per-round statistics lines appear once a round completes (a
   // search that succeeds mid-round returns before logging them).
   if (!Res->Found) {
@@ -434,6 +438,113 @@ TEST(Search, DecompositionEngagesOnDecoupledWorkloads) {
           Line.find("decomposed") != std::string::npos)
         StatsLogged = true;
     EXPECT_TRUE(StatsLogged) << "no decomposition statistics in the log";
+  }
+}
+
+namespace {
+
+SearchProblem incrementalProblem(cfg::Config Base, uint64_t Seed, int Iters,
+                                 bool CompCache, bool Dirty, bool Reuse) {
+  SearchProblem Problem;
+  Problem.Base = std::move(Base);
+  Problem.Seed = Seed;
+  Problem.MaxIterations = Iters;
+  Problem.UseComponentCache = CompCache;
+  Problem.UseDirtyTracking = Dirty;
+  Problem.UseInstanceReuse = Reuse;
+  return Problem;
+}
+
+} // namespace
+
+TEST(Search, IncrementalLayersAreObservationallyTransparent) {
+  // Every combination of the three incremental layers (component cache,
+  // dirty tracking, instance reuse) must reproduce the all-off verdict
+  // stream, trajectory and chosen configuration, for every worker count
+  // — on a workload that decomposes, at a utilization where candidates
+  // fail and the adaptive loop actually iterates. Within one mask the
+  // full SearchResult must be byte-identical across worker counts.
+  std::vector<SearchResult> PerMask;
+  for (int Mask = 0; Mask < 8; ++Mask) {
+    SearchProblem Problem = incrementalProblem(
+        decoupledProblem(0.8, 26), 23, 10, (Mask & 1) != 0, (Mask & 2) != 0,
+        (Mask & 4) != 0);
+    Problem.Workers = 1;
+    auto Serial = searchConfiguration(Problem);
+    ASSERT_TRUE(Serial.ok()) << Serial.error().message();
+    for (int Workers : {2, 4}) {
+      Problem.Workers = Workers;
+      auto Parallel = searchConfiguration(Problem);
+      ASSERT_TRUE(Parallel.ok()) << Parallel.error().message();
+      expectSameResult(*Serial, *Parallel);
+      EXPECT_EQ(Serial->ComponentCacheHits, Parallel->ComponentCacheHits);
+      EXPECT_EQ(Serial->ComponentCacheMisses,
+                Parallel->ComponentCacheMisses);
+      EXPECT_EQ(Serial->DirtyComponents, Parallel->DirtyComponents);
+      EXPECT_EQ(Serial->CleanComponentsReused,
+                Parallel->CleanComponentsReused);
+      EXPECT_EQ(Serial->ComponentsSimulated, Parallel->ComponentsSimulated);
+      EXPECT_EQ(Serial->SimulationsRun, Parallel->SimulationsRun);
+    }
+    PerMask.push_back(std::move(*Serial));
+  }
+  for (int Mask = 1; Mask < 8; ++Mask) {
+    expectSameObservable(PerMask[0], PerMask[static_cast<size_t>(Mask)]);
+    // The layers rearrange *how* verdicts are obtained, never which
+    // candidates decompose or what the whole-config cache sees.
+    EXPECT_EQ(PerMask[0].CacheHits, PerMask[static_cast<size_t>(Mask)].CacheHits);
+    EXPECT_EQ(PerMask[0].CacheMisses,
+              PerMask[static_cast<size_t>(Mask)].CacheMisses);
+    EXPECT_EQ(PerMask[0].DecomposedCandidates,
+              PerMask[static_cast<size_t>(Mask)].DecomposedCandidates);
+    EXPECT_EQ(PerMask[0].SimulationsRun,
+              PerMask[static_cast<size_t>(Mask)].SimulationsRun);
+    EXPECT_EQ(PerMask[0].StopReasonCounts,
+              PerMask[static_cast<size_t>(Mask)].StopReasonCounts);
+  }
+  // Instance reuse alone never changes a single byte: compare each mask
+  // with its reuse-flipped twin, full Log included.
+  for (int Mask = 0; Mask < 4; ++Mask) {
+    expectSameResult(PerMask[static_cast<size_t>(Mask)],
+                     PerMask[static_cast<size_t>(Mask | 4)]);
+    EXPECT_EQ(PerMask[static_cast<size_t>(Mask)].ComponentsSimulated,
+              PerMask[static_cast<size_t>(Mask | 4)].ComponentsSimulated);
+  }
+}
+
+TEST(Search, ComponentCacheAndDirtyTrackingEngage) {
+  // On a decoupled workload with the default flags the component cache
+  // must produce cross-round hits (the adaptive state mutates a few
+  // components per step, the rest repeat), dirty tracking must reuse
+  // clean components, and the statistics must be coherent.
+  SearchProblem Problem;
+  Problem.Base = decoupledProblem(0.8, 27);
+  Problem.Seed = 37;
+  Problem.MaxIterations = 16;
+  auto Res = searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  ASSERT_GT(Res->DecomposedCandidates, 0);
+  EXPECT_GT(Res->ComponentCacheHits, 0);
+  EXPECT_GT(Res->ComponentCacheMisses, 0);
+  EXPECT_GE(Res->ComponentCacheMisses, Res->ComponentsSimulated);
+  EXPECT_GT(Res->DirtyComponents, 0);
+  EXPECT_GT(Res->CleanComponentsReused, 0);
+  // With both layers on, every decomposed candidate plans incrementally
+  // and every planned component meets the cache exactly once.
+  EXPECT_EQ(Res->ComponentCacheHits + Res->ComponentCacheMisses,
+            Res->DirtyComponents + Res->CleanComponentsReused);
+  if (!Res->Found) {
+    bool CacheLine = false, IncLine = false;
+    for (const std::string &Line : Res->Log) {
+      if (Line.rfind("round ", 0) != 0)
+        continue;
+      if (Line.find("component cache") != std::string::npos)
+        CacheLine = true;
+      if (Line.find("incremental") != std::string::npos)
+        IncLine = true;
+    }
+    EXPECT_TRUE(CacheLine) << "no component-cache statistics in the log";
+    EXPECT_TRUE(IncLine) << "no incremental statistics in the log";
   }
 }
 
