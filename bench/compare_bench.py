@@ -6,12 +6,16 @@
 # Diffs two google-benchmark JSON files (as written by run_baseline.sh or
 # a raw --benchmark_out run) and fails when any matched benchmark
 # regresses by more than the threshold on wall time or on a watched
-# counter. Benchmarks are matched by (binary, name); entries present in
-# only one file are reported but never fail the gate (new benchmarks
-# appear, old ones are retired — that is trajectory, not regression).
+# counter. Benchmarks are matched by (binary, name). New entries (only in
+# current) are informational. Entries or watched counters present in the
+# baseline but missing from the current run FAIL the gate: a vanished
+# *_per_sec counter is indistinguishable from an infinite regression, and
+# a retirement must be stated, not inferred — allowlist it explicitly
+# with --allow-missing NAME (a benchmark name or a counter name).
 #
 #   $ bench/compare_bench.py BASELINE.json CURRENT.json \
-#         [--threshold 0.10] [--counter candidates_per_sec ...]
+#         [--threshold 0.10] [--counter candidates_per_sec ...] \
+#         [--allow-missing BM_Old/1 ...]
 #
 # Committed baselines live at the repo root, so bare names resolve there
 # when no such file exists relative to the working directory:
@@ -88,7 +92,7 @@ def flatten_phases(nodes, prefix=""):
     return out
 
 
-def compare_reports(base, cur, threshold):
+def compare_reports(base, cur, threshold, allow_missing=()):
     """Diff two obs::RunReport documents. Returns the exit code."""
     bt, ct = base.get("tool", "?"), cur.get("tool", "?")
     if bt != ct:
@@ -103,6 +107,13 @@ def compare_reports(base, cur, threshold):
         if bv is None or cv is None:
             print(f"  stat {name}: only in "
                   f"{'baseline' if cv is None else 'current'}")
+            # A gated stat that vanished is a failed gate, not a note —
+            # unless its retirement is explicitly allowlisted.
+            if (cv is None and name.endswith("_per_sec")
+                    and name not in allow_missing):
+                regressions.append(
+                    f"{name}: watched stat missing from current run "
+                    "(allowlist with --allow-missing)")
             continue
         print(f"  stat {name}: {bv:.4g} -> {cv:.4g}")
         # Throughput stats gate like benchmark rate counters: lower is a
@@ -153,8 +164,16 @@ def main():
                     metavar="NAME",
                     help="rate counter to gate (repeatable; default: "
                          + ", ".join(DEFAULT_COUNTERS) + ")")
+    ap.add_argument("--allow-missing", action="append", default=[],
+                    metavar="NAME",
+                    help="benchmark (name or binary:name), counter or "
+                         "report stat allowed to be absent from the "
+                         "current run (repeatable); anything else "
+                         "carrying a watched counter fails the gate "
+                         "when it disappears")
     args = ap.parse_args()
     counters = args.counter if args.counter else DEFAULT_COUNTERS
+    allow_missing = set(args.allow_missing)
 
     base_doc = load_doc(args.baseline)
     cur_doc = load_doc(args.current)
@@ -164,7 +183,8 @@ def main():
         sys.exit("error: cannot compare a run report against a "
                  "benchmark file")
     if base_is_report:
-        sys.exit(compare_reports(base_doc, cur_doc, args.threshold))
+        sys.exit(compare_reports(base_doc, cur_doc, args.threshold,
+                                 allow_missing))
 
     base, base_ctx = index_benchmarks(base_doc)
     cur, cur_ctx = index_benchmarks(cur_doc)
@@ -177,12 +197,21 @@ def main():
 
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
+    regressions = []
     for k in only_base:
-        print(f"note: {fmt(k)} only in baseline (retired?)")
+        allowed = (fmt(k) in allow_missing or k[1] in allow_missing)
+        watched = [n for n in counters if base[k].get(n) is not None]
+        if watched and not allowed:
+            regressions.append(
+                f"{fmt(k)}: benchmark with watched counter(s) "
+                f"{', '.join(watched)} missing from current run "
+                "(allowlist with --allow-missing)")
+        else:
+            print(f"note: {fmt(k)} only in baseline "
+                  f"({'allowlisted' if allowed else 'retired'})")
     for k in only_cur:
         print(f"note: {fmt(k)} only in current (new)")
 
-    regressions = []
     compared = 0
     for key in sorted(set(base) & set(cur)):
         b, c = base[key], cur[key]
@@ -196,6 +225,11 @@ def main():
                     f"{b.get('time_unit', 'ns')} (+{delta:.1%})")
         for name in counters:
             bv, cv = b.get(name), c.get(name)
+            if bv is not None and cv is None and name not in allow_missing:
+                regressions.append(
+                    f"{fmt(key)}: watched counter {name} missing from "
+                    "current run (allowlist with --allow-missing)")
+                continue
             if bv is None or cv is None or bv <= 0:
                 continue
             delta = (bv - cv) / bv

@@ -19,12 +19,14 @@
 #   bench/compare_bench.py BENCH_PR5.json BENCH_PR7.json
 # (compare_bench.py resolves bare baseline names at the repo root).
 #
-# --report additionally runs examples/config_search with --report-out and
-# writes the machine-readable obs::RunReport next to the baseline (out-file
-# with .json replaced by .report.json). compare_bench.py auto-detects two
-# such reports and diffs cache hit rates, the stop-reason mix, and
+# --report additionally runs examples/config_search and
+# examples/sensitivity with --report-out and writes their machine-readable
+# obs::RunReports next to the baseline (out-file with .json replaced by
+# .report.json and .sensitivity.report.json). compare_bench.py auto-detects
+# two such reports and diffs cache hit rates, the stop-reason mix, and
 # per-phase nanos. config_search legitimately exits 2 when the seed has no
-# schedulable layout; only a real error (exit 1) aborts the recording.
+# schedulable layout (sensitivity: when the base verdict is undecided);
+# only a real error (exit 1) aborts the recording.
 #
 # The build directory must be configured Release: the script checks
 # CMakeCache.txt up front (configuring one if the directory is missing)
@@ -66,7 +68,7 @@ done
 BUILD="${1:-build}"
 OUT="${2:-${RECORD:-BENCH_PR5.json}}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BENCHES=(bench_table1 bench_engine bench_scale bench_schedtool)
+BENCHES=(bench_table1 bench_engine bench_scale bench_schedtool bench_sensitivity)
 
 CACHE="$ROOT/$BUILD/CMakeCache.txt"
 if [ ! -f "$CACHE" ]; then
@@ -146,4 +148,22 @@ if [ "$REPORT" = 1 ]; then
   fi
   jq -e '.swa_run_report == 1' "$ROOT/$REPORT_OUT" > /dev/null
   echo "wrote $ROOT/$REPORT_OUT" >&2
+
+  SENS="$ROOT/$BUILD/examples/sensitivity"
+  if [ ! -x "$SENS" ]; then
+    echo "error: $SENS not built (run: cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+  SENS_OUT="${OUT%.json}.sensitivity.report.json"
+  echo "== sensitivity run report ==" >&2
+  # Exit 2 = the base verdict was undecided (a guard rail fired); the
+  # report is still written. Only exit 1 is a real failure.
+  RC=0
+  "$SENS" --workers 2 --report-out "$ROOT/$SENS_OUT" >&2 || RC=$?
+  if [ "$RC" != 0 ] && [ "$RC" != 2 ]; then
+    echo "error: sensitivity failed (exit $RC)" >&2
+    exit "$RC"
+  fi
+  jq -e '.swa_run_report == 1' "$ROOT/$SENS_OUT" > /dev/null
+  echo "wrote $ROOT/$SENS_OUT" >&2
 fi

@@ -23,6 +23,20 @@ ModelArena::Slot *ModelArena::emplace(const cfg::Fingerprint &Shape,
   core::WindowRebinder RB = core::makeWindowRebinder(Model);
   if (!RB.Valid)
     return nullptr;
+  // Dedupe on insert: a caller that re-emplaces a shape it already holds
+  // (races its own find/build sequence, or re-decides after an eviction)
+  // must not leave two slots for one key — find() could then return the
+  // stale one. Replace the existing slot's contents in place and refresh
+  // its LRU stamp instead of appending.
+  for (Slot &S : Slots)
+    if (S.Shape == Shape) {
+      S.Sim.reset(); // references the old network — drop before the model
+      S.Model = std::move(Model);
+      S.Rebinder = std::move(RB);
+      S.Sim = std::make_unique<nsa::Simulator>(*S.Model.Net);
+      S.LastUse = ++Tick;
+      return &S;
+    }
   if (Slots.size() >= Capacity) {
     auto LRU = Slots.begin();
     for (auto It = Slots.begin(); It != Slots.end(); ++It)

@@ -9,6 +9,7 @@
 #include "analysis/Analyzer.h"
 #include "analysis/Rta.h"
 #include "analysis/Schedulability.h"
+#include "analysis/Sensitivity.h"
 #include "config/Decompose.h"
 #include "configio/ConfigXml.h"
 #include "core/SystemTrace.h"
@@ -39,6 +40,8 @@ const char *swa::difftest::oraclePairName(OraclePair P) {
     return "early-exit-vs-full";
   case OraclePair::DecomposedVsMonolithic:
     return "decomposed-vs-monolithic";
+  case OraclePair::SensitivitySlack:
+    return "sensitivity-slack";
   }
   return "<bad>";
 }
@@ -381,6 +384,66 @@ OracleReport swa::difftest::runOracles(const cfg::Config &Config,
                    formatString("%zu tasks at the first miss instant",
                                 M.FirstMissTasks.size()),
                    "first-miss task set diverges");
+      }
+    }
+  }
+
+  // --- WCET slack certificates vs fresh full verdicts. -----------------
+  // The sensitivity search runs early-exit probes through a verdict
+  // cache; re-verifying its certificate pair with *fresh* full runs (no
+  // early exit, no cache, no arena) closes the loop on that whole
+  // machinery: at the reported slack the system must be schedulable, one
+  // tolerance past it the verdict must flip.
+  if (Options.EnableSensitivity && Model->IsFailedSlot >= 0 && Jobs.ok() &&
+      *Jobs <= Options.SensitivityMaxJobs) {
+    analysis::SensitivityOptions SOpts;
+    SOpts.QueryPeriod = false;
+    SOpts.QueryOffset = false;
+    SOpts.QueryFrontier = false;
+    SOpts.ProbeBudgetMs = Options.SimBudgetMs;
+    Result<analysis::SensitivityResult> SR =
+        analysis::analyzeSensitivity(Config, SOpts);
+    if (!SR.ok()) {
+      ++Rep.PairsRun;
+      Mismatch(OraclePair::SensitivitySlack,
+               "sensitivity analysis completes", "error",
+               SR.error().message());
+    } else if (SR->BaseDecided) {
+      ++Rep.PairsRun;
+      if (SR->BaseSchedulable == FullAnyFailed)
+        Mismatch(OraclePair::SensitivitySlack,
+                 FullAnyFailed ? "unschedulable" : "schedulable",
+                 SR->BaseSchedulable ? "schedulable" : "unschedulable",
+                 "sensitivity base verdict diverges from the primary run");
+      auto FreshVerdict =
+          [&](const cfg::Config &C) -> Result<analysis::VerdictOutcome> {
+        nsa::SimOptions FullOpts;
+        FullOpts.WallClockBudgetMs = Options.SimBudgetMs;
+        return analysis::analyzeVerdictOnly(C, FullOpts);
+      };
+      for (const analysis::WcetSlackResult &W : SR->Wcet) {
+        if (!W.Decided)
+          continue; // Guard rail ended the query: nothing to certify.
+        if (W.HasPassing) {
+          Result<analysis::VerdictOutcome> V = FreshVerdict(W.LargestPassing);
+          if (V.ok() && V->decided() && !V->Schedulable)
+            Mismatch(OraclePair::SensitivitySlack,
+                     formatString("schedulable at slack %lld",
+                                  static_cast<long long>(W.SlackTicks)),
+                     "fresh full run: unschedulable",
+                     formatString("task gid %d largest-passing certificate",
+                                  W.TaskGid));
+        }
+        if (W.HasFailing) {
+          Result<analysis::VerdictOutcome> V = FreshVerdict(W.SmallestFailing);
+          if (V.ok() && V->decided() && V->Schedulable)
+            Mismatch(OraclePair::SensitivitySlack,
+                     formatString("unschedulable past slack %lld",
+                                  static_cast<long long>(W.SlackTicks)),
+                     "fresh full run: schedulable",
+                     formatString("task gid %d smallest-failing certificate",
+                                  W.TaskGid));
+        }
       }
     }
   }

@@ -22,6 +22,10 @@
 ///  |                    | full run's                          | is_failed  |
 ///  | decomposed-vs-mono | per-component evaluation + merge vs | decompos-  |
 ///  |                    | the monolithic verdict, exactly     | able cfgs  |
+///  | sensitivity-slack  | WCET slack certificates re-verified | small job  |
+///  |                    | by fresh full runs: at the slack    | counts     |
+///  |                    | schedulable, past it the verdict    |            |
+///  |                    | flips                               |            |
 ///
 /// RTA soundness gate: an FPPS partition alone on its core with one
 /// full-hyperperiod window and no messages touching its tasks. Within the
@@ -58,6 +62,13 @@ enum class OraclePair {
   /// (analysis::mergeComponentVerdicts) must reproduce the monolithic
   /// verdict and per-task failure flags exactly.
   DecomposedVsMonolithic,
+  /// analysis::analyzeSensitivity per-task WCET slack, re-verified by
+  /// fresh *full* (no early exit, no cache) verdict runs against the
+  /// certificate pair: the largest-passing config must be schedulable
+  /// and the smallest-failing config — one tolerance past the reported
+  /// slack — must not be. The sensitivity base verdict must also agree
+  /// with the primary run's failure flags.
+  SensitivitySlack,
 };
 
 /// Short stable name ("vm-vs-interpreter", ...).
@@ -84,6 +95,11 @@ struct OracleOptions {
   int64_t SimBudgetMs = -1;
   /// Attach the online TraceInvariantChecker to the primary run.
   bool CheckInvariants = true;
+  /// Run the sensitivity-slack pair (subject to the job-count gate: a
+  /// slack query costs O(tasks * log(deadline)) simulator runs, so it
+  /// stays on the small instances the campaign generates anyway).
+  bool EnableSensitivity = true;
+  int64_t SensitivityMaxJobs = 512;
 };
 
 struct OracleReport {

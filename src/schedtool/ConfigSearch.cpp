@@ -801,7 +801,15 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           }
           if (Out->FirstMissTime >= 0 && Out->FirstMissTime < Cap)
             Cap = Out->FirstMissTime;
+          bool Decided = Out->decided();
           Parts.push_back({std::move(*Out), *Comp.GidMap});
+          // A guard-rail stop (budget, cancel) already makes the merged
+          // verdict undecided with this component's StopReason — running
+          // the rest of the chain would spend a fresh per-run budget per
+          // remaining component (a K-component candidate could take K×
+          // CandidateBudgetMs) and would keep simulating after a cancel.
+          if (!Decided)
+            break;
         }
         if (AllOk) {
           E.Ok = true;
@@ -1105,6 +1113,14 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           Lightest = static_cast<int>(C);
       Current.Partitions[static_cast<size_t>(Worst)].Core = Lightest;
     }
+  }
+  // The round-top poll only sees a cancel that fired *between* rounds; one
+  // that fired during the final round left its mark as skipped candidates
+  // but never set the flag. Record it so callers can tell "search ended
+  // because it was told to" from "search exhausted its iterations".
+  if (!Res.Cancelled && Problem.Cancel && Problem.Cancel->isCancelled()) {
+    Res.Cancelled = true;
+    Res.Log.push_back("search cancelled during final round");
   }
   return Res;
 }

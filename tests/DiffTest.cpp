@@ -72,6 +72,35 @@ TEST(DiffCampaign, FixedSeed200ConfigsClean) {
   EXPECT_EQ(Res.XmlDocsFuzzed, 200 * 4);
 }
 
+TEST(DiffCampaign, SensitivitySlackGateOnFixedSeed100) {
+  // The slack-certificate acceptance gate: on a fixed-seed 100-config
+  // campaign, every decided per-task WCET slack must be certified by
+  // fresh full runs — schedulable at the reported slack, verdict flipped
+  // one tolerance past it (the sensitivity-slack pair asserts exactly
+  // this, config by config).
+  difftest::CampaignOptions Options;
+  Options.Seed = 20260808;
+  Options.NumConfigs = 100;
+  Options.XmlFuzzPerConfig = 0; // this gate is about the oracle pairs
+  difftest::CampaignResult Res = difftest::runCampaign(Options);
+
+  for (const difftest::CampaignMismatch &M : Res.Mismatches)
+    ADD_FAILURE() << "config " << M.ConfigIndex << " (seed " << M.ConfigSeed
+                  << ") pair=" << difftest::oraclePairName(M.Finding.Pair)
+                  << "\n  expected: " << M.Finding.Expected
+                  << "\n  actual:   " << M.Finding.Actual
+                  << "\n  detail:   " << M.Finding.Detail;
+  EXPECT_TRUE(Res.clean());
+  EXPECT_GT(Res.ConfigsRun, 50);
+
+  // Prove the pair itself was exercised, not just gated away: the same
+  // campaign with the pair disabled runs strictly fewer oracle pairs.
+  Options.Oracle.EnableSensitivity = false;
+  difftest::CampaignResult Without = difftest::runCampaign(Options);
+  EXPECT_TRUE(Without.clean());
+  EXPECT_GT(Res.OraclePairsRun, Without.OraclePairsRun);
+}
+
 TEST(DiffCampaign, DeterministicInSeed) {
   difftest::CampaignOptions Options;
   Options.Seed = 7;

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
+#include "analysis/Sensitivity.h"
 #include "config/Decompose.h"
 #include "config/Fingerprint.h"
 #include "gen/Workload.h"
@@ -414,6 +415,42 @@ TEST(ShapeFingerprint, WindowPlacementIsNotPartOfTheShape) {
   cfg::Config E = A;
   E.Partitions[0].Core = 1; // rebind: different automaton network
   EXPECT_NE(cfg::fingerprintShape(A), cfg::fingerprintShape(E));
+}
+
+TEST(Fingerprint, SensitivityPerturbationsMoveExactlyTheRightKeys) {
+  // The sensitivity probes key their VerdictCache lookups on
+  // fingerprintConfig and their arena slots on fingerprintShape; the
+  // perturbation builders must therefore move (or preserve) exactly the
+  // keys each layer expects — a WCET or offset probe that aliased the
+  // base config's cache entry would return the base verdict for a
+  // perturbed workload.
+  cfg::Config Base = symmetricBase();
+  for (int I = 0; I < 4; ++I)
+    Base.Partitions[static_cast<size_t>(I)].Core = I;
+  int64_t L = Base.hyperperiod() * 2;
+
+  // WCET inflation: a new whole-config key, a new component key (the
+  // component cache would otherwise replay the uninflated verdict), and
+  // a new arena shape (WCETs live in the automaton guards, not the
+  // window tables rebindWindows can patch).
+  cfg::Config Inflated = analysis::withWcetDelta(Base, /*TaskGid=*/0, 1);
+  EXPECT_NE(cfg::fingerprintConfig(Inflated), cfg::fingerprintConfig(Base));
+  EXPECT_NE(cfg::fingerprintComponent(Inflated, L),
+            cfg::fingerprintComponent(Base, L));
+  EXPECT_NE(cfg::fingerprintShape(Inflated), cfg::fingerprintShape(Base));
+
+  // Window-offset shift: new config and component keys (the verdict
+  // genuinely depends on placement) but the *same* shape — the offset
+  // query's probes are exactly the mutation the arena exists to serve.
+  cfg::Config Shifted = analysis::withWindowShift(Base, /*PartIndex=*/0, 1);
+  EXPECT_NE(cfg::fingerprintConfig(Shifted), cfg::fingerprintConfig(Base));
+  EXPECT_NE(cfg::fingerprintComponent(Shifted, L),
+            cfg::fingerprintComponent(Base, L));
+  EXPECT_EQ(cfg::fingerprintShape(Shifted), cfg::fingerprintShape(Base));
+
+  // A zero-magnitude shift is the identity on every key.
+  cfg::Config Same = analysis::withWindowShift(Base, /*PartIndex=*/0, 0);
+  EXPECT_EQ(cfg::fingerprintConfig(Same), cfg::fingerprintConfig(Base));
 }
 
 int main(int argc, char **argv) {

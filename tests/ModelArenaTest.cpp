@@ -1,0 +1,109 @@
+//===- tests/ModelArenaTest.cpp - Shape-keyed arena contracts -------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+//
+// analysis::ModelArena invariants: one slot per shape (a duplicate-shape
+// emplace replaces in place instead of shadowing — find() must never
+// return a stale slot), LRU eviction at capacity, and find() refreshing
+// the use stamp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ModelArena.h"
+
+#include "analysis/Sensitivity.h"
+#include "config/Fingerprint.h"
+#include "core/InstanceBuilder.h"
+#include "tests/TestConfigs.h"
+
+#include <gtest/gtest.h>
+
+using namespace swa;
+
+namespace {
+
+core::BuiltModel build(const cfg::Config &C) {
+  Result<core::BuiltModel> M = core::buildModel(C);
+  EXPECT_TRUE(M.ok()) << (M.ok() ? "" : M.error().message());
+  return std::move(*M);
+}
+
+TEST(ModelArenaTest, DuplicateShapeEmplaceReplacesInPlace) {
+  cfg::Config Base = testcfg::twoTasksOneCore();
+  // Same shape, different window positions — exactly the collision a
+  // sensitivity offset probe or a re-emplace after find() produces.
+  cfg::Config Shifted = Base;
+  Shifted.Partitions[0].Windows[0] = {2, 20};
+  cfg::Fingerprint Shape = cfg::fingerprintShape(Base);
+  ASSERT_EQ(Shape, cfg::fingerprintShape(Shifted));
+
+  analysis::ModelArena Arena(4);
+  analysis::ModelArena::Slot *First = Arena.emplace(Shape, build(Base));
+  ASSERT_NE(First, nullptr);
+  ASSERT_EQ(Arena.size(), 1u);
+
+  analysis::ModelArena::Slot *Second = Arena.emplace(Shape, build(Shifted));
+  ASSERT_NE(Second, nullptr);
+  // One slot per shape: the second emplace replaced the first slot's
+  // contents (same node — std::list storage never moves) instead of
+  // appending a shadowing duplicate.
+  EXPECT_EQ(Arena.size(), 1u);
+  EXPECT_EQ(Second, First);
+  EXPECT_EQ(Second->Model.Config.Partitions[0].Windows[0].Start, 2);
+  // find() resolves to the replaced slot, never a stale one.
+  EXPECT_EQ(Arena.find(Shape), Second);
+  EXPECT_NE(Second->Sim, nullptr);
+}
+
+TEST(ModelArenaTest, EvictsLeastRecentlyUsedAtCapacity) {
+  cfg::Config A = testcfg::twoTasksOneCore();
+  cfg::Config B = testcfg::twoPartitionsWindows();
+  cfg::Config C = testcfg::preemptionShowcase();
+  C.Partitions[0].Tasks[0].Priority = 7; // distinct shape from A
+  cfg::Fingerprint SA = cfg::fingerprintShape(A);
+  cfg::Fingerprint SB = cfg::fingerprintShape(B);
+  cfg::Fingerprint SC = cfg::fingerprintShape(C);
+  ASSERT_NE(SA, SB);
+  ASSERT_NE(SA, SC);
+  ASSERT_NE(SB, SC);
+
+  analysis::ModelArena Arena(2);
+  ASSERT_NE(Arena.emplace(SA, build(A)), nullptr);
+  ASSERT_NE(Arena.emplace(SB, build(B)), nullptr);
+  ASSERT_EQ(Arena.size(), 2u);
+
+  // Touch A so B becomes the LRU slot, then insert a third shape.
+  ASSERT_NE(Arena.find(SA), nullptr);
+  ASSERT_NE(Arena.emplace(SC, build(C)), nullptr);
+  EXPECT_EQ(Arena.size(), 2u);
+  EXPECT_NE(Arena.find(SA), nullptr);
+  EXPECT_EQ(Arena.find(SB), nullptr);
+  EXPECT_NE(Arena.find(SC), nullptr);
+}
+
+TEST(ModelArenaTest, DuplicateEmplaceDoesNotEvictOthers) {
+  cfg::Config A = testcfg::twoTasksOneCore();
+  cfg::Config B = testcfg::twoPartitionsWindows();
+  cfg::Fingerprint SA = cfg::fingerprintShape(A);
+  cfg::Fingerprint SB = cfg::fingerprintShape(B);
+
+  analysis::ModelArena Arena(2);
+  ASSERT_NE(Arena.emplace(SA, build(A)), nullptr);
+  ASSERT_NE(Arena.emplace(SB, build(B)), nullptr);
+  // Re-emplacing an existing shape at capacity is a replace, not an
+  // insert — nothing may be evicted to make room.
+  cfg::Config Shifted = analysis::withWindowShift(A, 0, 0);
+  ASSERT_NE(Arena.emplace(SA, build(Shifted)), nullptr);
+  EXPECT_EQ(Arena.size(), 2u);
+  EXPECT_NE(Arena.find(SA), nullptr);
+  EXPECT_NE(Arena.find(SB), nullptr);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -19,13 +19,16 @@
 #include "core/InstanceBuilder.h"
 #include "gen/Workload.h"
 #include "nsa/Simulator.h"
+#include "schedtool/ConfigSearch.h"
 #include "support/CancelToken.h"
 #include "support/MathExtras.h"
 #include "tests/TestConfigs.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <limits>
+#include <thread>
 
 using namespace swa;
 
@@ -577,6 +580,99 @@ TEST(GuardRails, VerdictOnlySurfacesGuardStopsStructurally) {
   auto Full = analysis::analyzeConfiguration(C);
   ASSERT_TRUE(Full.ok());
   EXPECT_EQ(Decided->Schedulable, Full->Analysis.Schedulable);
+}
+
+namespace {
+
+/// Four half-utilization partitions whose tasks need their whole WCET
+/// before a deadline at half the period, over two message-free cores: any
+/// binding puts at least two on one core, which then needs 1000 ticks of
+/// window inside [0, 500) — unschedulable for *every* candidate the
+/// search can produce, while still passing the first-fit capacity check
+/// (per-core utilization is exactly 1.0). Message-free across cores, so
+/// candidates decompose and the incremental layers (component cache,
+/// dirty tracking, instance reuse — all default-on) carry the rounds.
+cfg::Config unwinnableDecoupledProblem() {
+  cfg::Config C = testcfg::twoTasksOneCore();
+  C.Cores.push_back(C.Cores[0]);
+  C.Cores.back().Name = "core1";
+  C.Partitions[0].Tasks = {{"a", 1, {500}, 1000, 500}};
+  for (int I = 1; I < 4; ++I) {
+    cfg::Partition P = C.Partitions[0];
+    P.Name = "p" + std::to_string(I);
+    P.Tasks[0].Name = std::string(1, static_cast<char>('a' + I));
+    C.Partitions.push_back(P);
+  }
+  for (cfg::Partition &P : C.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+  return C;
+}
+
+} // namespace
+
+TEST(GuardRails, ZeroBudgetSkipsEveryIncrementalCandidate) {
+  // CandidateBudgetMs = 0 expires at the first guard check of every
+  // simulation the candidate needs — including the per-round deduplicated
+  // component sims and arena-reused runs of the incremental path. No
+  // undecided component run may be patched into a verdict: every
+  // candidate must be skipped as budget-exceeded, deterministically for
+  // any worker count.
+  schedtool::SearchProblem Problem;
+  Problem.Base = unwinnableDecoupledProblem();
+  Problem.Seed = 5;
+  Problem.MaxIterations = 12;
+  Problem.CandidateBudgetMs = 0;
+  for (int Workers : {1, 2}) {
+    Problem.Workers = Workers;
+    auto Res = schedtool::searchConfiguration(Problem);
+    ASSERT_TRUE(Res.ok()) << Res.error().message();
+    EXPECT_FALSE(Res->Found);
+    EXPECT_FALSE(Res->Cancelled);
+    EXPECT_EQ(Res->ConfigurationsEvaluated, 0) << "workers=" << Workers;
+    EXPECT_EQ(Res->CandidatesSkipped, 12) << "workers=" << Workers;
+    EXPECT_EQ(
+        Res->StopReasonCounts[static_cast<int>(nsa::StopReason::BudgetExceeded)],
+        12)
+        << "workers=" << Workers;
+  }
+}
+
+TEST(GuardRails, WatchdogCancelEndsIncrementalSearchMidRun) {
+  // A watchdog thread cancels a hopeless search (every candidate
+  // unschedulable, iteration cap far beyond what the watchdog window
+  // allows) while rounds are in flight on the incremental path. The
+  // search must come back Cancelled without finishing its iteration
+  // budget — a cancelled round may not be completed as if the token had
+  // never fired.
+  schedtool::SearchProblem Problem;
+  Problem.Base = unwinnableDecoupledProblem();
+  Problem.Seed = 23;
+  Problem.MaxIterations = 5000000;
+  CancelToken Tok;
+  Problem.Cancel = &Tok;
+
+  std::thread Watchdog([&Tok] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Tok.cancel();
+  });
+  auto Res = schedtool::searchConfiguration(Problem);
+  Watchdog.join();
+
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_TRUE(Res->Cancelled);
+  EXPECT_FALSE(Res->Found);
+  EXPECT_LT(Res->ConfigurationsEvaluated + Res->CandidatesSkipped,
+            Problem.MaxIterations);
+  // The incremental machinery was genuinely in play before the cancel:
+  // message-free multi-core candidates decompose.
+  EXPECT_GT(Res->DecomposedCandidates, 0);
+  bool Logged = false;
+  for (const std::string &Line : Res->Log)
+    if (Line.find("cancelled") != std::string::npos)
+      Logged = true;
+  EXPECT_TRUE(Logged) << "no cancellation note in the search log";
 }
 
 int main(int argc, char **argv) {
