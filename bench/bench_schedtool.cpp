@@ -13,10 +13,14 @@
 
 #include "gen/Workload.h"
 #include "schedtool/ConfigSearch.h"
+#include "schedtool/Snapshot.h"
 
 #include "BenchSupport.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 using namespace swa;
 
@@ -246,6 +250,86 @@ static void BM_SearchNeighborhood(benchmark::State &State) {
 }
 BENCHMARK(BM_SearchNeighborhood)
     ->ArgsProduct({{0, 1}, {1, 2}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// The durable-search axis: what checkpointing costs and what resuming
+// buys. Three rows over the same neighborhood workload (identical
+// candidate sequence and verdict stream in all three — durability never
+// changes the result):
+//   mode 0  cold search, no checkpointing — the baseline.
+//   mode 1  cold search checkpointing every round boundary — the
+//           overhead row: serialization + CRC + atomic-rename traffic
+//           per round, the worst cadence a user can configure.
+//   mode 2  warm start from the terminal snapshot of a prior identical
+//           run (cache-only seed, per-iteration load included) — the
+//           resume row: every verdict replays from the warm cache, so
+//           candidates_per_sec is the snapshot-hit fast path.
+static void BM_SearchDurable(benchmark::State &State) {
+  int Mode = static_cast<int>(State.range(0));
+  cfg::Config Base = neighborhoodConfig();
+  std::string Path = "swa_bench_durable.ckpt";
+
+  auto MakeProblem = [&Base] {
+    schedtool::SearchProblem Problem;
+    Problem.Base = Base;
+    Problem.Seed = 41;
+    Problem.MaxIterations = 60;
+    return Problem;
+  };
+
+  // The warm row resumes from a finished run's snapshot; write it once.
+  if (Mode == 2) {
+    schedtool::SearchProblem Prep = MakeProblem();
+    Prep.CheckpointPath = Path;
+    Result<schedtool::SearchResult> R = schedtool::searchConfiguration(Prep);
+    if (!R.ok()) {
+      State.SkipWithError(R.error().message().c_str());
+      return;
+    }
+  }
+
+  int64_t TotalEvaluated = 0;
+  schedtool::SnapshotStats Stats;
+  for (auto _ : State) {
+    schedtool::SearchProblem Problem = MakeProblem();
+    Problem.CkptStats = &Stats;
+    schedtool::Snapshot Warm;
+    if (Mode == 1)
+      Problem.CheckpointPath = Path;
+    if (Mode == 2) {
+      Result<schedtool::Snapshot> L = schedtool::loadSnapshot(Path, &Stats);
+      if (!L.ok()) {
+        State.SkipWithError(L.error().message().c_str());
+        return;
+      }
+      Warm = L.takeValue();
+      Warm.HasSearchState = false; // cache-only seed: the search re-runs
+      Problem.Resume = &Warm;
+    }
+    Result<schedtool::SearchResult> Res =
+        schedtool::searchConfiguration(Problem);
+    if (!Res.ok()) {
+      State.SkipWithError(Res.error().message().c_str());
+      return;
+    }
+    TotalEvaluated += Res->ConfigurationsEvaluated;
+  }
+  std::remove(Path.c_str());
+  State.counters["mode"] = Mode;
+  State.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(TotalEvaluated), benchmark::Counter::kIsRate);
+  State.counters["snapshots_written"] =
+      static_cast<double>(Stats.SnapshotsWritten);
+  State.counters["snapshot_bytes_written"] =
+      static_cast<double>(Stats.BytesWritten);
+  State.counters["snapshot_warm_hits"] =
+      static_cast<double>(Stats.SnapshotHits);
+  swa::benchsupport::exportObsCounters(State);
+}
+BENCHMARK(BM_SearchDurable)
+    ->ArgsProduct({{0, 1, 2}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+#===- bench/run_crash_matrix.sh - Kill-it-mid-run fault campaign ---------===#
+#
+# Part of the swa-sched project.
+#
+# Drives examples/config_search through the full kill-point grid: one
+# uninterrupted checkpointed run establishes the reference output and the
+# number N of checkpoints it commits, then for every k in 1..N the search
+# is re-run with SWA_CRASH_AFTER=commit:k — the process _exit(87)s the
+# instant the k-th checkpoint is fully durable — and resumed from the
+# surviving snapshot. The resumed run's output (minus the resume/
+# checkpoint-traffic lines, which legitimately differ) must be
+# byte-identical to the reference, and its exit code must match.
+#
+#   $ bench/run_crash_matrix.sh [build-dir] [seed]
+#
+# Defaults: build-dir = build, seed = 7. Prints a PASS/FAIL row per kill
+# point and exits nonzero if any grid point fails. Pair with
+# `ctest -L durable`, which pins the same contract in-process; this
+# script proves it against the real binary, real files, and a real
+# process death.
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+BUILD="${1:-build}"
+SEED="${2:-7}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="$ROOT/$BUILD/examples/config_search"
+CRASH_EXIT=87 # support::AtomicFile::kCrashExitCode
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (run: cmake --build $BUILD -j)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+CKPT="$TMP/search.ckpt"
+
+# The checkpoint-traffic lines are cadence- and resume-dependent; every
+# other line of the search output is part of the determinism contract.
+strip_traffic() {
+  grep -v -e '^resume: ' -e '^checkpoint: ' "$1" || true
+}
+
+# Reference run. Exit 0 (found) and 2 (searched cleanly, nothing
+# schedulable) are both valid searches; only exit 1 is a failure.
+REF_RC=0
+"$BIN" "$SEED" --workers 2 --checkpoint "$CKPT" \
+  > "$TMP/reference.out" 2> "$TMP/reference.err" || REF_RC=$?
+if [ "$REF_RC" != 0 ] && [ "$REF_RC" != 2 ]; then
+  cat "$TMP/reference.err" >&2
+  echo "error: reference run failed (exit $REF_RC)" >&2
+  exit 1
+fi
+N="$(sed -n 's/^checkpoint: \([0-9]*\) snapshots written.*/\1/p' \
+  "$TMP/reference.out")"
+if [ -z "$N" ] || [ "$N" -lt 1 ]; then
+  echo "error: reference run reported no checkpoint traffic" >&2
+  exit 1
+fi
+strip_traffic "$TMP/reference.out" > "$TMP/reference.clean"
+echo "reference: exit $REF_RC, $N checkpoints committed"
+
+FAILURES=0
+for K in $(seq 1 "$N"); do
+  rm -f "$CKPT" "$CKPT.tmp"
+
+  # Kill the search the moment checkpoint k is durable.
+  CRASH_RC=0
+  SWA_CRASH_AFTER="commit:$K" "$BIN" "$SEED" --workers 2 \
+    --checkpoint "$CKPT" > "$TMP/crash.$K.out" 2>&1 || CRASH_RC=$?
+  if [ "$CRASH_RC" != "$CRASH_EXIT" ]; then
+    echo "kill $K/$N: FAIL (crash run exited $CRASH_RC, want $CRASH_EXIT)"
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  if [ ! -f "$CKPT" ]; then
+    echo "kill $K/$N: FAIL (no snapshot survived the crash)"
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+
+  # Resume from the survivor; the search output must match the reference.
+  RES_RC=0
+  "$BIN" "$SEED" --workers 2 --checkpoint "$CKPT" --resume \
+    > "$TMP/resume.$K.out" 2> "$TMP/resume.$K.err" || RES_RC=$?
+  if [ "$RES_RC" != "$REF_RC" ]; then
+    echo "kill $K/$N: FAIL (resume exited $RES_RC, reference $REF_RC)"
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  if grep -q '^resume: .* -- starting cold' "$TMP/resume.$K.err"; then
+    echo "kill $K/$N: FAIL (survivor snapshot was rejected)"
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  strip_traffic "$TMP/resume.$K.out" > "$TMP/resume.$K.clean"
+  if ! diff -u "$TMP/reference.clean" "$TMP/resume.$K.clean" \
+    > "$TMP/diff.$K"; then
+    echo "kill $K/$N: FAIL (resumed output diverged)"
+    sed 's/^/    /' "$TMP/diff.$K"
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  echo "kill $K/$N: PASS"
+done
+
+if [ "$FAILURES" != 0 ]; then
+  echo "crash matrix: $FAILURES/$N kill points FAILED"
+  exit 1
+fi
+echo "crash matrix: all $N kill points byte-identical after resume"

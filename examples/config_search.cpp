@@ -11,7 +11,8 @@
 //   $ ./config_search [seed] [--workers N] [--budget-ms MS]
 //                     [--no-cache] [--no-early-exit] [--no-decompose]
 //                     [--no-component-cache] [--no-incremental]
-//                     [--trace-out FILE] [--report-out FILE]
+//                     [--checkpoint FILE] [--checkpoint-every-ms MS]
+//                     [--resume] [--trace-out FILE] [--report-out FILE]
 //
 // --workers evaluates candidate batches on N threads; the result is
 // byte-identical for every N. --budget-ms caps each candidate's
@@ -26,6 +27,14 @@
 // --report-out writes a machine-readable obs::RunReport JSON. Both turn
 // observability on; neither changes the search result.
 //
+// --checkpoint makes the search durable: it writes an atomic snapshot of
+// the verdict cache and loop state to FILE at round boundaries (every
+// round, or throttled by --checkpoint-every-ms) and on exit. --resume
+// loads FILE first and continues mid-stream: a run killed at any point
+// and resumed this way prints the same verdicts the uninterrupted run
+// prints. A corrupt, truncated or foreign snapshot is rejected with a
+// typed error and the search starts cold — never a wrong answer.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Report.h"
@@ -34,6 +43,7 @@
 #include "obs/RunReport.h"
 #include "obs/Span.h"
 #include "schedtool/ConfigSearch.h"
+#include "schedtool/Snapshot.h"
 
 #include <chrono>
 #include <cstdio>
@@ -50,6 +60,9 @@ int main(int argc, char **argv) {
   bool UseCache = true, UseEarlyExit = true, UseDecompose = true;
   bool UseComponentCache = true, UseIncremental = true;
   const char *TraceOut = nullptr, *ReportOut = nullptr;
+  const char *CheckpointPath = nullptr;
+  int64_t CheckpointEveryMs = 0;
+  bool Resume = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--workers") == 0 && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
@@ -65,6 +78,13 @@ int main(int argc, char **argv) {
       UseComponentCache = false;
     else if (std::strcmp(argv[I], "--no-incremental") == 0)
       UseIncremental = false;
+    else if (std::strcmp(argv[I], "--checkpoint") == 0 && I + 1 < argc)
+      CheckpointPath = argv[++I];
+    else if (std::strcmp(argv[I], "--checkpoint-every-ms") == 0 &&
+             I + 1 < argc)
+      CheckpointEveryMs = std::strtoll(argv[++I], nullptr, 10);
+    else if (std::strcmp(argv[I], "--resume") == 0)
+      Resume = true;
     else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc)
       TraceOut = argv[++I];
     else if (std::strcmp(argv[I], "--report-out") == 0 && I + 1 < argc)
@@ -109,9 +129,48 @@ int main(int argc, char **argv) {
   Problem.UseComponentCache = UseComponentCache;
   Problem.UseDirtyTracking = UseIncremental;
   Problem.UseInstanceReuse = UseIncremental;
+
+  // Durable search: load the previous checkpoint when asked, and degrade
+  // to a cold start — with the rejection reason — when the file is
+  // corrupt, truncated, version-skewed or missing. A snapshot written by
+  // a *different* search (other seed/batch/base) is only detectable by
+  // the search itself, so that case retries cold below.
+  schedtool::SnapshotStats CkptStats;
+  schedtool::Snapshot Loaded;
+  if (Resume && CheckpointPath) {
+    Result<schedtool::Snapshot> S =
+        schedtool::loadSnapshot(CheckpointPath, &CkptStats);
+    if (S.ok()) {
+      Loaded = S.takeValue();
+      Problem.Resume = &Loaded;
+      std::printf("resume: loaded %s (%zu config / %zu component entries, "
+                  "%s search state)\n",
+                  CheckpointPath, Loaded.ConfigEntries.size(),
+                  Loaded.ComponentEntries.size(),
+                  Loaded.HasSearchState ? "with" : "no");
+    } else {
+      std::fprintf(stderr, "resume: %s [%s] -- starting cold\n",
+                   S.error().message().c_str(),
+                   errorCodeName(S.error().code()));
+    }
+  }
+  if (CheckpointPath) {
+    Problem.CheckpointPath = CheckpointPath;
+    Problem.CheckpointEveryMs = CheckpointEveryMs;
+    Problem.CkptStats = &CkptStats;
+  }
+
   auto T0 = std::chrono::steady_clock::now();
   Result<schedtool::SearchResult> Res =
       schedtool::searchConfiguration(Problem);
+  if (!Res.ok() && Res.error().code() == ErrorCode::SnapshotMismatch) {
+    std::fprintf(stderr, "resume: %s [%s] -- rerunning cold\n",
+                 Res.error().message().c_str(),
+                 errorCodeName(Res.error().code()));
+    Problem.Resume = nullptr;
+    T0 = std::chrono::steady_clock::now();
+    Res = schedtool::searchConfiguration(Problem);
+  }
   double ElapsedSec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();
@@ -153,6 +212,24 @@ int main(int argc, char **argv) {
                 Planned > 0 ? 100.0 * Res->DirtyComponents / Planned
                             : 0.0);
   }
+  if (CheckpointPath) {
+    std::printf("checkpoint: %llu snapshots written (%llu bytes), %llu "
+                "loaded (%llu bytes), %llu entries merged, %llu warm hits\n",
+                static_cast<unsigned long long>(CkptStats.SnapshotsWritten),
+                static_cast<unsigned long long>(CkptStats.BytesWritten),
+                static_cast<unsigned long long>(CkptStats.SnapshotsLoaded),
+                static_cast<unsigned long long>(CkptStats.BytesLoaded),
+                static_cast<unsigned long long>(
+                    CkptStats.ConfigEntriesMerged +
+                    CkptStats.ComponentEntriesMerged),
+                static_cast<unsigned long long>(CkptStats.SnapshotHits));
+    if (CkptStats.WriteFailures > 0)
+      std::fprintf(stderr,
+                   "checkpoint: %llu write failures (last: %s) -- search "
+                   "result unaffected\n",
+                   static_cast<unsigned long long>(CkptStats.WriteFailures),
+                   CkptStats.LastError.c_str());
+  }
 
   if (TraceOut) {
     std::ofstream OS(TraceOut);
@@ -168,6 +245,8 @@ int main(int argc, char **argv) {
   if (ReportOut) {
     obs::RunReport Report("config_search");
     schedtool::fillSearchReport(Report, *Res, ElapsedSec);
+    if (CheckpointPath)
+      schedtool::fillSnapshotReport(Report, CkptStats);
     std::string Err;
     if (!Report.writeFile(ReportOut, Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());

@@ -25,6 +25,17 @@
 /// Names (config, core, partition, task) are deliberately excluded: they
 /// never reach the engine's semantics.
 ///
+/// Stability: since PR 9 fingerprints are also *persisted* cache keys —
+/// schedtool::Snapshot serializes VerdictCache entries under their
+/// canonical fingerprints, and a resumed or warm-started search trusts a
+/// loaded entry's verdict for any config that hashes to the same key.
+/// Any change to the hashed field set, the mixing function, or the
+/// canonicalization order therefore MUST bump Snapshot::FormatVersion
+/// (schedtool/Snapshot.h): an old snapshot read under a new hash would
+/// silently miss (harmless) or, worse, collide (wrong verdict). The
+/// version check turns that into a typed SnapshotVersionSkew rejection
+/// and a cold start.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SWA_CONFIG_FINGERPRINT_H

@@ -13,6 +13,7 @@
 #include "obs/Metrics.h"
 #include "obs/Span.h"
 #include "obs/Timer.h"
+#include "schedtool/Snapshot.h"
 #include "schedtool/VerdictCache.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
@@ -20,6 +21,7 @@
 #include "support/UnionFind.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -325,6 +327,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   obs::Counter *DecompC = nullptr, *CompC = nullptr;
   obs::Counter *CompHitC = nullptr, *CompMissC = nullptr;
   obs::Counter *DirtyC = nullptr, *CleanC = nullptr;
+  obs::Counter *SnapHitC = nullptr, *CkptC = nullptr;
   if (obs::enabled()) {
     obs::Registry &Reg = obs::Registry::global();
     CandC = &Reg.counter("schedtool.candidates.evaluated");
@@ -339,6 +342,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     CompMissC = &Reg.counter("schedtool.component_cache.misses");
     DirtyC = &Reg.counter("schedtool.components.dirty");
     CleanC = &Reg.counter("schedtool.components.clean_reused");
+    // Warm-from-disk hits vs same-run memoization, and checkpoints
+    // actually written — durable-search traffic, outside SearchResult.
+    SnapHitC = &Reg.counter("verdict_cache.snapshot_hits");
+    CkptC = &Reg.counter("schedtool.checkpoints.written");
   }
 
   cfg::Config Current = Problem.Base;
@@ -401,14 +408,108 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   CandOpts.WallClockBudgetMs = Problem.CandidateBudgetMs;
   CandOpts.Cancel = Problem.Cancel;
 
+  // --- Durable search: resume + checkpoint plumbing --------------------
+  // The identity CRC guards both directions: a snapshot resumes only the
+  // (Seed, BatchSize, Base) search that wrote it.
+  const bool Checkpointing = !Problem.CheckpointPath.empty();
+  const uint32_t BaseCrc =
+      (Checkpointing || (Problem.Resume && Problem.Resume->HasSearchState))
+          ? snapshotBaseCrc(Problem.Base)
+          : 0;
+
   Res.BestBadness = -1;
   int Iter = 0;
-  for (int Round = 0; Iter < Problem.MaxIterations; ++Round) {
+  int Round = 0;
+  if (Problem.Resume) {
+    const Snapshot &S = *Problem.Resume;
+    if (S.HasSearchState) {
+      if (S.Seed != Problem.Seed || S.BatchSize != Batch ||
+          S.BaseCrc != BaseCrc)
+        return Error::failure(
+            ErrorCode::SnapshotMismatch,
+            formatString("snapshot belongs to a different search: snapshot "
+                         "(seed=%llu batch=%d base=%08x) vs problem "
+                         "(seed=%llu batch=%d base=%08x)",
+                         static_cast<unsigned long long>(S.Seed), S.BatchSize,
+                         S.BaseCrc,
+                         static_cast<unsigned long long>(Problem.Seed), Batch,
+                         BaseCrc));
+      // Restore the full loop state: incumbent, boosts, the RNG
+      // mid-stream, the partial result, and the loop position. The
+      // remaining rounds then recompute exactly what the uninterrupted
+      // run computed — the headline byte-identity contract.
+      Current = S.Current;
+      Boost = S.Boost;
+      R.restoreState(S.RngState);
+      Res = S.Res;
+      Iter = S.Iter;
+      Round = S.NextRound;
+    }
+    auto [NCfg, NComp] = S.seedCache(Cache);
+    if (Problem.CkptStats) {
+      Problem.CkptStats->ConfigEntriesMerged += NCfg;
+      Problem.CkptStats->ComponentEntriesMerged += NComp;
+    }
+    // A snapshot of a *finished* search restores a final result; nothing
+    // is left to run, and replaying the finding round would double-count
+    // its candidates into the restored counters.
+    if (S.HasSearchState && Res.Found)
+      return Res;
+  }
+
+  // One checkpoint = cache contents + loop state at a round boundary,
+  // written atomically (old-or-new, never torn). A write failure is
+  // recorded and swallowed: a full disk or read-only filesystem must not
+  // change what the search computes — durability is best-effort, results
+  // are not. Nothing here touches Res: checkpoint cadence is wall-clock
+  // dependent, and SearchResult stays byte-identical with checkpointing
+  // on, off, or failing.
+  auto WriteCheckpoint = [&](int NextRound) {
+    obs::Span CkptSpan("checkpoint", "search");
+    CkptSpan.arg("iter", Iter);
+    Snapshot S;
+    S.captureCache(Cache);
+    S.HasSearchState = true;
+    S.Seed = Problem.Seed;
+    S.BatchSize = Batch;
+    S.BaseCrc = BaseCrc;
+    S.NextRound = NextRound;
+    S.Iter = Iter;
+    S.RngState = R.saveState();
+    S.Current = Current;
+    S.Boost = Boost;
+    S.Res = Res;
+    if (Error E =
+            saveSnapshot(S, Problem.CheckpointPath, Problem.CkptStats)) {
+      if (Problem.CkptStats) {
+        ++Problem.CkptStats->WriteFailures;
+        Problem.CkptStats->LastError = E.message();
+      }
+      return;
+    }
+    if (CkptC)
+      CkptC->add(1);
+  };
+  auto LastCkpt = std::chrono::steady_clock::now();
+
+  for (; Iter < Problem.MaxIterations; ++Round) {
     if (Problem.Cancel && Problem.Cancel->isCancelled()) {
       Res.Cancelled = true;
       Res.Log.push_back(
           formatString("search cancelled before iter %d", Iter));
       break;
+    }
+    // Periodic checkpoint at the round boundary (the top of the loop is
+    // one for round == NextRound), throttled by CheckpointEveryMs; 0
+    // checkpoints every round.
+    if (Checkpointing) {
+      auto Now = std::chrono::steady_clock::now();
+      if (Problem.CheckpointEveryMs <= 0 ||
+          std::chrono::duration_cast<std::chrono::milliseconds>(Now - LastCkpt)
+                  .count() >= Problem.CheckpointEveryMs) {
+        WriteCheckpoint(Round);
+        LastCkpt = Now;
+      }
     }
     int N = std::min(Batch, Problem.MaxIterations - Iter);
     obs::Span RoundSpan("batch", "search");
@@ -501,6 +602,14 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           Eval &EV = Evals[static_cast<size_t>(J)];
           EV.Ok = true;
           EV.V = E->Verdict;
+          if (E->FromSnapshot) {
+            // Warm-from-disk hit: counted outside SearchResult (the
+            // provenance depends on resume, which the result must not).
+            if (Problem.CkptStats)
+              ++Problem.CkptStats->SnapshotHits;
+            if (SnapHitC)
+              SnapHitC->add(1);
+          }
           ++Res.CacheHits;
           Src[static_cast<size_t>(J)] = 1;
           if (E->Raw != Raw[static_cast<size_t>(J)]) {
@@ -693,6 +802,12 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
           if (const VerdictCache::ComponentEntry *CE =
                   Cache.lookupComponent(CanonK)) {
             PC.Hit = CE;
+            if (CE->FromSnapshot) {
+              if (Problem.CkptStats)
+                ++Problem.CkptStats->SnapshotHits;
+              if (SnapHitC)
+                SnapHitC->add(1);
+            }
             ++Res.ComponentCacheHits;
             continue;
           }
@@ -993,6 +1108,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         Res.Best = C.Config;
         Res.BestBadness = 0;
         Res.BestTrajectory.push_back({IterJ, 0});
+        // Terminal flush: persist the finished result (and every verdict
+        // earned) so a later --resume returns it without re-running.
+        if (Checkpointing)
+          WriteCheckpoint(Round);
         return Res;
       }
       if (Res.BestBadness < 0 || Badness < Res.BestBadness) {
@@ -1122,6 +1241,13 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     Res.Cancelled = true;
     Res.Log.push_back("search cancelled during final round");
   }
+  // Terminal flush, throttle-free: a cancelled or exhausted run always
+  // leaves its latest state (including the cancel marks and StopReason
+  // tallies above) on disk. Resuming a cancelled snapshot continues the
+  // search from the cancel point; the cancel log line stays in the
+  // result as a record of the interruption.
+  if (Checkpointing)
+    WriteCheckpoint(Round);
   return Res;
 }
 

@@ -34,6 +34,9 @@
 namespace swa {
 namespace schedtool {
 
+struct Snapshot;      // schedtool/Snapshot.h
+struct SnapshotStats; // schedtool/Snapshot.h
+
 struct SearchProblem {
   /// Cores/partitions/tasks/messages; bindings (Partition::Core) and
   /// windows are ignored and chosen by the search.
@@ -113,6 +116,36 @@ struct SearchProblem {
   /// SearchResult field depends on arena state, so flipping this flag
   /// alone never changes the result byte-wise.
   bool UseInstanceReuse = true;
+  /// Durable search (schedtool/Snapshot.h). When non-empty, the search
+  /// checkpoints to this path at round boundaries — atomically (see
+  /// support::AtomicFile), so a crash at any instant leaves the previous
+  /// checkpoint intact. A checkpoint captures the verdict cache (both
+  /// levels) and the full loop state; resuming from it replays the
+  /// remaining rounds exactly, so a search killed at any checkpoint and
+  /// resumed produces a SearchResult byte-identical to the uninterrupted
+  /// run, for any Workers value and any acceleration-layer mask. A
+  /// checkpoint *write* failure is recorded in CkptStats and the search
+  /// continues unchanged: durability is best-effort, results are not.
+  std::string CheckpointPath;
+  /// Minimum milliseconds between periodic checkpoints; 0 writes one at
+  /// every round boundary. The terminal flush (found / iterations
+  /// exhausted / cancelled) ignores the throttle, so a cancelled run
+  /// always leaves its latest state on disk.
+  int64_t CheckpointEveryMs = 0;
+  /// A previously loaded snapshot to start from. With search state, the
+  /// identity triple (Seed, BatchSize, CRC of the encoded Base) must
+  /// match this problem — a foreign snapshot is a typed
+  /// ErrorCode::SnapshotMismatch, never a silent wrong answer — and the
+  /// search resumes mid-stream. Without search state the snapshot only
+  /// pre-warms the verdict cache: the verdict stream, Found/Best and
+  /// trajectory are invariant (hits replay identical verdicts); only
+  /// the cache-statistics fields and their log lines can differ.
+  const Snapshot *Resume = nullptr;
+  /// Checkpoint/snapshot traffic of this run (optional out-param).
+  /// Deliberately separate from SearchResult: checkpoint cadence is
+  /// wall-clock dependent, and SearchResult stays byte-identical
+  /// whether, and how often, a run checkpoints.
+  SnapshotStats *CkptStats = nullptr;
 };
 
 struct SearchResult {

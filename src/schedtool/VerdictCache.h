@@ -70,6 +70,11 @@ public:
     /// symmetry fold, counted separately from plain revisits.
     cfg::Fingerprint Raw;
     analysis::VerdictOutcome Verdict;
+    /// True when the entry arrived via insertSnapshot (warm-from-disk):
+    /// a hit on it is a `verdict_cache.snapshot_hits` event, telling
+    /// resume/fleet reuse apart from same-run memoization. Purely
+    /// observational — no verdict or search decision reads it.
+    bool FromSnapshot = false;
   };
 
   /// One memoized component verdict. GidMap is deliberately absent: the
@@ -79,6 +84,7 @@ public:
   struct ComponentEntry {
     cfg::Fingerprint Raw;
     analysis::VerdictOutcome Verdict;
+    bool FromSnapshot = false; ///< Same contract as Entry::FromSnapshot.
   };
 
   /// Returns the entry for \p Key, or nullptr. The pointer stays valid
@@ -124,6 +130,41 @@ public:
            "component double-insert with a differing verdict: fingerprint "
            "is not a congruence");
     (void)R;
+  }
+
+  /// Snapshot import: like insert/insertComponent but marks the entry
+  /// warm-from-disk. First insert still wins, so merging a snapshot into
+  /// a cache that already decided a key is a no-op (and never flips an
+  /// existing entry's provenance).
+  void insertSnapshot(const cfg::Fingerprint &Key, const cfg::Fingerprint &Raw,
+                      const analysis::VerdictOutcome &Verdict) {
+    if (!Verdict.decided())
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    Map.emplace(Key, Entry{Raw, Verdict, /*FromSnapshot=*/true});
+  }
+  void insertComponentSnapshot(const cfg::Fingerprint &Key,
+                               const cfg::Fingerprint &Raw,
+                               const analysis::VerdictOutcome &Verdict) {
+    if (!Verdict.decided())
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    CompMap.emplace(Key, ComponentEntry{Raw, Verdict, /*FromSnapshot=*/true});
+  }
+
+  /// Snapshot export: invokes \p Fn(Key, Entry) / \p Fn(Key,
+  /// ComponentEntry) for every entry under the lock. Iteration order is
+  /// the container's — serialization sorts by key, so snapshot bytes do
+  /// not depend on it.
+  template <typename Fn> void forEachConfig(Fn &&F) const {
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &KV : Map)
+      F(KV.first, KV.second);
+  }
+  template <typename Fn> void forEachComponent(Fn &&F) const {
+    std::lock_guard<std::mutex> Lock(M);
+    for (const auto &KV : CompMap)
+      F(KV.first, KV.second);
   }
 
   size_t size() const {

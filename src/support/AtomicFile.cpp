@@ -1,0 +1,179 @@
+//===- support/AtomicFile.cpp - Crash-safe whole-file replacement -----------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace swa;
+using namespace swa::support;
+
+namespace {
+
+/// The parsed SWA_CRASH_AFTER plan. Stage indices follow the header
+/// comment; Threshold is the 1-based occurrence (or byte count for
+/// kByte) at which the process dies.
+enum CrashStage { kNone, kByte, kWrite, kFsync, kRename, kCommit };
+
+struct CrashPlan {
+  CrashStage Stage = kNone;
+  uint64_t Threshold = 1;
+};
+
+const CrashPlan &crashPlan() {
+  static const CrashPlan Plan = [] {
+    CrashPlan P;
+    const char *Env = std::getenv("SWA_CRASH_AFTER");
+    if (!Env || !*Env)
+      return P;
+    std::string Spec(Env);
+    size_t Colon = Spec.find(':');
+    std::string Stage = Spec.substr(0, Colon);
+    if (Colon != std::string::npos) {
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Spec.c_str() + Colon + 1, &End, 10);
+      if (End && *End == '\0' && N > 0)
+        P.Threshold = N;
+    }
+    if (Stage == "byte")
+      P.Stage = kByte;
+    else if (Stage == "write")
+      P.Stage = kWrite;
+    else if (Stage == "fsync")
+      P.Stage = kFsync;
+    else if (Stage == "rename")
+      P.Stage = kRename;
+    else if (Stage == "commit")
+      P.Stage = kCommit;
+    return P;
+  }();
+  return Plan;
+}
+
+/// Process-wide occurrence counters, one per stage. Relaxed is enough:
+/// the fault campaign drives single-writer checkpoints, and an
+/// off-by-one under a racing writer only moves the injected crash, it
+/// cannot un-inject it.
+std::atomic<uint64_t> StageCount[6];
+
+/// Dies at \p Stage if the plan says so. \p Amount is 1 occurrence, or
+/// the byte count for kByte.
+void crashPoint(CrashStage Stage, uint64_t Amount = 1) {
+  const CrashPlan &Plan = crashPlan();
+  if (Plan.Stage != Stage)
+    return;
+  uint64_t Total =
+      StageCount[Stage].fetch_add(Amount, std::memory_order_relaxed) + Amount;
+  if (Total >= Plan.Threshold)
+    _exit(AtomicFile::kCrashExitCode); // crash: no flush, no atexit
+}
+
+Error ioError(const char *Op, const std::string &Path) {
+  return Error::failure(ErrorCode::Io, std::string(Op) + " " + Path +
+                                           " failed: " + std::strerror(errno));
+}
+
+/// fsyncs the directory containing \p Path so the rename itself is
+/// durable. Best-effort by contract: some filesystems reject directory
+/// fsync; the rename is still atomic, only its durability window grows.
+void fsyncParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+Error AtomicFile::open(const std::string &TargetPath) {
+  discard();
+  Path = TargetPath;
+  TmpPath = TargetPath + ".tmp";
+  Written = 0;
+  Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return ioError("open", TmpPath);
+  return Error::success();
+}
+
+Error AtomicFile::append(const void *Data, size_t Len) {
+  if (Fd < 0)
+    return Error::failure(ErrorCode::Io, "append on a closed AtomicFile");
+  const char *P = static_cast<const char *>(Data);
+  size_t Left = Len;
+  while (Left > 0) {
+    ssize_t N = ::write(Fd, P, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error E = ioError("write", TmpPath);
+      discard();
+      return E;
+    }
+    P += N;
+    Left -= static_cast<size_t>(N);
+    Written += static_cast<uint64_t>(N);
+    crashPoint(kByte, static_cast<uint64_t>(N));
+  }
+  crashPoint(kWrite);
+  return Error::success();
+}
+
+Error AtomicFile::commit() {
+  if (Fd < 0)
+    return Error::failure(ErrorCode::Io, "commit on a closed AtomicFile");
+  if (::fsync(Fd) != 0) {
+    Error E = ioError("fsync", TmpPath);
+    discard();
+    return E;
+  }
+  crashPoint(kFsync);
+  if (::close(Fd) != 0) {
+    Fd = -1;
+    Error E = ioError("close", TmpPath);
+    ::unlink(TmpPath.c_str());
+    return E;
+  }
+  Fd = -1;
+  if (::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    Error E = ioError("rename", TmpPath);
+    ::unlink(TmpPath.c_str());
+    return E;
+  }
+  crashPoint(kRename);
+  fsyncParentDir(Path);
+  crashPoint(kCommit);
+  return Error::success();
+}
+
+void AtomicFile::discard() {
+  if (Fd < 0)
+    return;
+  ::close(Fd);
+  Fd = -1;
+  ::unlink(TmpPath.c_str());
+}
+
+Error support::writeFileAtomic(const std::string &Path, const void *Data,
+                               size_t Len) {
+  AtomicFile F;
+  if (Error E = F.open(Path))
+    return E;
+  if (Error E = F.append(Data, Len))
+    return E;
+  return F.commit();
+}

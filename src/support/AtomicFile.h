@@ -1,0 +1,108 @@
+//===- support/AtomicFile.h - Crash-safe whole-file replacement -*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Write-temp + fsync + rename whole-file replacement: the durability
+/// primitive under schedtool's checkpoint snapshots. The contract is the
+/// classic POSIX one — after open(), any number of append() calls write
+/// into `<path>.tmp`; commit() fsyncs the temp file, renames it over the
+/// target, and fsyncs the containing directory. rename(2) is atomic on a
+/// POSIX filesystem, so a crash (power loss, SIGKILL, _exit) at *any*
+/// byte of the sequence leaves the target as either the complete old
+/// file or the complete new one — never a torn mixture. The temp file
+/// itself may survive a crash; it is garbage, ignored by readers, and
+/// overwritten by the next writer (stable name, no PID suffix, exactly
+/// so that retries self-clean).
+///
+/// Fault campaign hook: when the environment variable SWA_CRASH_AFTER is
+/// set, the writer deliberately dies (`_exit(kCrashExitCode)`) at a
+/// chosen point of the sequence, so tests can prove the atomicity claim
+/// byte by byte instead of asserting it. Format:
+///
+///   SWA_CRASH_AFTER=<stage>[:<n>]
+///
+/// with <stage> one of
+///   byte    die once >= n total bytes have been appended (mid-payload
+///           torn-temp crash; default n = 1)
+///   write   die after the n-th append() call returns
+///   fsync   die after the n-th temp-file fsync (data durable in the
+///           temp, rename not yet issued)
+///   rename  die after the n-th rename (target replaced, directory entry
+///           possibly not yet durable)
+///   commit  die after the n-th fully completed commit()
+///
+/// Occurrences are counted process-wide, so `commit:3` means "die at the
+/// third checkpoint" regardless of which AtomicFile instance writes it.
+/// The hook costs one getenv on first use and nothing when unset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_ATOMICFILE_H
+#define SWA_SUPPORT_ATOMICFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace swa {
+namespace support {
+
+class AtomicFile {
+public:
+  /// Exit code of an SWA_CRASH_AFTER-injected crash (distinct from every
+  /// exit code the tools use, so harnesses can tell an injected crash
+  /// from a real failure).
+  static constexpr int kCrashExitCode = 87;
+
+  AtomicFile() = default;
+  ~AtomicFile() { discard(); }
+  AtomicFile(const AtomicFile &) = delete;
+  AtomicFile &operator=(const AtomicFile &) = delete;
+
+  /// Opens (creates/truncates) `<path>.tmp` for writing. Typed
+  /// ErrorCode::Io on failure.
+  Error open(const std::string &Path);
+
+  /// Appends \p Len bytes to the temp file. Typed ErrorCode::Io on
+  /// failure (the temp is discarded; the target is untouched).
+  Error append(const void *Data, size_t Len);
+
+  /// fsync + rename over the target + directory fsync. On success the
+  /// target durably holds exactly the appended bytes. On failure the
+  /// temp is discarded and the old target is intact. The file is closed
+  /// either way; the instance can be reused via open().
+  Error commit();
+
+  /// Closes and unlinks the temp file without touching the target.
+  /// Idempotent; called by the destructor for never-committed files, so
+  /// an abandoned write (error path, cancel) leaves nothing behind.
+  void discard();
+
+  /// True between a successful open() and commit()/discard().
+  bool isOpen() const { return Fd >= 0; }
+
+  /// Bytes appended since open().
+  uint64_t bytesWritten() const { return Written; }
+
+  /// The temp path writes go to (valid after open()).
+  const std::string &tempPath() const { return TmpPath; }
+
+private:
+  int Fd = -1;
+  std::string Path;
+  std::string TmpPath;
+  uint64_t Written = 0;
+};
+
+/// One-shot convenience: atomically replaces \p Path with \p Len bytes at
+/// \p Data.
+Error writeFileAtomic(const std::string &Path, const void *Data, size_t Len);
+
+} // namespace support
+} // namespace swa
+
+#endif // SWA_SUPPORT_ATOMICFILE_H

@@ -1,0 +1,66 @@
+//===- support/Crc32.h - CRC-32 (IEEE 802.3) checksums ----------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checksum of the durable-search snapshot format: CRC-32 with the
+/// reflected IEEE polynomial 0xEDB88320 (the zlib/PNG CRC), computed over
+/// raw bytes so the value is independent of host endianness and word
+/// size. Used per record payload *and* accumulated over the whole file
+/// (support::AtomicFile writes, schedtool::Snapshot frames), so both a
+/// flipped bit inside a record and a flipped bit in the framing itself
+/// are detected.
+///
+/// The running form (seed in, crc out) lets writers checksum a stream
+/// incrementally without buffering it: crc32(b, n, crc32(a, m)) ==
+/// crc32(concat(a, b), m + n).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_CRC32_H
+#define SWA_SUPPORT_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swa {
+namespace support {
+
+namespace detail {
+/// The 256-entry table for the reflected polynomial, built once per
+/// process (thread-safe per C++11 static-local rules).
+inline const uint32_t *crc32Table() {
+  static const auto Table = [] {
+    struct T {
+      uint32_t E[256];
+    } T;
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? (0xEDB88320u ^ (C >> 1)) : (C >> 1);
+      T.E[I] = C;
+    }
+    return T;
+  }();
+  return Table.E;
+}
+} // namespace detail
+
+/// CRC-32 of \p Len bytes at \p Data, continuing from \p Seed (pass the
+/// previous call's return value to checksum a stream piecewise; the
+/// default starts a fresh checksum).
+inline uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0) {
+  const uint32_t *Table = detail::crc32Table();
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+} // namespace support
+} // namespace swa
+
+#endif // SWA_SUPPORT_CRC32_H

@@ -24,7 +24,28 @@
 
 namespace swa {
 
-/// A recoverable error: a human-readable message describing what went wrong.
+/// Machine-checkable failure categories. Most library errors are Generic
+/// (the message is the whole story); the durable-search layer needs
+/// callers to branch on *why* a snapshot was rejected — corrupt files
+/// degrade to a cold start, I/O failures are retried, version skew is
+/// reported to the operator — without string matching, so those paths
+/// attach a code. The taxonomy is deliberately small: add a code only
+/// when some caller dispatches on it.
+enum class ErrorCode {
+  Generic,                ///< Uncategorized; message-only errors.
+  Io,                     ///< open/write/fsync/rename/read failed.
+  SnapshotTruncated,      ///< File ends mid-header or mid-record.
+  SnapshotCorrupt,        ///< Bad magic, CRC mismatch, malformed payload.
+  SnapshotVersionSkew,    ///< Format version this reader does not speak.
+  SnapshotEndianMismatch, ///< Written by a foreign-endian encoder.
+  SnapshotMismatch,       ///< Valid snapshot, wrong problem (seed/base).
+};
+
+/// Stable lower-case name for an ErrorCode (log/CLI output).
+const char *errorCodeName(ErrorCode Code);
+
+/// A recoverable error: a human-readable message describing what went wrong,
+/// plus an optional machine-checkable ErrorCode.
 ///
 /// Messages follow tool conventions: lower-case first letter, no trailing
 /// period. An empty-message Error still counts as an error state; use
@@ -42,6 +63,14 @@ public:
     return E;
   }
 
+  /// Constructs a typed failure: \p Code says what class of problem this
+  /// is, \p Message describes the instance.
+  static Error failure(ErrorCode Code, std::string Message) {
+    Error E = failure(std::move(Message));
+    E.Code = Code;
+    return E;
+  }
+
   /// True when this represents a failure.
   explicit operator bool() const { return Failed; }
 
@@ -53,19 +82,48 @@ public:
     return Message;
   }
 
+  /// The failure category; ErrorCode::Generic unless the producer
+  /// attached one. Only valid on failures.
+  ErrorCode code() const {
+    assert(Failed && "code() on a success Error");
+    return Code;
+  }
+
   /// Prepends context to the message, building "context: original".
+  /// The ErrorCode is preserved.
   Error withContext(const std::string &Context) const {
     if (!Failed)
       return Error::success();
-    return Error::failure(Context + ": " + Message);
+    return Error::failure(Code, Context + ": " + Message);
   }
 
 private:
   Error() = default;
 
   bool Failed = false;
+  ErrorCode Code = ErrorCode::Generic;
   std::string Message;
 };
+
+inline const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Generic:
+    return "generic";
+  case ErrorCode::Io:
+    return "io";
+  case ErrorCode::SnapshotTruncated:
+    return "snapshot-truncated";
+  case ErrorCode::SnapshotCorrupt:
+    return "snapshot-corrupt";
+  case ErrorCode::SnapshotVersionSkew:
+    return "snapshot-version-skew";
+  case ErrorCode::SnapshotEndianMismatch:
+    return "snapshot-endian-mismatch";
+  case ErrorCode::SnapshotMismatch:
+    return "snapshot-mismatch";
+  }
+  return "unknown";
+}
 
 /// Holds either a value of type T or an Error.
 ///

@@ -16,6 +16,7 @@
 #ifndef SWA_SUPPORT_RNG_H
 #define SWA_SUPPORT_RNG_H
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -80,6 +81,17 @@ public:
   template <typename T> void shuffle(std::vector<T> &V) {
     for (size_t I = V.size(); I > 1; --I)
       std::swap(V[I - 1], V[index(I)]);
+  }
+
+  /// The raw xoshiro state, for checkpointing a generator mid-stream
+  /// (schedtool::Snapshot): restoring a saved state resumes the exact
+  /// draw sequence, so a resumed search replays the uninterrupted one.
+  std::array<uint64_t, 4> saveState() const {
+    return {State[0], State[1], State[2], State[3]};
+  }
+  void restoreState(const std::array<uint64_t, 4> &S) {
+    for (size_t I = 0; I < 4; ++I)
+      State[I] = S[I];
   }
 
 private:

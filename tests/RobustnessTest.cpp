@@ -20,6 +20,7 @@
 #include "gen/Workload.h"
 #include "nsa/Simulator.h"
 #include "schedtool/ConfigSearch.h"
+#include "schedtool/Snapshot.h"
 #include "support/CancelToken.h"
 #include "support/MathExtras.h"
 #include "tests/TestConfigs.h"
@@ -27,6 +28,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <thread>
 
@@ -673,6 +676,90 @@ TEST(GuardRails, WatchdogCancelEndsIncrementalSearchMidRun) {
     if (Line.find("cancelled") != std::string::npos)
       Logged = true;
   EXPECT_TRUE(Logged) << "no cancellation note in the search log";
+}
+
+TEST(GuardRails, WatchdogCancelStillFlushesTheTerminalCheckpoint) {
+  // Cancellation races the checkpoint writer: a watchdog fires while
+  // rounds (and possibly a periodic snapshot write) are in flight. The
+  // contract is that the interruption itself is made durable — the
+  // terminal flush lands after the cancel marks, so the snapshot on disk
+  // carries the Cancelled flag, the cancel log line, and the StopReason
+  // tallies of the interrupted run — and that no half-written temp file
+  // is left behind.
+  std::string Path = testing::TempDir() + "swa_robust_cancel_ckpt.bin";
+  std::remove(Path.c_str());
+  schedtool::SearchProblem Problem;
+  Problem.Base = unwinnableDecoupledProblem();
+  Problem.Seed = 23;
+  Problem.MaxIterations = 5000000;
+  Problem.CheckpointPath = Path;
+  schedtool::SnapshotStats Stats;
+  Problem.CkptStats = &Stats;
+  CancelToken Tok;
+  Problem.Cancel = &Tok;
+
+  std::thread Watchdog([&Tok] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Tok.cancel();
+  });
+  auto Res = schedtool::searchConfiguration(Problem);
+  Watchdog.join();
+
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_TRUE(Res->Cancelled);
+  EXPECT_EQ(Stats.WriteFailures, 0u) << Stats.LastError;
+  EXPECT_GT(Stats.SnapshotsWritten, 0u);
+
+  std::ifstream Tmp(Path + ".tmp");
+  EXPECT_FALSE(Tmp.good()) << "temp file left behind: " << Path << ".tmp";
+
+  auto L = schedtool::loadSnapshot(Path);
+  ASSERT_TRUE(L.ok()) << L.error().message();
+  EXPECT_TRUE(L->HasSearchState);
+  EXPECT_TRUE(L->Res.Cancelled);
+  EXPECT_EQ(L->Res.Log, Res->Log);
+  EXPECT_EQ(L->Res.StopReasonCounts, Res->StopReasonCounts);
+  EXPECT_EQ(L->Res.ConfigurationsEvaluated, Res->ConfigurationsEvaluated);
+  EXPECT_EQ(L->Res.CandidatesSkipped, Res->CandidatesSkipped);
+  std::remove(Path.c_str());
+}
+
+TEST(GuardRails, BudgetExpiryDuringCheckpointedSearchKeepsStopReasons) {
+  // A zero per-candidate budget skips every evaluation; with
+  // checkpointing on, the skips and their BudgetExceeded tallies must
+  // survive the round-trip through the terminal snapshot, the search
+  // result must be byte-identical to the uncheckpointed run, and no
+  // temp file may outlive the search.
+  schedtool::SearchProblem Problem;
+  Problem.Base = unwinnableDecoupledProblem();
+  Problem.Seed = 5;
+  Problem.MaxIterations = 12;
+  Problem.CandidateBudgetMs = 0;
+  auto Plain = schedtool::searchConfiguration(Problem);
+  ASSERT_TRUE(Plain.ok()) << Plain.error().message();
+
+  std::string Path = testing::TempDir() + "swa_robust_budget_ckpt.bin";
+  std::remove(Path.c_str());
+  Problem.CheckpointPath = Path;
+  schedtool::SnapshotStats Stats;
+  Problem.CkptStats = &Stats;
+  auto Res = schedtool::searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  EXPECT_EQ(Res->Log, Plain->Log);
+  EXPECT_EQ(Res->StopReasonCounts, Plain->StopReasonCounts);
+  EXPECT_EQ(Res->CandidatesSkipped, Plain->CandidatesSkipped);
+  EXPECT_GT(Stats.SnapshotsWritten, 0u);
+
+  std::ifstream Tmp(Path + ".tmp");
+  EXPECT_FALSE(Tmp.good()) << "temp file left behind: " << Path << ".tmp";
+
+  auto L = schedtool::loadSnapshot(Path);
+  ASSERT_TRUE(L.ok()) << L.error().message();
+  EXPECT_EQ(
+      L->Res.StopReasonCounts[static_cast<int>(nsa::StopReason::BudgetExceeded)],
+      12);
+  EXPECT_EQ(L->Res.CandidatesSkipped, 12);
+  std::remove(Path.c_str());
 }
 
 int main(int argc, char **argv) {
