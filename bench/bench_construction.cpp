@@ -47,6 +47,44 @@ BENCHMARK(BM_BuildModel)
     ->Arg(12500)
     ->Unit(benchmark::kMillisecond);
 
+// Construction with a warm shape-keyed bytecode cache: the USL
+// compilation of every guard/invariant/update site is reused from a
+// previous same-shape build (window tables are data, not code), so the
+// steady-state rebuild pays structure + binding only. Compare against
+// BM_BuildModel at the same argument — the gap is what an arena miss
+// costs a search *after* the first candidate of each shape.
+static void BM_BuildModelSharedBytecode(benchmark::State &State) {
+  int64_t TargetJobs = State.range(0);
+  cfg::Config Config = gen::industrialConfigWithJobs(TargetJobs, /*Seed=*/1);
+  core::BytecodeCache Cache;
+  // The first build compiles and seeds the cache; every timed build hits.
+  Result<core::BuiltModel> Warm =
+      core::buildModel(Config, /*PublishMetrics=*/false, &Cache);
+  if (!Warm.ok()) {
+    State.SkipWithError(Warm.error().message().c_str());
+    return;
+  }
+  size_t Automata = 0;
+  for (auto _ : State) {
+    Result<core::BuiltModel> Model =
+        core::buildModel(Config, /*PublishMetrics=*/false, &Cache);
+    if (!Model.ok()) {
+      State.SkipWithError(Model.error().message().c_str());
+      return;
+    }
+    Automata = Model->Net->Automata.size();
+    benchmark::DoNotOptimize(Model->Net);
+  }
+  State.counters["jobs"] = static_cast<double>(Config.jobCount());
+  State.counters["automata"] = static_cast<double>(Automata);
+  State.counters["bytecode_shapes"] = static_cast<double>(Cache.size());
+}
+BENCHMARK(BM_BuildModelSharedBytecode)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
 // The front-end alone: parsing + type checking the component library
 // against a configuration-sized set of global declarations.
 static void BM_CompileComponentLibrary(benchmark::State &State) {

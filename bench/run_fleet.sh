@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+#===- bench/run_fleet.sh - Record the fleet-scaling axis -----------------===#
+#
+# Part of the swa-sched project.
+#
+# Runs the fleet-search benchmarks (bench_schedtool BM_SearchFleet: the
+# E9 fleet-size axis 1/2/4 with aggregate fleet_candidates_per_sec and
+# peer_hit_rate, plus bench_construction's shared-bytecode rows) and
+# writes one merged JSON at the repo root:
+#
+#   $ bench/run_fleet.sh [--record out-file] [build-dir]
+#
+# Defaults: build-dir = build-release, out-file = BENCH_PR10.json.
+# Commit the output; gate later PRs with
+#
+#   $ bench/compare_bench.py BENCH_PR10.json <current>.json
+#
+# (fleet_candidates_per_sec is in compare_bench.py's default watched
+# set, so a vanished or regressed fleet series fails the gate.)
+#
+# Same Release-only discipline as run_baseline.sh: the build directory
+# must be configured Release (checked via CMakeCache.txt; configured on
+# the spot when missing) and a binary self-reporting a debug
+# swa_build_type aborts the recording.
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+RECORD=""
+while :; do
+  case "${1:-}" in
+  --record)
+    if [ -z "${2:-}" ]; then
+      echo "error: --record needs an output file name" >&2
+      exit 2
+    fi
+    RECORD="$2"
+    shift 2
+    ;;
+  *)
+    break
+    ;;
+  esac
+done
+BUILD="${1:-build-release}"
+OUT="${RECORD:-BENCH_PR10.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCHES=(bench_schedtool bench_construction)
+FILTERS=('BM_SearchFleet|BM_SearchAtUtilization|BM_SearchNeighborhood'
+         'BM_BuildModel')
+
+CACHE="$ROOT/$BUILD/CMakeCache.txt"
+if [ ! -f "$CACHE" ]; then
+  echo "== configuring $BUILD (Release) ==" >&2
+  cmake -S "$ROOT" -B "$ROOT/$BUILD" -DCMAKE_BUILD_TYPE=Release >&2
+  CACHE="$ROOT/$BUILD/CMakeCache.txt"
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+if [ "$BUILD_TYPE" != "Release" ] && [ "$BUILD_TYPE" != "RelWithDebInfo" ]; then
+  echo "error: $BUILD is configured as '${BUILD_TYPE:-<empty>}', not Release." >&2
+  echo "A perf baseline from a debug build is not comparable; reconfigure:" >&2
+  echo "  cmake -S . -B $BUILD -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+check_context() { # <json> <name>
+  local SWA
+  SWA="$(jq -r '.context.swa_build_type // empty' "$1")"
+  if [ "$SWA" != "release" ]; then
+    echo "error: $2 reports swa_build_type=${SWA:-<absent>}; refusing" >&2
+    echo "to record a non-release fleet baseline." >&2
+    exit 1
+  fi
+}
+
+for I in "${!BENCHES[@]}"; do
+  B="${BENCHES[$I]}"
+  BIN="$ROOT/$BUILD/bench/$B"
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run: cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+  echo "== $B ==" >&2
+  "$BIN" --metrics --benchmark_filter="${FILTERS[$I]}" \
+    --benchmark_out="$TMP/$B.json" --benchmark_out_format=json >&2
+  check_context "$TMP/$B.json" "$B"
+  jq --arg bin "$B" \
+    '.benchmarks = [.benchmarks[]? + {binary: $bin}]' \
+    "$TMP/$B.json" > "$TMP/$B.tagged.json"
+done
+
+TAGGED=()
+for B in "${BENCHES[@]}"; do
+  TAGGED+=("$TMP/$B.tagged.json")
+done
+jq -s '{context: .[0].context, benchmarks: (map(.benchmarks) | add)}' \
+  "${TAGGED[@]}" > "$ROOT/$OUT"
+echo "wrote $ROOT/$OUT" >&2

@@ -167,7 +167,8 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
   }
 
   Result<core::BuiltModel> Model =
-      core::buildModel(Config, /*PublishMetrics=*/Arena == nullptr);
+      core::buildModel(Config, /*PublishMetrics=*/Arena == nullptr,
+                       Arena ? Arena->sharedBytecode() : nullptr);
   if (!Model.ok())
     return Model.takeError();
 
@@ -180,7 +181,8 @@ swa::analysis::analyzeVerdictOnly(const cfg::Config &Config,
       return runVerdictOn(S->Model, *S->Sim, Config, SimOptions);
     // emplace declined (foreign model): *Model was consumed, rebuild.
     Result<core::BuiltModel> Fresh =
-        core::buildModel(Config, /*PublishMetrics=*/false);
+        core::buildModel(Config, /*PublishMetrics=*/false,
+                         Arena->sharedBytecode());
     if (!Fresh.ok())
       return Fresh.takeError();
     nsa::Simulator Sim(*Fresh->Net);

@@ -76,10 +76,19 @@ public:
 
   size_t size() const { return Slots.size(); }
 
+  /// Attaches a (possibly shared) compiled-bytecode cache that arena
+  /// *misses* consult: a rebuild of a shape any arena in the pool has
+  /// compiled before injects the cached bytecode instead of recompiling
+  /// (see core::BytecodeCache). The cache is thread-safe and its entries
+  /// immutable, so many per-worker arenas may share one. Not owned.
+  void setSharedBytecode(core::BytecodeCache *BC) { Bytecode = BC; }
+  core::BytecodeCache *sharedBytecode() const { return Bytecode; }
+
 private:
   std::list<Slot> Slots;
   size_t Capacity;
   uint64_t Tick = 0;
+  core::BytecodeCache *Bytecode = nullptr;
 };
 
 } // namespace analysis

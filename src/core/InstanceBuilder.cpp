@@ -67,7 +67,8 @@ CoreWindowTable coreWindowTable(const cfg::Config &Config, size_t C) {
 } // namespace
 
 Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config,
-                                         bool PublishMetrics) {
+                                         bool PublishMetrics,
+                                         BytecodeCache *Bytecode) {
   obs::ScopedTimer Timer("build");
   if (Error E = Config.validate())
     return E.withContext("invalid configuration");
@@ -196,8 +197,25 @@ Result<BuiltModel> swa::core::buildModel(const cfg::Config &Config,
   // component models), then compile all USL code to bytecode.
   if (Error E = sa::checkNetwork(*Out.Net))
     return E.withContext("model validation");
-  if (Error E = sa::compileNetwork(*Out.Net))
-    return E;
+  // Same-shape configs compile to identical bytecode (the window tables
+  // are data, not code), so consult the shape-keyed cache before paying
+  // for compilation. Inject falls back to compiling defensively if the
+  // cached site walk somehow disagrees.
+  std::shared_ptr<const sa::NetworkBytecode> Cached;
+  cfg::Fingerprint Shape;
+  if (Bytecode) {
+    Shape = cfg::fingerprintShape(Config);
+    Cached = Bytecode->lookup(Shape);
+  }
+  if (!Cached || !sa::injectBytecode(*Out.Net, *Cached)) {
+    if (Error E = sa::compileNetwork(*Out.Net))
+      return E;
+    if (Bytecode) {
+      auto BC = std::make_shared<sa::NetworkBytecode>();
+      sa::extractBytecode(*Out.Net, *BC);
+      Bytecode->insert(Shape, std::move(BC));
+    }
+  }
   Out.Net->Meta["horizon"] = L;
   Out.Net->Meta["numTasks"] = NT;
 

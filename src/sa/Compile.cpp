@@ -78,6 +78,62 @@ Error swa::sa::compileNetwork(Network &Net) {
   return Error::success();
 }
 
+// The one definition of the cacheable-site walk: visits every bytecode
+// slot of the network in the exact order compileNetwork fills them, so
+// extract and inject can never disagree with each other or with the
+// compiler about which sites exist.
+template <typename Fn> static void forEachCodeSite(sa::Network &Net, Fn F) {
+  for (usl::Code &C : Net.FuncCode)
+    F(C);
+  for (std::unique_ptr<Automaton> &A : Net.Automata) {
+    for (Location &L : A->Locations) {
+      if (L.DataInvariant)
+        F(L.DataInvariantCode);
+      for (ClockUpper &U : L.Uppers)
+        F(U.BoundCode);
+      for (RateCond &R : L.Rates)
+        F(R.RateCode);
+    }
+    for (Edge &E : A->Edges) {
+      if (E.DataGuard)
+        F(E.DataGuardCode);
+      for (ClockGuard &CG : E.ClockGuards)
+        F(CG.BoundCode);
+      if (E.Sync && E.Sync->Index)
+        F(E.Sync->IndexCode);
+      if (!E.Update.empty())
+        F(E.UpdateCode);
+    }
+  }
+}
+
+void swa::sa::extractBytecode(const Network &Net, NetworkBytecode &Out) {
+  Out.Sites.clear();
+  // compileNetwork sized FuncCode to FuncTable; walking needs mutable
+  // references only for the inject direction.
+  forEachCodeSite(const_cast<Network &>(Net),
+                  [&](usl::Code &C) { Out.Sites.push_back(C); });
+}
+
+bool swa::sa::injectBytecode(Network &Net, const NetworkBytecode &BC) {
+  // compileNetwork fills FuncCode itself; the walk below only visits
+  // existing slots, so size it first exactly as the compiler would.
+  Net.FuncCode.assign(Net.Bind.FuncTable.size(), usl::Code());
+  size_t I = 0;
+  bool Ok = true;
+  forEachCodeSite(Net, [&](usl::Code &C) {
+    if (I < BC.Sites.size())
+      C = BC.Sites[I];
+    else
+      Ok = false;
+    ++I;
+  });
+  if (Ok && I == BC.Sites.size())
+    return true;
+  stripBytecode(Net);
+  return false;
+}
+
 void swa::sa::stripBytecode(Network &Net) {
   Net.FuncCode.clear();
   for (auto &A : Net.Automata) {

@@ -31,6 +31,27 @@ Error compileNetwork(Network &Net);
 /// differential harness's VM-vs-interpreter oracle pair.
 void stripBytecode(Network &Net);
 
+/// A network's compiled bytecode, detached from the network: every code
+/// site in the deterministic walk order of compileNetwork (functions,
+/// then per automaton: location invariants/bounds/rates, then edge
+/// guards/bounds/sync indices/updates). Two networks built from configs
+/// with the same *shape fingerprint* (cfg::fingerprintShape) have
+/// identical site walks and identical USL sources — their bytecode is
+/// interchangeable, which is what core::BytecodeCache exploits to skip
+/// recompilation across candidate evaluations.
+struct NetworkBytecode {
+  std::vector<usl::Code> Sites;
+};
+
+/// Copies all bytecode of \p Net (which must have been compiled) into
+/// \p Out in walk order.
+void extractBytecode(const Network &Net, NetworkBytecode &Out);
+
+/// Installs \p BC into \p Net, site by site in walk order. Returns false
+/// (leaving Net without bytecode — the caller recompiles) when the site
+/// walks disagree, i.e. the cached bytecode is from a different shape.
+bool injectBytecode(Network &Net, const NetworkBytecode &BC);
+
 } // namespace sa
 } // namespace swa
 

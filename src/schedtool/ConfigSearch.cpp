@@ -13,7 +13,9 @@
 #include "obs/Metrics.h"
 #include "obs/Span.h"
 #include "obs/Timer.h"
+#include "schedtool/Exchange.h"
 #include "schedtool/Snapshot.h"
+#include "schedtool/Strategy.h"
 #include "schedtool/VerdictCache.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
@@ -27,6 +29,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 using namespace swa;
@@ -200,18 +203,10 @@ struct UniqueSim {
   int ItemSlot = -1;
 };
 
-/// The mutation delta candidate J applied to the round's base (candidate
-/// 0): which partitions' boosts were resampled, and the endpoints of the
-/// random rebind (RebindPart < 0 when none, or when the rebind drew the
-/// partition's current core — a no-op). Recorded during generation
-/// without touching the RNG call sequence, so candidate configs are
-/// byte-identical with dirty tracking on or off.
-struct Delta {
-  std::vector<int32_t> BoostChanged;
-  int32_t RebindPart = -1;
-  int32_t OldCore = -1;
-  int32_t NewCore = -1;
-};
+// The per-candidate mutation delta (schedtool::Mutation, Strategy.h) is
+// recorded by Strategy::perturb during generation without touching the
+// RNG call sequence, so candidate configs are byte-identical with dirty
+// tracking on or off.
 
 /// The round base's decomposition state, computed lazily on the first
 /// candidate that plans incrementally: component structure of candidate
@@ -236,8 +231,15 @@ class ArenaPool {
 public:
   std::unique_ptr<analysis::ModelArena> acquire() {
     std::lock_guard<std::mutex> Lock(M);
-    if (Free.empty())
-      return std::make_unique<analysis::ModelArena>();
+    if (Free.empty()) {
+      // Every arena of the pool shares one compiled-bytecode cache:
+      // compilation is shape-keyed and its output immutable, so one
+      // worker's compile pays for every worker's rebuild of that shape
+      // (core::BytecodeCache — wall-clock only, never verdicts).
+      auto A = std::make_unique<analysis::ModelArena>();
+      A->setSharedBytecode(&Bytecode);
+      return A;
+    }
     std::unique_ptr<analysis::ModelArena> A = std::move(Free.back());
     Free.pop_back();
     return A;
@@ -250,6 +252,7 @@ public:
 private:
   std::mutex M;
   std::vector<std::unique_ptr<analysis::ModelArena>> Free;
+  core::BytecodeCache Bytecode;
 };
 
 /// RAII lease of one arena for one work item (no-op on a null pool).
@@ -316,6 +319,15 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   SearchResult Res;
   Rng R(Problem.Seed);
 
+  // The metaheuristic: explicit (portfolio worker) or the built-in local
+  // search, which reproduces the historical loop draw for draw.
+  std::unique_ptr<Strategy> DefaultStrat;
+  Strategy *Strat = Problem.Strat;
+  if (!Strat) {
+    DefaultStrat = makeStrategy("local");
+    Strat = DefaultStrat.get();
+  }
+
   // Counters live in the registry (stable addresses within this thread's
   // shard), cached here so the loop pays one pointer test per event when
   // metrics are off. Only the calling thread touches these; workers
@@ -381,7 +393,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
   std::vector<int> Src;
   std::vector<int> SimList;
   std::vector<CandPlan> Plans;
-  std::vector<Delta> Deltas;
+  std::vector<Mutation> Deltas;
   std::vector<UniqueSim> UniqueSims;
   std::unordered_map<cfg::Fingerprint, int, cfg::FingerprintHash> UniqueOf;
   BaseRound Base;
@@ -444,6 +456,21 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       Res = S.Res;
       Iter = S.Iter;
       Round = S.NextRound;
+      // The strategy resumes mid-stream too: a snapshot written under a
+      // different metaheuristic must not silently continue as this one
+      // (the candidate stream would diverge from both runs). Pre-PR-10
+      // snapshots carry no name; they were always the local strategy.
+      std::string SnapStrat =
+          S.StrategyName.empty() ? "local" : S.StrategyName;
+      if (SnapStrat != Strat->name())
+        return Error::failure(
+            ErrorCode::SnapshotMismatch,
+            formatString("snapshot strategy '%s' does not match this "
+                         "search's strategy '%s'",
+                         SnapStrat.c_str(), Strat->name()));
+      if (!Strat->loadState(S.StrategyState.data(), S.StrategyState.size()))
+        return Error::failure(ErrorCode::SnapshotCorrupt,
+                              "malformed strategy state in snapshot");
     }
     auto [NCfg, NComp] = S.seedCache(Cache);
     if (Problem.CkptStats) {
@@ -479,6 +506,8 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     S.Current = Current;
     S.Boost = Boost;
     S.Res = Res;
+    S.StrategyName = Strat->name();
+    Strat->saveState(S.StrategyState);
     if (Error E =
             saveSnapshot(S, Problem.CheckpointPath, Problem.CkptStats)) {
       if (Problem.CkptStats) {
@@ -517,37 +546,20 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     RoundSpan.arg("n", N);
 
     // Candidate 0 is the current adaptive state; candidates 1..N-1 are
-    // seeded perturbations of it (boost resampling, an occasional random
-    // rebind). Generation is serial and depends only on (Seed, Round, J).
+    // seeded perturbations of it, delegated to the strategy. Generation
+    // is serial and depends only on (Seed, Round, J) and the strategy's
+    // deterministic state.
     Cands.assign(static_cast<size_t>(N), Candidate());
     Evals.assign(static_cast<size_t>(N), Eval());
-    Deltas.assign(static_cast<size_t>(N), Delta());
+    Deltas.assign(static_cast<size_t>(N), Mutation());
     for (int J = 0; J < N; ++J) {
       Candidate &C = Cands[static_cast<size_t>(J)];
-      Delta &DJ = Deltas[static_cast<size_t>(J)];
+      Mutation &DJ = Deltas[static_cast<size_t>(J)];
       C.Config = Current;
       C.Boost = Boost;
       if (J > 0) {
         Rng PJ(candidateSeed(Problem.Seed, Round, J));
-        for (size_t P = 0; P < C.Boost.size(); ++P)
-          if (PJ.chance(0.4)) {
-            C.Boost[P] =
-                Problem.MinBoost +
-                PJ.uniformDouble() * (Problem.MaxBoost - Problem.MinBoost);
-            DJ.BoostChanged.push_back(static_cast<int32_t>(P));
-          }
-        if (!C.Config.Partitions.empty() && !C.Config.Cores.empty() &&
-            PJ.chance(0.3)) {
-          size_t P = PJ.index(C.Config.Partitions.size());
-          int NewCore = static_cast<int>(PJ.index(C.Config.Cores.size()));
-          int OldCore = C.Config.Partitions[P].Core;
-          C.Config.Partitions[P].Core = NewCore;
-          if (NewCore != OldCore) {
-            DJ.RebindPart = static_cast<int32_t>(P);
-            DJ.OldCore = OldCore;
-            DJ.NewCore = NewCore;
-          }
-        }
+        Strat->perturb(PJ, Problem, C.Config, C.Boost, DJ);
       }
       synthesizeWindows(C.Config, C.Boost);
       if (Error E = C.Config.validate())
@@ -571,6 +583,77 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     const int RoundCompMisses0 = Res.ComponentCacheMisses;
     const int RoundDirty0 = Res.DirtyComponents;
     const int RoundClean0 = Res.CleanComponentsReused;
+
+    // Per-round acceleration statistics: round-summary log lines plus
+    // the matching obs counter deltas. One flush per round, invoked both
+    // at the normal round end and on the found-and-returning path — the
+    // finding round's deltas used to be dropped on the latter, leaving
+    // the schedtool.* counters short of the SearchResult stats the
+    // report prints (the BENCH_PR9 stats-vs-counters skew). Only emitted
+    // when the matching layer is on, so a layers-off log is exactly the
+    // per-iteration lines — and the values themselves are serial-path
+    // facts, identical for every Workers/BatchSize.
+    auto FlushRoundStats = [&]() {
+      if (Problem.UseVerdictCache) {
+        Res.Log.push_back(formatString(
+            "round %d: cache %d hits / %d misses / %d folds / %d dups "
+            "(%d entries)",
+            Round, Res.CacheHits - RoundHits0, Res.CacheMisses - RoundMisses0,
+            Res.SymmetryFolds - RoundFolds0,
+            Res.DuplicateCandidates - RoundDups0,
+            static_cast<int>(Cache.size())));
+        if (HitC) {
+          HitC->add(static_cast<uint64_t>(Res.CacheHits - RoundHits0));
+          MissC->add(static_cast<uint64_t>(Res.CacheMisses - RoundMisses0));
+          FoldC->add(static_cast<uint64_t>(Res.SymmetryFolds - RoundFolds0));
+        }
+      }
+      if (Problem.UseDecomposition) {
+        Res.Log.push_back(formatString(
+            "round %d: decomposed %d/%d simulated candidates into %d "
+            "components",
+            Round, Res.DecomposedCandidates - RoundDecomp0,
+            static_cast<int>(SimList.size()),
+            Res.ComponentsSimulated - RoundComps0));
+        if (DecompC) {
+          DecompC->add(
+              static_cast<uint64_t>(Res.DecomposedCandidates - RoundDecomp0));
+          CompC->add(
+              static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
+        }
+      }
+      if (CompCache) {
+        Res.Log.push_back(formatString(
+            "round %d: component cache %d hits / %d misses / %d simulated "
+            "(%d entries)",
+            Round, Res.ComponentCacheHits - RoundCompHits0,
+            Res.ComponentCacheMisses - RoundCompMisses0,
+            Res.ComponentsSimulated - RoundComps0,
+            static_cast<int>(Cache.componentSize())));
+        if (CompHitC) {
+          CompHitC->add(
+              static_cast<uint64_t>(Res.ComponentCacheHits - RoundCompHits0));
+          CompMissC->add(static_cast<uint64_t>(Res.ComponentCacheMisses -
+                                               RoundCompMisses0));
+        }
+      }
+      if (Incremental) {
+        Res.Log.push_back(formatString(
+            "round %d: incremental %d dirty / %d clean components", Round,
+            Res.DirtyComponents - RoundDirty0,
+            Res.CleanComponentsReused - RoundClean0));
+        if (DirtyC) {
+          DirtyC->add(
+              static_cast<uint64_t>(Res.DirtyComponents - RoundDirty0));
+          CleanC->add(
+              static_cast<uint64_t>(Res.CleanComponentsReused - RoundClean0));
+        }
+      }
+      if (SimC)
+        SimC->add(
+            static_cast<uint64_t>(Res.SimulationsRun - RoundSims0) +
+            static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
+    };
     SimList.clear();
     DupOf.assign(static_cast<size_t>(N), -1);
     Src.assign(static_cast<size_t>(N), 0);
@@ -688,7 +771,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         return false;
       EnsureBase();
       const Candidate &C = Cands[static_cast<size_t>(J)];
-      const Delta &DJ = Deltas[static_cast<size_t>(J)];
+      const Mutation &DJ = Deltas[static_cast<size_t>(J)];
       CandPlan &Plan = Plans[static_cast<size_t>(J)];
       const cfg::ComponentStructure *S = &Base.S;
       cfg::ComponentStructure LocalS;
@@ -850,7 +933,7 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
     // race on the registry — and the merged totals stay identical because
     // every item publishes the same numbers on whichever thread runs it.
     ItemEvals.assign(Items.size(), Eval());
-    Pool.parallelFor(static_cast<int>(Items.size()), [&](int I) {
+    auto RunItem = [&](int I) {
       const WorkItem &It = Items[static_cast<size_t>(I)];
       obs::Span ItemSpan(It.Comp == WorkItem::kMonolithic
                              ? "simulate.monolithic"
@@ -954,7 +1037,148 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       } else {
         E.ErrMsg = Out.error().message();
       }
-    });
+    };
+
+    if (!Problem.Ex) {
+      Pool.parallelFor(static_cast<int>(Items.size()), RunItem);
+    } else {
+      // Fleet exchange (Exchange.h). An item's verdict can come from a
+      // peer's publication instead of a local simulation; since the
+      // simulator is deterministic, the fetched verdict equals the one
+      // RunItem would compute, and since every SearchResult statistic
+      // was fixed on the serial consult/planning path above, swapping
+      // execution for a fetch is observationally invisible — the result
+      // stays byte-identical to the exchange-free run.
+      //
+      // Exchangeable items are those a peer publishes under a cache key:
+      // monolithic and capped-chain items under the candidate's config
+      // fingerprint (the whole-config cache already equates a merged
+      // chain verdict with the monolithic one — see the insert on the
+      // assembly path below), unique components under their component
+      // fingerprint. Per-component items (decomposition without early
+      // exit or component cache) have no cache line of their own and are
+      // executed by every shard; likewise config-level items when the
+      // verdict cache is off (no fingerprints were computed).
+      Exchange &Ex = *Problem.Ex;
+      struct ExKey {
+        char Kind = 0; // 0 = not exchangeable, 1 = config, 2 = component
+        cfg::Fingerprint Canon, Raw;
+      };
+      std::vector<ExKey> Keys(Items.size());
+      for (size_t I = 0; I < Items.size(); ++I) {
+        const WorkItem &It = Items[I];
+        if (It.Comp == WorkItem::kUniqueComp) {
+          const UniqueSim &U = UniqueSims[static_cast<size_t>(It.Unique)];
+          Keys[I] = {2, U.Canon, U.Raw};
+        } else if ((It.Comp == WorkItem::kMonolithic ||
+                    It.Comp == WorkItem::kCappedChain) &&
+                   Problem.UseVerdictCache) {
+          Keys[I] = {1, Canon[static_cast<size_t>(It.Cand)],
+                     Raw[static_cast<size_t>(It.Cand)]};
+        }
+      }
+      auto FetchInto = [&](size_t I) -> bool {
+        const ExKey &K = Keys[I];
+        const analysis::VerdictOutcome *V = nullptr;
+        if (K.Kind == 1) {
+          if (const VerdictCache::Entry *E = Ex.fetchConfig(K.Canon))
+            V = &E->Verdict;
+        } else if (K.Kind == 2) {
+          if (const VerdictCache::ComponentEntry *E =
+                  Ex.fetchComponent(K.Canon))
+            V = &E->Verdict;
+        }
+        if (!V)
+          return false;
+        Eval &E = ItemEvals[I];
+        E.Ok = true;
+        E.V = *V;
+        return true;
+      };
+      auto RecordItem = [&](size_t I) {
+        const ExKey &K = Keys[I];
+        const Eval &E = ItemEvals[I];
+        if (!E.Ok)
+          return; // errors and undecided verdicts are never published
+        if (K.Kind == 1)
+          Ex.recordConfig(K.Canon, K.Raw, E.V);
+        else if (K.Kind == 2)
+          Ex.recordComponent(K.Canon, K.Raw, E.V);
+      };
+      if (Ex.mode() == Exchange::Mode::Shard) {
+        // Deterministic ownership split: planning is serial, so every
+        // shard sees the identical item list and computes the identical
+        // partition. Own items run locally and are published; foreign
+        // items are awaited (bounded), then recomputed locally as the
+        // liveness fallback — a slow or SIGKILLed peer costs wall-clock,
+        // never a different verdict.
+        std::vector<int> Owned, Foreign;
+        for (size_t I = 0; I < Items.size(); ++I)
+          if (Keys[I].Kind == 0 || Ex.ownsItem(Round, static_cast<int>(I)))
+            Owned.push_back(static_cast<int>(I));
+          else
+            Foreign.push_back(static_cast<int>(I));
+        Ex.Stats.ItemsOwned += Owned.size();
+        Pool.parallelFor(static_cast<int>(Owned.size()), [&](int K) {
+          RunItem(Owned[static_cast<size_t>(K)]);
+        });
+        for (int I : Owned)
+          RecordItem(static_cast<size_t>(I));
+        Ex.publish();
+        std::vector<int> Pending = std::move(Foreign);
+        auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Ex.FallbackMs);
+        while (!Pending.empty()) {
+          Ex.refresh();
+          size_t W = 0;
+          for (int I : Pending) {
+            if (FetchInto(static_cast<size_t>(I)))
+              ++Ex.Stats.ItemsFetched;
+            else
+              Pending[W++] = I;
+          }
+          Pending.resize(W);
+          if (Pending.empty() ||
+              (Problem.Cancel && Problem.Cancel->isCancelled()) ||
+              std::chrono::steady_clock::now() >= Deadline)
+            break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          Ex.Stats.WaitMs += 2;
+        }
+        if (!Pending.empty()) {
+          // Fallback: simulate the unresolved foreign items here, and
+          // publish them too — if their owner died, this shard's work
+          // keeps the survivors from each paying the same fallback.
+          Ex.Stats.FallbackSimulations += Pending.size();
+          Pool.parallelFor(static_cast<int>(Pending.size()), [&](int K) {
+            RunItem(Pending[static_cast<size_t>(K)]);
+          });
+          for (int I : Pending)
+            RecordItem(static_cast<size_t>(I));
+          Ex.publish();
+        }
+      } else {
+        // Share mode (racing portfolio): every item belongs to this
+        // worker, but a verdict some peer already published is adopted
+        // instead of simulated. The side cache is refreshed serially
+        // here and only read inside the parallelFor (write-once,
+        // node-stable entries), so the loop stays race-free.
+        Ex.refresh();
+        std::vector<char> Fetched(Items.size(), 0);
+        Pool.parallelFor(static_cast<int>(Items.size()), [&](int I) {
+          if (FetchInto(static_cast<size_t>(I)))
+            Fetched[static_cast<size_t>(I)] = 1;
+          else
+            RunItem(I);
+        });
+        for (size_t I = 0; I < Items.size(); ++I)
+          if (Fetched[I])
+            ++Ex.Stats.ItemsFetched;
+          else
+            RecordItem(I);
+        Ex.publish();
+      }
+    }
 
     // Fill the component cache from the round's unique sims, in order of
     // first need — like the whole-config fills, a serial-path fact.
@@ -1108,6 +1332,10 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
         Res.Best = C.Config;
         Res.BestBadness = 0;
         Res.BestTrajectory.push_back({IterJ, 0});
+        // The finding round's statistics flush like any other round's:
+        // the schedtool.* counters stay equal to the SearchResult stats
+        // even when the search returns mid-reduce.
+        FlushRoundStats();
         // Terminal flush: persist the finished result (and every verdict
         // earned) so a later --resume returns it without re-running.
         if (Checkpointing)
@@ -1125,113 +1353,25 @@ swa::schedtool::searchConfiguration(const SearchProblem &Problem) {
       }
     }
     Iter += N;
-
-    // Per-round acceleration statistics. Only emitted when the matching
-    // layer is on, so a layers-off log is exactly the per-iteration lines
-    // — and the values themselves are serial-path facts, identical for
-    // every Workers/BatchSize.
-    if (Problem.UseVerdictCache) {
-      Res.Log.push_back(formatString(
-          "round %d: cache %d hits / %d misses / %d folds / %d dups "
-          "(%d entries)",
-          Round, Res.CacheHits - RoundHits0, Res.CacheMisses - RoundMisses0,
-          Res.SymmetryFolds - RoundFolds0,
-          Res.DuplicateCandidates - RoundDups0,
-          static_cast<int>(Cache.size())));
-      if (HitC) {
-        HitC->add(static_cast<uint64_t>(Res.CacheHits - RoundHits0));
-        MissC->add(static_cast<uint64_t>(Res.CacheMisses - RoundMisses0));
-        FoldC->add(static_cast<uint64_t>(Res.SymmetryFolds - RoundFolds0));
-      }
-    }
-    if (Problem.UseDecomposition) {
-      Res.Log.push_back(formatString(
-          "round %d: decomposed %d/%d simulated candidates into %d "
-          "components",
-          Round, Res.DecomposedCandidates - RoundDecomp0,
-          static_cast<int>(SimList.size()),
-          Res.ComponentsSimulated - RoundComps0));
-      if (DecompC) {
-        DecompC->add(
-            static_cast<uint64_t>(Res.DecomposedCandidates - RoundDecomp0));
-        CompC->add(
-            static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
-      }
-    }
-    if (CompCache) {
-      Res.Log.push_back(formatString(
-          "round %d: component cache %d hits / %d misses / %d simulated "
-          "(%d entries)",
-          Round, Res.ComponentCacheHits - RoundCompHits0,
-          Res.ComponentCacheMisses - RoundCompMisses0,
-          Res.ComponentsSimulated - RoundComps0,
-          static_cast<int>(Cache.componentSize())));
-      if (CompHitC) {
-        CompHitC->add(
-            static_cast<uint64_t>(Res.ComponentCacheHits - RoundCompHits0));
-        CompMissC->add(static_cast<uint64_t>(Res.ComponentCacheMisses -
-                                             RoundCompMisses0));
-      }
-    }
-    if (Incremental) {
-      Res.Log.push_back(formatString(
-          "round %d: incremental %d dirty / %d clean components", Round,
-          Res.DirtyComponents - RoundDirty0,
-          Res.CleanComponentsReused - RoundClean0));
-      if (DirtyC) {
-        DirtyC->add(static_cast<uint64_t>(Res.DirtyComponents - RoundDirty0));
-        CleanC->add(
-            static_cast<uint64_t>(Res.CleanComponentsReused - RoundClean0));
-      }
-    }
-    if (SimC)
-      SimC->add(static_cast<uint64_t>(Res.SimulationsRun - RoundSims0) +
-                static_cast<uint64_t>(Res.ComponentsSimulated - RoundComps0));
+    FlushRoundStats();
 
     if (RoundBest < 0) {
-      // Every candidate in the round was invalid; resample all boosts.
-      for (double &B : Boost)
-        B = Problem.MinBoost +
-            R.uniformDouble() * (Problem.MaxBoost - Problem.MinBoost);
+      // Every candidate in the round was invalid; the strategy's escape
+      // move (the default resamples all boosts).
+      Strat->adaptAllInvalid(R, Problem, Boost);
       continue;
     }
 
-    // Adapt from the round's best candidate: grow the windows of the
-    // partitions whose tasks miss at the first-miss instant (the only
-    // failure set every evaluation mode computes identically);
-    // occasionally rebind the worst partition to the least-loaded core.
-    Current = Cands[static_cast<size_t>(RoundBest)].Config;
-    Boost = Cands[static_cast<size_t>(RoundBest)].Boost;
-    const analysis::VerdictOutcome &V =
-        Evals[static_cast<size_t>(RoundBest)].V;
-    std::vector<int64_t> FailedPerPartition(Current.Partitions.size(), 0);
-    for (int32_t G : V.FirstMissTasks)
-      if (G >= 0 && G < Current.numTasks())
-        ++FailedPerPartition[static_cast<size_t>(
-            Current.taskRefOf(G).Partition)];
-
-    int Worst = -1;
-    for (size_t P = 0; P < FailedPerPartition.size(); ++P) {
-      if (FailedPerPartition[P] == 0)
-        continue;
-      Boost[P] = std::min(Problem.MaxBoost, Boost[P] * 1.25);
-      if (Worst < 0 || FailedPerPartition[P] >
-                           FailedPerPartition[static_cast<size_t>(Worst)])
-        Worst = static_cast<int>(P);
-    }
-    if (Worst >= 0 && R.chance(0.3)) {
-      // Rebind the worst partition to the core with the lowest load.
-      std::vector<double> Load(Current.Cores.size(), 0.0);
-      for (size_t P = 0; P < Current.Partitions.size(); ++P)
-        if (Current.Partitions[P].Core >= 0)
-          Load[static_cast<size_t>(Current.Partitions[P].Core)] +=
-              Current.partitionUtilization(static_cast<int>(P));
-      int Lightest = 0;
-      for (size_t C = 1; C < Load.size(); ++C)
-        if (Load[C] < Load[static_cast<size_t>(Lightest)])
-          Lightest = static_cast<int>(C);
-      Current.Partitions[static_cast<size_t>(Worst)].Core = Lightest;
-    }
+    // Adapt from the round's best candidate — the strategy's move (the
+    // default greedily adopts it, grows the windows of the partitions
+    // whose tasks miss at the first-miss instant, and occasionally
+    // rebinds the worst partition to the least-loaded core).
+    schedtool::RoundBest RB;
+    RB.Config = &Cands[static_cast<size_t>(RoundBest)].Config;
+    RB.Boost = &Cands[static_cast<size_t>(RoundBest)].Boost;
+    RB.Verdict = &Evals[static_cast<size_t>(RoundBest)].V;
+    RB.Badness = RoundBestBadness;
+    Strat->adapt(R, Problem, RB, Current, Boost);
   }
   // The round-top poll only sees a cancel that fired *between* rounds; one
   // that fired during the final round left its mark as skipped candidates

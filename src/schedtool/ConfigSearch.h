@@ -36,6 +36,8 @@ namespace schedtool {
 
 struct Snapshot;      // schedtool/Snapshot.h
 struct SnapshotStats; // schedtool/Snapshot.h
+class Strategy;       // schedtool/Strategy.h
+class Exchange;       // schedtool/Exchange.h
 
 struct SearchProblem {
   /// Cores/partitions/tasks/messages; bindings (Partition::Core) and
@@ -146,6 +148,23 @@ struct SearchProblem {
   /// wall-clock dependent, and SearchResult stays byte-identical
   /// whether, and how often, a run checkpoints.
   SnapshotStats *CkptStats = nullptr;
+  /// The metaheuristic driving perturbation and adaptation (Strategy.h);
+  /// null = the built-in "local" strategy, draw-for-draw identical to
+  /// the historical loop. The search mutates the strategy (adapt moves
+  /// its internal state), so one instance serves one search at a time.
+  /// A checkpoint records the strategy's name and opaque state; resuming
+  /// under a different strategy is a typed SnapshotMismatch.
+  Strategy *Strat = nullptr;
+  /// Fleet verdict exchange (Exchange.h); null = single-process search.
+  /// In Shard mode the worker simulates only the work items it owns and
+  /// adopts the rest from peers' publications (recomputing any item a
+  /// peer has not published within Exchange::FallbackMs, so a dead shard
+  /// only costs time); in Share mode it consults peers before simulating
+  /// each item. Either way the SearchResult is byte-identical to the
+  /// exchange-free run: a fetched verdict equals what the deterministic
+  /// simulator would compute, and every SearchResult statistic is a
+  /// serial-path fact fixed before execution begins.
+  Exchange *Ex = nullptr;
 };
 
 struct SearchResult {

@@ -1,0 +1,172 @@
+//===- schedtool/FleetSearch.h - Sharded/portfolio fleet search -*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-scale configuration search: a coordinator runs N workers —
+/// in-process threads or spawned worker processes (support::Subprocess)
+/// — against one exchange directory (schedtool::Exchange), in one of
+/// two modes:
+///
+///  - **Shard**: the candidate space of every round is deterministically
+///    partitioned across the fleet ((Round + item) % Shards). Each
+///    worker simulates only the items it owns, publishes their verdicts,
+///    and adopts the rest from its peers — so one shard's simulation
+///    pays for every shard's cache hit, and the fleet's aggregate
+///    decided-verdict throughput scales with the shard count. Every
+///    worker still replays the *full* deterministic round loop
+///    serially (planning, cache, reduce), so each per-shard
+///    SearchResult — and therefore the merged fleet result — is
+///    byte-identical to the single-process run for any fleet size, any
+///    per-worker thread count, and any crash/respawn history. The
+///    coordinator verifies this literally: all shard results must have
+///    equal wire encodings (encodeSearchResultBytes) or the merge fails
+///    with a typed SnapshotMismatch.
+///
+///  - **Portfolio**: every worker runs the full candidate space under a
+///    *different* metaheuristic (schedtool::Strategy — "local",
+///    "annealing", "genetic"), racing on the shared verdict exchange:
+///    a verdict any strategy earns is adopted by the others instead of
+///    re-simulated. Each worker's result is byte-identical to its solo
+///    run (decided verdicts under one fingerprint are interchangeable);
+///    the winner is picked by a deterministic tie-break — Found first,
+///    then earliest finding iteration, then lowest shard index (and for
+///    all-unsuccessful fleets: lowest badness, then lowest shard).
+///
+/// Crash tolerance (process backend): each worker checkpoints to
+/// `shard_<i>.ckpt` in the exchange directory (the PR 9 durable-search
+/// machinery); a worker that dies (non-zero exit or signal) is
+/// respawned up to MaxRestarts times and resumes from its own
+/// checkpoint — byte-identity of its result is the PR 9 crash/resume
+/// contract. While the shard is down, Shard-mode peers fall back to
+/// simulating its items locally after Exchange::FallbackMs, so a dead
+/// shard costs wall-clock, never the answer.
+///
+/// Exchange-directory layout (see DESIGN.md):
+///
+///   manifest        the fleet's SearchProblem + mode + strategies,
+///                   written once by the coordinator (AtomicFile)
+///   shard_<i>.pub   worker i's published verdict snapshot
+///   shard_<i>.ckpt  worker i's durable-search checkpoint
+///   shard_<i>.done  worker i's final result envelope (a Snapshot whose
+///                   search state carries the finished SearchResult)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SCHEDTOOL_FLEETSEARCH_H
+#define SWA_SCHEDTOOL_FLEETSEARCH_H
+
+#include "schedtool/ConfigSearch.h"
+#include "schedtool/Exchange.h"
+
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace schedtool {
+
+struct FleetProblem {
+  /// The search every worker runs. The fleet owns the orchestration
+  /// fields: CheckpointPath, Resume, Strat and Ex are ignored here and
+  /// installed per worker by the coordinator/worker machinery.
+  SearchProblem Problem;
+
+  /// Fleet size (>= 1).
+  int Shards = 1;
+
+  enum class Mode { Shard, Portfolio };
+  Mode M = Mode::Shard;
+
+  /// Strategy names per shard. Portfolio mode: entry i drives shard i
+  /// (missing entries default to "local" — but a portfolio of
+  /// duplicates is pointless, so pass a full list). Shard mode: at most
+  /// one entry, applied to every shard (they must agree or the results
+  /// cannot be byte-identical).
+  std::vector<std::string> Strategies;
+
+  /// The exchange directory. Created if missing. A fresh run (Resume
+  /// false) clears stale shard_* files first.
+  std::string ExchangeDir;
+
+  /// Shard mode: how long a worker waits for a peer's verdict before
+  /// simulating the item itself (Exchange::FallbackMs).
+  int64_t FallbackMs = 2000;
+
+  /// Worker checkpoint cadence (SearchProblem::CheckpointEveryMs).
+  int64_t CheckpointEveryMs = 0;
+
+  /// Process backend: the command prefix to spawn one worker —
+  /// typically {argv[0]} of a binary that dispatches to
+  /// runFleetWorker() on --fleet-worker. The coordinator appends
+  /// "--fleet-worker <dir> --fleet-shard <i>". Empty: workers run as
+  /// in-process threads (no crash tolerance, same results).
+  std::vector<std::string> WorkerCommand;
+
+  /// Extra environment ("KEY=VALUE") for each worker's *first* spawn
+  /// only — respawns after a crash run clean. Lets tests inject
+  /// SWA_CRASH_AFTER-style faults that happen exactly once.
+  std::vector<std::string> WorkerEnv;
+
+  /// Respawn budget per shard (process backend).
+  int MaxRestarts = 2;
+
+  /// Test hook (process backend): SIGKILL this shard the first time its
+  /// checkpoint file appears, exactly once; it is then respawned and
+  /// resumes. -1 = off. Exercises the mid-round crash drill of the
+  /// fleet-equality contract.
+  int KillShardOnFirstCheckpoint = -1;
+
+  /// Resume a previously interrupted fleet: keep the exchange
+  /// directory's shard files, so workers resume from their checkpoints
+  /// and finished shards short-circuit via their done files.
+  bool Resume = false;
+};
+
+struct FleetResult {
+  /// The fleet's answer: the (verified byte-identical) shard result in
+  /// Shard mode, the winning strategy's result in Portfolio mode.
+  SearchResult Res;
+  /// Which shard produced Res (always 0 in Shard mode).
+  int WinnerShard = 0;
+  /// The winning shard's strategy name.
+  std::string WinnerStrategy;
+  /// Every shard's full result, by shard index.
+  std::vector<SearchResult> ShardResults;
+  /// Every shard's strategy name, by shard index.
+  std::vector<std::string> ShardStrategies;
+  /// Every shard's exchange traffic (peer fetches, fallbacks, wait
+  /// time), by shard index — in-process backend only; a spawned
+  /// worker's stats die with its process, and a resumed shard that
+  /// short-circuited through its done file has none. Wall-clock facts,
+  /// deliberately outside SearchResult (see ExchangeStats).
+  std::vector<ExchangeStats> ShardExchange;
+  /// Worker respawns performed (process backend).
+  int Restarts = 0;
+};
+
+/// Runs the fleet: writes the manifest, starts the workers, monitors
+/// and respawns them (process backend), and merges the results. The
+/// coordinator itself never simulates.
+Result<FleetResult> runFleetSearch(const FleetProblem &FP);
+
+/// Runs shard \p Shard of the fleet described by \p Dir's manifest in
+/// this process (reads the manifest, installs strategy + exchange +
+/// checkpoint, auto-resumes from shard_<i>.ckpt when present) and
+/// returns its SearchResult. The building block of both backends.
+/// \p ExStats, when non-null, receives the shard's exchange traffic.
+Result<SearchResult> runFleetShard(const std::string &Dir, int Shard,
+                                   const CancelToken *Cancel = nullptr,
+                                   ExchangeStats *ExStats = nullptr);
+
+/// Process-backend entry point: runFleetShard + write the
+/// shard_<i>.done result envelope. Returns a process exit code (0 on
+/// success) and prints errors to stderr — call it from main() when
+/// --fleet-worker style flags are present.
+int runFleetWorker(const std::string &Dir, int Shard);
+
+} // namespace schedtool
+} // namespace swa
+
+#endif // SWA_SCHEDTOOL_FLEETSEARCH_H

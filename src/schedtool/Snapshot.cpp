@@ -376,6 +376,8 @@ void encodeSearchState(Enc &E, const Snapshot &S) {
   for (double B : S.Boost)
     E.f64(B);
   encodeSearchResult(E, S.Res);
+  E.str(S.StrategyName);
+  E.str(S.StrategyState);
 }
 
 bool decodeSearchState(Dec &D, Snapshot &S) {
@@ -391,7 +393,11 @@ bool decodeSearchState(Dec &D, Snapshot &S) {
   uint64_t NBoost = D.count(8);
   for (uint64_t I = 0; D.ok() && I < NBoost; ++I)
     S.Boost.push_back(D.f64());
-  return decodeSearchResult(D, S.Res) && D.consumed();
+  if (!decodeSearchResult(D, S.Res))
+    return false;
+  S.StrategyName = D.str();
+  S.StrategyState = D.str();
+  return D.consumed();
 }
 
 /// Field-wise equality of the decision fields two snapshots must agree
@@ -705,4 +711,21 @@ void schedtool::fillSnapshotReport(obs::RunReport &Report,
                   Stats.ConfigEntriesMerged + Stats.ComponentEntriesMerged);
   Report.addCount("snapshot.write_failures", Stats.WriteFailures);
   Report.addCount("verdict_cache.snapshot_hits", Stats.SnapshotHits);
+}
+
+void schedtool::encodeConfigBytes(const cfg::Config &C, std::string &Out) {
+  Enc E;
+  encodeConfig(E, C);
+  Out.append(E.bytes());
+}
+
+bool schedtool::decodeConfigBytes(const std::string &Data, cfg::Config &C) {
+  Dec D(Data.data(), Data.size());
+  return decodeConfig(D, C) && D.consumed();
+}
+
+std::string schedtool::encodeSearchResultBytes(const SearchResult &Res) {
+  Enc E;
+  encodeSearchResult(E, Res);
+  return E.bytes();
 }

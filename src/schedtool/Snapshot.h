@@ -78,7 +78,11 @@ struct SnapshotStats {
 
 /// The in-memory image of a snapshot file.
 struct Snapshot {
-  static constexpr uint32_t FormatVersion = 1;
+  /// Version 2 (PR 10): the search-state payload gained the strategy
+  /// name + opaque strategy state (portfolio metaheuristics resume
+  /// mid-stream). Version 1 files are rejected with a typed skew error
+  /// and degrade to a cold start, per the reader contract above.
+  static constexpr uint32_t FormatVersion = 2;
 
   /// One serialized verdict-cache entry (either level).
   struct CacheRecord {
@@ -110,6 +114,12 @@ struct Snapshot {
   /// stop-reason taxonomy. Restoring it verbatim is what makes a resumed
   /// run's final SearchResult byte-identical to the uninterrupted one.
   SearchResult Res;
+  /// The metaheuristic that wrote the checkpoint (Strategy::name(), ""
+  /// reads as "local") and its opaque serialized state — a search can
+  /// only resume under the same strategy (else SnapshotMismatch), and
+  /// the strategy resumes mid-stream like the RNG does.
+  std::string StrategyName;
+  std::string StrategyState;
 
   /// Populates ConfigEntries/ComponentEntries from \p Cache (sorted by
   /// canonical fingerprint; deterministic bytes).
@@ -156,6 +166,23 @@ Error mergeSnapshots(Snapshot &Dst, const Snapshot &Src,
 /// snapshot.* keys (the warm-hit count under verdict_cache.snapshot_hits,
 /// matching the obs counter of the same name).
 void fillSnapshotReport(obs::RunReport &Report, const SnapshotStats &Stats);
+
+/// Appends the canonical little-endian wire encoding of \p C to \p Out —
+/// the exact byte stream snapshotBaseCrc hashes. The fleet manifest
+/// (FleetSearch.cpp) embeds configs with it so a worker process rebuilds
+/// the coordinator's SearchProblem bit-for-bit.
+void encodeConfigBytes(const cfg::Config &C, std::string &Out);
+
+/// Decodes a config encoded by encodeConfigBytes (the whole buffer must
+/// be consumed). Returns false on any malformed input, leaving \p C
+/// unspecified.
+bool decodeConfigBytes(const std::string &Data, cfg::Config &C);
+
+/// The canonical wire encoding of a SearchResult — every field,
+/// including log and trajectory. Two results are byte-identical exactly
+/// when these strings are equal; the fleet coordinator's shard-equality
+/// check is literal comparison of them.
+std::string encodeSearchResultBytes(const SearchResult &Res);
 
 } // namespace schedtool
 } // namespace swa

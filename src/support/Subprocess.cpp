@@ -1,0 +1,122 @@
+//===- support/Subprocess.cpp - Child-process spawning ----------------------===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace swa;
+using namespace swa::support;
+
+static int decodeStatus(int Raw) {
+  if (WIFEXITED(Raw))
+    return WEXITSTATUS(Raw);
+  if (WIFSIGNALED(Raw))
+    return -WTERMSIG(Raw);
+  return -1;
+}
+
+Subprocess::~Subprocess() {
+  if (Started && !Reaped) {
+    ::kill(static_cast<pid_t>(Pid), SIGKILL);
+    wait();
+  }
+}
+
+Subprocess::Subprocess(Subprocess &&O) noexcept
+    : Pid(O.Pid), Started(O.Started), Reaped(O.Reaped), Status(O.Status) {
+  O.Started = false;
+  O.Reaped = false;
+  O.Pid = -1;
+}
+
+Subprocess &Subprocess::operator=(Subprocess &&O) noexcept {
+  if (this != &O) {
+    if (Started && !Reaped) {
+      ::kill(static_cast<pid_t>(Pid), SIGKILL);
+      wait();
+    }
+    Pid = O.Pid;
+    Started = O.Started;
+    Reaped = O.Reaped;
+    Status = O.Status;
+    O.Started = false;
+    O.Reaped = false;
+    O.Pid = -1;
+  }
+  return *this;
+}
+
+Error Subprocess::start(const std::vector<std::string> &Argv,
+                        const std::vector<std::string> &ExtraEnv) {
+  if (Argv.empty())
+    return Error::failure("subprocess: empty argv");
+  if (Started && !Reaped)
+    return Error::failure("subprocess: already running");
+
+  pid_t P = ::fork();
+  if (P < 0)
+    return Error::failure(ErrorCode::Io,
+                          std::string("fork: ") + std::strerror(errno));
+  if (P == 0) {
+    // Child. Only async-signal-safe work plus setenv (single-threaded
+    // here) until exec.
+    for (const std::string &E : ExtraEnv) {
+      size_t Eq = E.find('=');
+      if (Eq != std::string::npos)
+        ::setenv(E.substr(0, Eq).c_str(), E.c_str() + Eq + 1, 1);
+    }
+    std::vector<char *> Args;
+    Args.reserve(Argv.size() + 1);
+    for (const std::string &A : Argv)
+      Args.push_back(const_cast<char *>(A.c_str()));
+    Args.push_back(nullptr);
+    ::execvp(Args[0], Args.data());
+    _exit(127); // shell convention: command not runnable
+  }
+
+  Pid = P;
+  Started = true;
+  Reaped = false;
+  Status = -1;
+  return Error::success();
+}
+
+bool Subprocess::running() {
+  if (!Started || Reaped)
+    return false;
+  int Raw = 0;
+  pid_t R = ::waitpid(static_cast<pid_t>(Pid), &Raw, WNOHANG);
+  if (R == 0)
+    return true;
+  // Reaped now (or waitpid failed, in which case the child is gone for
+  // our purposes — e.g. reaped elsewhere).
+  Reaped = true;
+  Status = R > 0 ? decodeStatus(Raw) : -1;
+  return false;
+}
+
+int Subprocess::wait() {
+  if (!Started)
+    return -1;
+  if (Reaped)
+    return Status;
+  int Raw = 0;
+  pid_t R = ::waitpid(static_cast<pid_t>(Pid), &Raw, 0);
+  Reaped = true;
+  Status = R > 0 ? decodeStatus(Raw) : -1;
+  return Status;
+}
+
+void Subprocess::kill(int Sig) {
+  if (Started && !Reaped)
+    ::kill(static_cast<pid_t>(Pid), Sig);
+}

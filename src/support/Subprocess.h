@@ -1,0 +1,83 @@
+//===- support/Subprocess.h - Child-process spawning ------------*- C++ -*-===//
+//
+// Part of the swa-sched project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fork/exec child-process handle for the fleet coordinator
+/// (schedtool::FleetSearch): spawn a worker, poll whether it still
+/// runs, reap its exit status, or kill it. Deliberately tiny — no
+/// pipes, no pty — because fleet workers communicate exclusively
+/// through the exchange directory, never through stdio.
+///
+/// Exit status convention: a normal exit reports the exit code
+/// (>= 0); a signal death reports the negated signal number (SIGKILL
+/// -> -9). This keeps "crashed" trivially distinguishable from "failed
+/// cleanly" in the coordinator's respawn policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SWA_SUPPORT_SUBPROCESS_H
+#define SWA_SUPPORT_SUBPROCESS_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace swa {
+namespace support {
+
+class Subprocess {
+public:
+  Subprocess() = default;
+  /// Kills (SIGKILL) and reaps a still-running child: a dropped handle
+  /// must never leak a worker process or a zombie.
+  ~Subprocess();
+
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+  Subprocess(Subprocess &&O) noexcept;
+  Subprocess &operator=(Subprocess &&O) noexcept;
+
+  /// Forks and execs \p Argv (Argv[0] resolved via PATH). \p ExtraEnv
+  /// entries ("KEY=VALUE") are added to the child's environment on top
+  /// of the parent's. An exec failure in the child surfaces as exit
+  /// code 127 at the next wait(), matching the shell convention.
+  Error start(const std::vector<std::string> &Argv,
+              const std::vector<std::string> &ExtraEnv = {});
+
+  /// True while the child has neither exited nor been reaped.
+  /// Non-blocking; reaps eagerly, so a true->false transition makes
+  /// exitCode() valid immediately.
+  bool running();
+
+  /// Blocks until the child exits, reaps it, and returns the status
+  /// (exit code >= 0, or -signal). Returns the cached status when the
+  /// child was already reaped; -1 when nothing was ever started.
+  int wait();
+
+  /// The reaped status (same convention as wait()); meaningless while
+  /// running() is true.
+  int exitCode() const { return Status; }
+
+  /// Sends \p Sig to the child. No-op after the child was reaped.
+  void kill(int Sig);
+
+  /// OS process id; -1 when not started or already reaped+cleared.
+  long pid() const { return Pid; }
+
+  bool started() const { return Started; }
+
+private:
+  long Pid = -1;
+  bool Started = false;
+  bool Reaped = false;
+  int Status = -1;
+};
+
+} // namespace support
+} // namespace swa
+
+#endif // SWA_SUPPORT_SUBPROCESS_H

@@ -545,6 +545,54 @@ TEST(ObsEngine, SearchRecordsBestTrajectory) {
             static_cast<uint64_t>(Res->ConfigurationsEvaluated));
 }
 
+TEST(ObsEngine, SearchCountersMatchResultStatsOnFoundRun) {
+  // Regression for the BENCH_PR9 report skew: a run that *finds* a
+  // configuration returns from the middle of a round, and that early
+  // return used to skip the round-end counter flush — the report's
+  // stats.* numbers (from SearchResult) were nonzero while every
+  // matching schedtool.* obs counter read 0. The contract pinned here:
+  // on a fresh run, each schedtool.* counter equals the SearchResult
+  // field the report is filled from, Found or not.
+  ObsScope Scope;
+  schedtool::SearchProblem Problem;
+  Problem.Base = testcfg::twoTasksOneCore();
+  for (cfg::Partition &P : Problem.Base.Partitions) {
+    P.Core = -1;
+    P.Windows.clear();
+  }
+  Problem.MaxIterations = 40;
+  Result<schedtool::SearchResult> Res =
+      schedtool::searchConfiguration(Problem);
+  ASSERT_TRUE(Res.ok()) << Res.error().message();
+  // The skew only bit on the Found path; make sure this run takes it.
+  ASSERT_TRUE(Res->Found);
+  ASSERT_GT(Res->ConfigurationsEvaluated, 0);
+
+  obs::Registry &Reg = obs::Registry::global();
+  auto Counter = [&Reg](const char *Name) {
+    return Reg.counter(Name).value();
+  };
+  auto U64 = [](int V) { return static_cast<uint64_t>(V); };
+  EXPECT_EQ(Counter("schedtool.candidates.evaluated"),
+            U64(Res->ConfigurationsEvaluated));
+  EXPECT_EQ(Counter("schedtool.simulations.run"), U64(Res->SimulationsRun));
+  EXPECT_EQ(Counter("schedtool.schedulable.seen"), U64(Res->SchedulableSeen));
+  EXPECT_EQ(Counter("schedtool.cache.hits"), U64(Res->CacheHits));
+  EXPECT_EQ(Counter("schedtool.cache.misses"), U64(Res->CacheMisses));
+  EXPECT_EQ(Counter("schedtool.cache.folds"), U64(Res->SymmetryFolds));
+  EXPECT_EQ(Counter("schedtool.decomposed.candidates"),
+            U64(Res->DecomposedCandidates));
+  EXPECT_EQ(Counter("schedtool.components.simulated"),
+            U64(Res->ComponentsSimulated));
+  EXPECT_EQ(Counter("schedtool.component_cache.hits"),
+            U64(Res->ComponentCacheHits));
+  EXPECT_EQ(Counter("schedtool.component_cache.misses"),
+            U64(Res->ComponentCacheMisses));
+  EXPECT_EQ(Counter("schedtool.components.dirty"), U64(Res->DirtyComponents));
+  EXPECT_EQ(Counter("schedtool.components.clean_reused"),
+            U64(Res->CleanComponentsReused));
+}
+
 TEST(ObsReport, TextAndJsonForms) {
   ObsScope Scope;
   obs::Registry::global().counter("report.test").add(3);

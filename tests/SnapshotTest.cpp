@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gen/Workload.h"
+#include "schedtool/Exchange.h"
 #include "schedtool/Snapshot.h"
 #include "schedtool/VerdictCache.h"
 #include "support/AtomicFile.h"
@@ -34,6 +35,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <sys/stat.h>
 
 using namespace swa;
 using namespace swa::schedtool;
@@ -328,6 +330,67 @@ TEST(AtomicFileDeath, EveryCrashStageLeavesOldOrNewNeverTorn) {
   }
   std::remove(Path.c_str());
   std::remove((Path + ".tmp").c_str());
+}
+
+// The exchange-directory race: a fleet worker killed at *any* point
+// inside its publication's AtomicFile commit must never make a reader
+// see a torn exchange file. Before the rename the reader sees no
+// publication at all (the `.tmp` is never opened — refresh() uses exact
+// publication names); at or after the rename it sees the complete new
+// snapshot. In no stage does loadSnapshot on the publication path
+// return a torn/corrupt verdict set, and the reader's refresh() never
+// counts a peer load error.
+TEST(ExchangeDeath, TornPublicationIsNeverVisibleToReaders) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string Dir = testPath("exchange_race");
+  ::system(("rm -rf " + Dir).c_str());
+  ASSERT_EQ(::mkdir(Dir.c_str(), 0777), 0);
+  std::string Pub = Dir + "/shard_0.pub";
+
+  for (const char *Stage : {"byte", "write", "fsync", "rename", "commit"}) {
+    std::remove(Pub.c_str());
+    std::remove((Pub + ".tmp").c_str());
+    EXPECT_EXIT(
+        {
+          setenv("SWA_CRASH_AFTER", Stage, 1);
+          Exchange W;
+          if (W.init(Dir, 0, 2, Exchange::Mode::Shard).isFailure())
+            _exit(2);
+          W.recordConfig({1, 2}, {1, 3}, missVerdict(10, 0));
+          W.publish();
+          std::fprintf(stderr, "no crash at stage %s\n", Stage);
+          _exit(1);
+        },
+        testing::ExitedWithCode(support::AtomicFile::kCrashExitCode), "")
+        << "stage " << Stage;
+    if (testing::internal::InDeathTestChild())
+      continue;
+
+    // A reader shard sweeping the directory right after the writer died.
+    Exchange R;
+    ASSERT_FALSE(R.init(Dir, 1, 2, Exchange::Mode::Shard).isFailure());
+    R.refresh();
+    EXPECT_EQ(R.Stats.PeerLoadErrors, 0u) << "stage " << Stage;
+    const VerdictCache::Entry *E = R.fetchConfig({1, 2});
+    bool Committed =
+        std::string(Stage) == "rename" || std::string(Stage) == "commit";
+    if (Committed) {
+      // The rename happened: the publication is complete and loads.
+      ASSERT_NE(E, nullptr) << "stage " << Stage;
+      expectSameVerdict(E->Verdict, missVerdict(10, 0));
+      EXPECT_EQ(R.Stats.PeerSnapshotsLoaded, 1u);
+    } else {
+      // Only the writer's temp file exists; the reader must see no
+      // publication — and loadSnapshot on the exact path agrees (a
+      // typed Io "no such file", never a torn-payload rejection).
+      EXPECT_EQ(E, nullptr) << "stage " << Stage;
+      EXPECT_EQ(R.Stats.PeerSnapshotsLoaded, 0u);
+      Result<Snapshot> L = loadSnapshot(Pub);
+      ASSERT_FALSE(L.ok()) << "stage " << Stage;
+      EXPECT_EQ(L.error().code(), ErrorCode::Io) << "stage " << Stage;
+    }
+  }
+  ::system(("rm -rf " + Dir).c_str());
 }
 
 TEST(AtomicFileDeath, NthOccurrenceCountingSelectsTheKthWrite) {
